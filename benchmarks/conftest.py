@@ -1,0 +1,52 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure (or ablation) of the paper with
+reduced repetition counts, prints the same series the figure plots, and
+performs light qualitative-shape assertions (who wins, monotonicity,
+coverage near the diagonal).  Pass ``--paper-scale`` to run with the paper's
+full repetition counts and confidence grid (much slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import (
+    DEFAULT_CONFIDENCE_GRID,
+    PAPER_CONFIDENCE_GRID,
+)
+from repro.evaluation.reporting import format_experiment
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's full scale "
+        "(500 repetitions, 19-point confidence grid)",
+    )
+
+
+@pytest.fixture
+def bench_scale(request: pytest.FixtureRequest) -> dict:
+    """Repetition counts and confidence grid for the current run mode."""
+    if request.config.getoption("--paper-scale"):
+        return {
+            "confidence_grid": PAPER_CONFIDENCE_GRID,
+            "repetitions": 500,
+            "kary_repetitions": 100,
+            "n_triples": 50,
+        }
+    return {
+        "confidence_grid": DEFAULT_CONFIDENCE_GRID,
+        "repetitions": 40,
+        "kary_repetitions": 15,
+        "n_triples": 12,
+    }
+
+
+def emit(result) -> None:
+    """Print a reproduced figure in the paper-comparable table format."""
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,126 @@
+"""Compare the paper's estimator against baselines on every dataset stand-in.
+
+For each binary dataset (IC, RTE, TEM) this example reports, per method:
+
+* how close the point estimates are to the gold-derived error rates (RMSE),
+* interval coverage and width where the method produces intervals.
+
+Methods compared:
+
+* the paper's m-worker delta-method intervals (with and without spammer
+  filtering),
+* Dawid-Skene EM (point estimates only — the classical related work),
+* majority-vote disagreement (the crudest proxy),
+* gold-standard Wilson intervals (the upper bound that needs gold answers).
+
+Run with:  python examples/dataset_benchmarks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import dawid_skene, gold_standard_intervals, majority_disagreement_rates
+from repro.core.estimator import WorkerEvaluator
+from repro.data import load_dataset
+from repro.exceptions import InsufficientDataError
+from repro.types import EstimateStatus
+
+CONFIDENCE = 0.8
+MIN_GOLD_TASKS = 5
+DATASETS = ("ic", "rte", "tem")
+
+
+def gold_truth(matrix) -> dict[int, float]:
+    """Gold-derived error rate per worker with enough gold-labelled answers."""
+    truth: dict[int, float] = {}
+    for worker in range(matrix.n_workers):
+        answered_gold = sum(
+            1 for task in matrix.worker_responses(worker)
+            if matrix.gold_label(task) is not None
+        )
+        if answered_gold < MIN_GOLD_TASKS:
+            continue
+        try:
+            truth[worker] = matrix.empirical_error_rate(worker)
+        except InsufficientDataError:
+            continue
+    return truth
+
+
+def rmse(estimates: dict[int, float], truth: dict[int, float]) -> float:
+    common = sorted(set(estimates) & set(truth))
+    if not common:
+        return float("nan")
+    return float(np.sqrt(np.mean([(estimates[w] - truth[w]) ** 2 for w in common])))
+
+
+def report_intervals(name: str, intervals, truth: dict[int, float]) -> None:
+    judged = [
+        (w, est) for w, est in intervals.items()
+        if w in truth and est.status is not EstimateStatus.DEGENERATE
+    ]
+    if not judged:
+        print(f"  {name:<34} no usable intervals")
+        return
+    coverage = np.mean([est.interval.contains(truth[w]) for w, est in judged])
+    size = np.mean([est.interval.size for _, est in judged])
+    points = {w: est.interval.mean for w, est in judged}
+    print(
+        f"  {name:<34} coverage={coverage:.2f}  mean size={size:.3f}  "
+        f"RMSE={rmse(points, truth):.3f}  ({len(judged)} workers)"
+    )
+
+
+def main() -> None:
+    for dataset_name in DATASETS:
+        matrix = load_dataset(dataset_name)
+        truth = gold_truth(matrix)
+        print(
+            f"\n=== {dataset_name.upper()}: {matrix.n_workers} workers, "
+            f"{matrix.n_tasks} tasks, density {matrix.density:.2f} "
+            f"({len(truth)} workers with >= {MIN_GOLD_TASKS} gold answers) ==="
+        )
+
+        paper = WorkerEvaluator(confidence=CONFIDENCE).evaluate_binary(matrix)
+        report_intervals("paper (delta-method intervals)", paper, truth)
+
+        filtered = WorkerEvaluator(
+            confidence=CONFIDENCE, remove_spammers=True
+        ).evaluate_binary(matrix)
+        report_intervals("paper + spammer filter", filtered, truth)
+
+        gold = gold_standard_intervals(matrix, confidence=CONFIDENCE)
+        report_intervals("gold-standard Wilson (needs gold!)", gold, truth)
+
+        ds_result = dawid_skene(matrix)
+        ds_points = {
+            worker: ds_result.worker_error_rate(worker)
+            for worker in range(matrix.n_workers)
+        }
+        print(
+            f"  {'Dawid-Skene EM (points only)':<34} coverage=n/a   "
+            f"mean size=n/a    RMSE={rmse(ds_points, truth):.3f}"
+        )
+
+        majority = {
+            worker: rate
+            for worker, rate in majority_disagreement_rates(matrix).items()
+            if rate is not None
+        }
+        print(
+            f"  {'majority disagreement (points)':<34} coverage=n/a   "
+            f"mean size=n/a    RMSE={rmse(majority, truth):.3f}"
+        )
+
+    print(
+        "\nTakeaway: the paper's intervals achieve coverage close to the nominal "
+        "level without any gold labels; EM and majority proxies give point "
+        "estimates of similar quality but no guarantee, and the gold-standard "
+        "intervals (which require the answers the paper does without) are the "
+        "tightness ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""k-ary example: auditing peer graders in a MOOC.
+
+Peer grading is the paper's flagship k-ary scenario (Section IV-C): students
+grade each other's assignments on a 0-5 scale, graders are biased (usually
+lenient), and the course staff wants to know each grader's full response
+behaviour — not just "how often are they right" but "when the true grade is
+a, how likely are they to report b" — with confidence intervals, so that
+harsh or lenient graders can be calibrated or removed.
+
+This example loads the MOOC stand-in dataset (grades reduced to 3 levels as
+in the paper), picks a triple of graders with many assignments in common, and
+prints each grader's estimated confusion matrix with 80% confidence intervals
+next to the empirical matrix computed from the staff (gold) grades.
+
+Run with:  python examples/kary_peer_grading.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import evaluate_kary_workers
+from repro.data import load_dataset
+
+GRADE_NAMES = ("fail", "pass", "good")
+CONFIDENCE = 0.8
+
+
+def pick_overlapping_triple(matrix, min_common: int = 30) -> tuple[int, int, int]:
+    """First triple of graders (by id) sharing at least ``min_common`` tasks."""
+    workers_by_activity = sorted(
+        range(matrix.n_workers), key=lambda w: -matrix.n_tasks_of(w)
+    )
+    top = workers_by_activity[:12]
+    for i in range(len(top)):
+        for j in range(i + 1, len(top)):
+            for k in range(j + 1, len(top)):
+                triple = (top[i], top[j], top[k])
+                if matrix.n_common_tasks(*triple) >= min_common:
+                    return triple
+    raise RuntimeError("no sufficiently overlapping triple of graders found")
+
+
+def main() -> None:
+    matrix = load_dataset("mooc")
+    print(
+        f"MOOC peer grading stand-in: {matrix.n_workers} graders, "
+        f"{matrix.n_tasks} assignments, {matrix.arity} grade levels\n"
+    )
+    triple = pick_overlapping_triple(matrix)
+    common = matrix.n_common_tasks(*triple)
+    print(f"auditing graders {triple} ({common} assignments graded by all three)\n")
+
+    estimates = evaluate_kary_workers(matrix, confidence=CONFIDENCE, workers=triple)
+
+    for grader, estimate in estimates.items():
+        print(f"grader {grader}:")
+        empirical = matrix.empirical_confusion_matrix(grader)
+        for true_label in range(matrix.arity):
+            cells = []
+            for response in range(matrix.arity):
+                interval = estimate.interval(true_label, response)
+                cells.append(
+                    f"{GRADE_NAMES[response]}: {interval.mean:.2f} "
+                    f"[{interval.lower:.2f},{interval.upper:.2f}]"
+                )
+            gold_row = ", ".join(
+                f"{empirical[true_label, response]:.2f}" for response in range(matrix.arity)
+            )
+            print(
+                f"  true={GRADE_NAMES[true_label]:<5} -> "
+                + " | ".join(cells)
+                + f"   (empirical vs staff grades: {gold_row})"
+            )
+        accuracy = 1.0 - estimate.mean_error_rate()
+        print(f"  implied overall accuracy: {accuracy:.2f}\n")
+
+    print(
+        "Reading the output: each row is the grader's behaviour when the true "
+        "grade is 'fail'/'pass'/'good'; a lenient grader shows probability "
+        "mass to the right of the diagonal.  The intervals say how sure we "
+        "can be of that bias without any staff grades."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: confidence intervals on worker error rates without gold labels.
+
+The scenario mirrors the paper's introduction: a requester has a pool of
+crowd workers who each answered *some* of a batch of binary tasks (non-regular
+data), and wants to know each worker's error rate — with a guarantee, so that
+a worker is only fired when the evidence is strong.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import evaluate_workers
+from repro.simulation import simulate_binary_responses
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+
+    # Simulate a small crowd: 7 workers, 200 binary tasks, each worker
+    # answering ~80% of the tasks.  True error rates are drawn from the
+    # paper's palette {0.1, 0.2, 0.3} and are NOT shown to the estimator.
+    matrix, true_error_rates = simulate_binary_responses(
+        n_workers=7, n_tasks=200, rng=rng, density=0.8
+    )
+    print(f"data: {matrix.n_workers} workers, {matrix.n_tasks} tasks, "
+          f"density {matrix.density:.2f} (non-regular)\n")
+
+    # Confidence intervals at the 90% level, using only worker agreements.
+    estimates = evaluate_workers(matrix, confidence=0.9)
+
+    header = f"{'worker':>6} {'tasks':>6} {'interval':>22} {'point':>7} {'truth':>7} {'covers?':>8}"
+    print(header)
+    print("-" * len(header))
+    for worker in sorted(estimates):
+        estimate = estimates[worker]
+        interval = estimate.interval
+        truth = true_error_rates[worker]
+        covered = "yes" if interval.contains(truth) else "NO"
+        print(
+            f"{worker:>6} {estimate.n_tasks:>6} "
+            f"[{interval.lower:.3f}, {interval.upper:.3f}]".rjust(29)
+            + f" {interval.mean:>7.3f} {truth:>7.3f} {covered:>8}"
+        )
+
+    sizes = [estimates[w].interval.size for w in estimates]
+    print(f"\nmean interval size at c=0.9: {np.mean(sizes):.3f}")
+    print("(the paper's contribution is making these intervals as tight as "
+          "possible while keeping the stated coverage)")
+
+
+if __name__ == "__main__":
+    main()

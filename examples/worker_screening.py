@@ -1,0 +1,74 @@
+"""Worker screening: firing decisions with intervals vs point estimates.
+
+The paper's introduction motivates confidence intervals with a staffing
+problem: a worker who got 1 of 3 tasks wrong and a worker who got 10 of 30
+wrong have the same point estimate (1/3), but only the second should be
+fired with any confidence.  This example runs the hire/fire simulation from
+:mod:`repro.workforce` under two policies:
+
+* a point-estimate policy that fires whenever the estimated error rate
+  exceeds the threshold, and
+* the interval policy that fires only when the interval's lower bound
+  exceeds the threshold.
+
+The interval policy fires far fewer *good* workers while still weeding out
+the bad ones.
+
+Run with:  python examples/worker_screening.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workforce import (
+    IntervalFiringPolicy,
+    PointEstimateFiringPolicy,
+    simulate_worker_pool,
+)
+
+THRESHOLD = 0.25
+ROUNDS = 6
+SEED = 7
+
+
+def run(policy, label: str, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    result = simulate_worker_pool(
+        policy,
+        rng,
+        n_workers=9,
+        tasks_per_round=80,
+        n_rounds=ROUNDS,
+        density=0.8,
+        confidence=0.9,
+        good_threshold=THRESHOLD,
+    )
+    print(f"{label}")
+    print(f"  mean true error rate of final pool : {result.mean_final_error_rate:.3f}")
+    print(f"  good workers wrongly fired         : {result.fired_good_workers}")
+    print(f"  bad workers correctly fired        : {result.fired_bad_workers}")
+    print(f"  pool quality per round             : "
+          + ", ".join(f"{value:.3f}" for value in result.history))
+    print()
+
+
+def main() -> None:
+    print(f"firing threshold: error rate > {THRESHOLD}, {ROUNDS} rounds\n")
+    run(
+        PointEstimateFiringPolicy(max_error_rate=THRESHOLD),
+        "point-estimate policy (no confidence intervals)",
+        SEED,
+    )
+    run(
+        IntervalFiringPolicy(max_error_rate=THRESHOLD),
+        "interval policy (fire only when the interval proves the worker is bad)",
+        SEED,
+    )
+    print("The interval policy avoids firing good-but-unlucky workers — the cost "
+          "the paper's introduction warns about — at a small price in how fast "
+          "truly bad workers are removed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so the package installs in environments without PEP 660
+support (no `wheel` package available); `pip install -e .` uses
+pyproject.toml when it can, and `python setup.py develop` works offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Baseline and comparator methods.
+
+* :mod:`repro.baselines.old_technique` — the "old technique" of reference [2]
+  (SIGKDD 2013), the comparison target of the paper's Figure 1.
+* :mod:`repro.baselines.majority_vote` — majority-vote aggregation and the
+  disagreement-with-majority error proxy.
+* :mod:`repro.baselines.dawid_skene` — the classical Dawid-Skene EM point
+  estimator (no confidence intervals), representing the EM-based related work.
+* :mod:`repro.baselines.gold_standard` — textbook intervals when gold answers
+  are available (the classical evaluation the introduction starts from).
+"""
+
+from repro.baselines.old_technique import OldTechniqueEstimator, evaluate_workers_old
+from repro.baselines.majority_vote import (
+    majority_vote_labels,
+    majority_disagreement_rates,
+)
+from repro.baselines.dawid_skene import DawidSkeneResult, dawid_skene
+from repro.baselines.gold_standard import gold_standard_intervals
+from repro.baselines.karger_oh_shah import KargerOhShahResult, karger_oh_shah
+from repro.baselines.bootstrap import BootstrapEstimator, bootstrap_intervals
+
+__all__ = [
+    "OldTechniqueEstimator",
+    "evaluate_workers_old",
+    "majority_vote_labels",
+    "majority_disagreement_rates",
+    "DawidSkeneResult",
+    "dawid_skene",
+    "gold_standard_intervals",
+    "KargerOhShahResult",
+    "karger_oh_shah",
+    "BootstrapEstimator",
+    "bootstrap_intervals",
+]

@@ -1,0 +1,162 @@
+"""Bootstrap confidence intervals for worker error rates (comparison baseline).
+
+A natural alternative to the paper's analytical (delta-method) intervals is
+the nonparametric bootstrap: resample tasks with replacement, recompute the
+point estimate of each worker's error rate on every resample, and report
+percentile intervals.  The bootstrap needs no derivative or covariance
+formulas, but each interval costs hundreds of re-estimations — the cost the
+paper's closed-form machinery avoids — and on sparse data its resamples
+frequently lose the overlap the estimator needs.  The ablation bench compares
+coverage, width, and runtime of the two approaches.
+
+The point estimator bootstrapped here is the paper's own agreement-based
+estimate (Eq. (1) aggregated over triples), so the comparison isolates the
+*interval construction* rather than the underlying estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.core.agreement import compute_agreement_statistics
+from repro.core.pairing import form_triples
+from repro.core.three_worker import clamp_agreement, error_rate_from_agreements
+from repro.data.response_matrix import ResponseMatrix
+from repro.types import ConfidenceInterval, EstimateStatus, WorkerErrorEstimate
+
+__all__ = ["BootstrapEstimator", "bootstrap_intervals"]
+
+
+def _point_estimate(matrix: ResponseMatrix, worker: int) -> float | None:
+    """The paper's agreement-based point estimate (uniform triple average)."""
+    stats = compute_agreement_statistics(matrix)
+    candidates = [w for w in range(matrix.n_workers) if w != worker]
+    triples = form_triples(stats, worker, candidates)
+    estimates = []
+    for _, partner_a, partner_b in triples:
+        try:
+            q_ia, _ = clamp_agreement(stats.agreement_rate(worker, partner_a))
+            q_ib, _ = clamp_agreement(stats.agreement_rate(worker, partner_b))
+            q_ab, _ = clamp_agreement(stats.agreement_rate(partner_a, partner_b))
+        except InsufficientDataError:
+            continue
+        estimates.append(error_rate_from_agreements(q_ia, q_ib, q_ab))
+    if not estimates:
+        return None
+    return float(np.clip(np.mean(estimates), 0.0, 1.0))
+
+
+def _resample_tasks(
+    matrix: ResponseMatrix, rng: np.random.Generator
+) -> ResponseMatrix:
+    """Draw tasks with replacement and rebuild a response matrix.
+
+    Each drawn task becomes a new task id, so a task drawn twice contributes
+    two (identical) columns — the standard nonparametric bootstrap over tasks.
+    """
+    drawn = rng.integers(0, matrix.n_tasks, size=matrix.n_tasks)
+    resampled = ResponseMatrix(
+        n_workers=matrix.n_workers, n_tasks=matrix.n_tasks, arity=matrix.arity
+    )
+    for new_task, original_task in enumerate(drawn):
+        for worker, label in matrix.task_responses(int(original_task)).items():
+            resampled.add_response(worker, new_task, label)
+    return resampled
+
+
+@dataclass
+class BootstrapEstimator:
+    """Percentile-bootstrap intervals around the paper's point estimator.
+
+    Parameters
+    ----------
+    confidence:
+        Confidence level of the intervals.
+    n_resamples:
+        Number of bootstrap resamples (each one re-estimates every worker).
+    seed:
+        Seed for the resampling randomness.
+    """
+
+    confidence: float = 0.95
+    n_resamples: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.confidence < 1.0):
+            raise ConfigurationError(
+                f"confidence must lie strictly between 0 and 1, got {self.confidence}"
+            )
+        if self.n_resamples < 10:
+            raise ConfigurationError(
+                f"n_resamples must be at least 10, got {self.n_resamples}"
+            )
+
+    def evaluate_worker(self, matrix: ResponseMatrix, worker: int) -> WorkerErrorEstimate:
+        """Bootstrap interval for one worker."""
+        return self.evaluate_all(matrix, workers=[worker])[worker]
+
+    def evaluate_all(
+        self, matrix: ResponseMatrix, workers: list[int] | None = None
+    ) -> dict[int, WorkerErrorEstimate]:
+        """Bootstrap intervals for the requested workers (all by default)."""
+        if not matrix.is_binary:
+            raise ConfigurationError("the bootstrap baseline handles binary data only")
+        if matrix.n_workers < 3:
+            raise InsufficientDataError("at least 3 workers are required")
+        if workers is None:
+            workers = list(range(matrix.n_workers))
+        rng = np.random.default_rng(self.seed)
+        samples: dict[int, list[float]] = {worker: [] for worker in workers}
+        for _ in range(self.n_resamples):
+            resampled = _resample_tasks(matrix, rng)
+            for worker in workers:
+                estimate = _point_estimate(resampled, worker)
+                if estimate is not None:
+                    samples[worker].append(estimate)
+
+        alpha = 1.0 - self.confidence
+        results: dict[int, WorkerErrorEstimate] = {}
+        for worker in workers:
+            values = np.asarray(samples[worker])
+            point = _point_estimate(matrix, worker)
+            if values.size < 10 or point is None:
+                interval = ConfidenceInterval(
+                    mean=0.25, lower=0.0, upper=1.0,
+                    confidence=self.confidence, deviation=1.0,
+                )
+                status = EstimateStatus.DEGENERATE
+            else:
+                lower = float(np.quantile(values, alpha / 2.0))
+                upper = float(np.quantile(values, 1.0 - alpha / 2.0))
+                interval = ConfidenceInterval(
+                    mean=point,
+                    lower=min(lower, point),
+                    upper=max(upper, point),
+                    confidence=self.confidence,
+                    deviation=float(values.std()),
+                )
+                status = EstimateStatus.OK
+            results[worker] = WorkerErrorEstimate(
+                worker=worker,
+                interval=interval,
+                n_tasks=matrix.n_tasks_of(worker),
+                status=status,
+            )
+        return results
+
+
+def bootstrap_intervals(
+    matrix: ResponseMatrix,
+    confidence: float,
+    n_resamples: int = 200,
+    seed: int = 0,
+) -> dict[int, WorkerErrorEstimate]:
+    """One-call wrapper around :class:`BootstrapEstimator`."""
+    estimator = BootstrapEstimator(
+        confidence=confidence, n_resamples=n_resamples, seed=seed
+    )
+    return estimator.evaluate_all(matrix)

@@ -1,0 +1,73 @@
+"""Gold-standard worker evaluation (the classical approach).
+
+When gold answers exist, a worker's error rate is a plain binomial proportion
+and textbook intervals apply.  This module is the "what the paper replaces"
+baseline: it needs gold answers the paper's methods do without, but when
+gold is available it is the tightest interval one can hope for, so it serves
+as a lower bound in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.data.response_matrix import ResponseMatrix
+from repro.stats.intervals import wald_interval, wilson_interval
+from repro.types import ConfidenceInterval, EstimateStatus, WorkerErrorEstimate
+
+__all__ = ["gold_standard_intervals"]
+
+_METHODS = {"wald": wald_interval, "wilson": wilson_interval}
+
+
+def gold_standard_intervals(
+    matrix: ResponseMatrix,
+    confidence: float,
+    method: str = "wilson",
+) -> dict[int, WorkerErrorEstimate]:
+    """Error-rate intervals computed directly against gold labels.
+
+    Parameters
+    ----------
+    matrix:
+        Response data with gold labels on (at least some) tasks.
+    confidence:
+        Confidence level of the intervals.
+    method:
+        ``"wilson"`` (default) or ``"wald"``.
+
+    Returns
+    -------
+    dict
+        Worker id -> :class:`WorkerErrorEstimate`.  Workers who answered no
+        gold-labelled task are omitted.
+    """
+    if method not in _METHODS:
+        raise ConfigurationError(
+            f"unknown interval method '{method}'; expected one of {sorted(_METHODS)}"
+        )
+    if not matrix.has_gold:
+        raise InsufficientDataError(
+            "gold_standard_intervals requires gold labels on the matrix"
+        )
+    interval_fn = _METHODS[method]
+    results: dict[int, WorkerErrorEstimate] = {}
+    for worker in range(matrix.n_workers):
+        wrong = 0
+        judged = 0
+        for task, label in matrix.worker_responses(worker).items():
+            gold = matrix.gold_label(task)
+            if gold is None:
+                continue
+            judged += 1
+            if label != gold:
+                wrong += 1
+        if judged == 0:
+            continue
+        interval: ConfidenceInterval = interval_fn(wrong, judged, confidence)
+        results[worker] = WorkerErrorEstimate(
+            worker=worker,
+            interval=interval,
+            n_tasks=judged,
+            status=EstimateStatus.OK,
+        )
+    return results

@@ -1,0 +1,72 @@
+"""Majority-vote aggregation.
+
+Majority vote is both the simplest label-aggregation baseline and the
+ingredient of the paper's spammer filter (Section III-E2): a worker's
+disagreement with the majority is a cheap proxy for their error rate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.exceptions import InsufficientDataError
+from repro.data.response_matrix import ResponseMatrix
+
+__all__ = ["majority_vote_labels", "majority_disagreement_rates", "majority_accuracy"]
+
+
+def majority_vote_labels(
+    matrix: ResponseMatrix,
+    rng: np.random.Generator | None = None,
+) -> dict[int, int]:
+    """Most common response per task; ties broken at random (or lowest label).
+
+    Tasks nobody answered are absent from the result.
+    """
+    labels: dict[int, int] = {}
+    for task in range(matrix.n_tasks):
+        responses = matrix.task_responses(task)
+        if not responses:
+            continue
+        votes = Counter(responses.values())
+        top_count = max(votes.values())
+        top_labels = sorted(label for label, count in votes.items() if count == top_count)
+        if len(top_labels) == 1 or rng is None:
+            labels[task] = top_labels[0]
+        else:
+            labels[task] = int(rng.choice(top_labels))
+    return labels
+
+
+def majority_disagreement_rates(matrix: ResponseMatrix) -> dict[int, float | None]:
+    """Per-worker fraction of tasks where they disagree with the others' majority.
+
+    Workers with no co-attempted task map to None.
+    """
+    rates: dict[int, float | None] = {}
+    for worker in range(matrix.n_workers):
+        try:
+            rates[worker] = matrix.disagreement_with_majority(worker)
+        except InsufficientDataError:
+            rates[worker] = None
+    return rates
+
+
+def majority_accuracy(matrix: ResponseMatrix) -> float:
+    """Fraction of gold-labelled tasks the majority vote answers correctly."""
+    if not matrix.has_gold:
+        raise InsufficientDataError("majority_accuracy requires gold labels")
+    labels = majority_vote_labels(matrix)
+    judged = 0
+    correct = 0
+    for task, gold in matrix.gold_labels.items():
+        if task not in labels:
+            continue
+        judged += 1
+        if labels[task] == gold:
+            correct += 1
+    if judged == 0:
+        raise InsufficientDataError("no gold-labelled task has any response")
+    return correct / judged

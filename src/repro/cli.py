@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``repro-crowd evaluate`` — compute confidence intervals for every worker in
+  a response CSV (``worker,task,label`` rows; optional gold CSV), printing a
+  table and optionally inferring task labels.
+* ``repro-crowd datasets`` — list the bundled dataset stand-ins.
+* ``repro-crowd figure`` — regenerate one of the paper's figures and print
+  the series (the same output the benchmark suite produces).
+
+Run ``python -m repro.cli --help`` (or install the ``repro-crowd`` entry
+point) for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.estimator import WorkerEvaluator
+from repro.core.task_inference import infer_binary_labels, label_accuracy
+from repro.data.loaders import load_response_matrix_csv
+from repro.data.registry import DATASET_REGISTRY, load_dataset
+from repro.evaluation import experiments as experiment_module
+from repro.evaluation.reporting import format_experiment, format_table
+from repro.exceptions import CrowdAssessmentError
+from repro.types import EstimateStatus
+
+__all__ = ["main", "build_parser"]
+
+#: figure name -> experiment function (all take only keyword arguments we pass).
+FIGURE_FUNCTIONS = {
+    "fig1": experiment_module.figure1_old_vs_new,
+    "fig2a": experiment_module.figure2a_accuracy,
+    "fig2b": experiment_module.figure2b_density,
+    "fig2c": experiment_module.figure2c_weight_optimization,
+    "fig3": experiment_module.figure3_real_data_accuracy,
+    "fig4": experiment_module.figure4_spammer_filtered_accuracy,
+    "fig5a": experiment_module.figure5a_kary_accuracy,
+    "fig5b": experiment_module.figure5b_kary_density,
+    "fig5c": experiment_module.figure5c_kary_real_data,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-crowd",
+        description="Confidence intervals on crowd-worker quality "
+        "(reproduction of Joglekar et al., ICDE 2015).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate workers from a response CSV"
+    )
+    evaluate.add_argument(
+        "responses",
+        nargs="?",
+        default=None,
+        help="CSV with worker,task,label columns (omit when using --dataset)",
+    )
+    evaluate.add_argument("--gold", help="optional CSV with task,label gold answers")
+    evaluate.add_argument(
+        "--confidence", type=float, default=0.9, help="confidence level (default 0.9)"
+    )
+    evaluate.add_argument(
+        "--remove-spammers",
+        action="store_true",
+        help="prune near-spammers before estimating (Section III-E2)",
+    )
+    evaluate.add_argument(
+        "--infer-labels",
+        action="store_true",
+        help="also infer task labels using the estimated error rates "
+        "(binary data only)",
+    )
+    evaluate.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_REGISTRY),
+        help="evaluate a bundled dataset stand-in instead of a CSV "
+        "(the positional argument is ignored)",
+    )
+
+    datasets = subparsers.add_parser(
+        "datasets", help="list the bundled dataset stand-ins"
+    )
+    datasets.add_argument(
+        "--verbose", action="store_true", help="include dimensions and figures"
+    )
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate one figure of the paper"
+    )
+    figure.add_argument("name", choices=sorted(FIGURE_FUNCTIONS), help="figure id")
+    figure.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override the repetition count (smaller = faster, noisier)",
+    )
+    return parser
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        matrix = load_dataset(args.dataset)
+    elif args.responses is None:
+        print("error: provide a response CSV or --dataset", file=sys.stderr)
+        return 2
+    else:
+        matrix = load_response_matrix_csv(args.responses, gold_path=args.gold)
+    evaluator = WorkerEvaluator(
+        confidence=args.confidence, remove_spammers=args.remove_spammers
+    )
+    if not matrix.is_binary:
+        print(
+            f"data has arity {matrix.arity}; evaluating the first triple of "
+            "workers with the k-ary estimator"
+        )
+        estimates = evaluator.evaluate_kary(matrix, workers=(0, 1, 2))
+        for worker, estimate in estimates.items():
+            print(f"\nworker {worker} (response-probability matrix, point estimates):")
+            for row in estimate.point_matrix():
+                print("  " + "  ".join(f"{value:.3f}" for value in row))
+        return 0
+
+    estimates = evaluator.evaluate_binary(matrix)
+    header = ["worker", "tasks", "lower", "point", "upper", "status"]
+    rows = []
+    for worker in sorted(estimates):
+        estimate = estimates[worker]
+        rows.append(
+            [
+                str(worker),
+                str(estimate.n_tasks),
+                f"{estimate.interval.lower:.3f}",
+                f"{estimate.interval.mean:.3f}",
+                f"{estimate.interval.upper:.3f}",
+                estimate.status.value,
+            ]
+        )
+    print(format_table(header, rows))
+
+    if args.infer_labels:
+        usable = {
+            worker: estimate
+            for worker, estimate in estimates.items()
+            if estimate.status is not EstimateStatus.DEGENERATE
+        }
+        labels = infer_binary_labels(matrix, usable)
+        print(f"\ninferred labels for {len(labels)} tasks")
+        if matrix.has_gold:
+            print(f"accuracy against gold labels: {label_accuracy(matrix, labels):.3f}")
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    if not args.verbose:
+        for name in sorted(DATASET_REGISTRY):
+            print(name)
+        return 0
+    header = ["name", "arity", "figures", "description"]
+    rows = [
+        [spec.name, str(spec.arity), ",".join(spec.used_in), spec.description]
+        for spec in DATASET_REGISTRY.values()
+    ]
+    print(format_table(header, rows))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    function = FIGURE_FUNCTIONS[args.name]
+    kwargs = {}
+    if args.repetitions is not None:
+        # Every simulated figure accepts n_repetitions; the real-data figures
+        # (fig3/fig4/fig5c) are deterministic per dataset and ignore it.
+        if "n_repetitions" in function.__code__.co_varnames:
+            kwargs["n_repetitions"] = args.repetitions
+    result = function(**kwargs)
+    print(format_experiment(result))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "evaluate":
+            return _command_evaluate(args)
+        if args.command == "datasets":
+            return _command_datasets(args)
+        if args.command == "figure":
+            return _command_figure(args)
+    except CrowdAssessmentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

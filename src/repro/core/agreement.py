@@ -1,0 +1,93 @@
+"""Pairwise agreement statistics over a :class:`ResponseMatrix`.
+
+The binary algorithms are driven entirely by three kinds of quantities:
+
+* ``q_ij`` — the empirical agreement rate of workers ``i`` and ``j`` over the
+  tasks they both attempted,
+* ``c_ij`` — the number of tasks both attempted,
+* ``c_ijk`` — the number of tasks all three of ``i``, ``j``, ``k`` attempted.
+
+:class:`AgreementStatistics` caches these for a fixed set of workers so the
+m-worker estimator (which revisits many overlapping triples) does not
+recompute them from the raw responses each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataValidationError, InsufficientDataError
+from repro.data.response_matrix import ResponseMatrix
+
+__all__ = ["AgreementStatistics", "compute_agreement_statistics"]
+
+
+def _pair_key(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def _triple_key(a: int, b: int, c: int) -> tuple[int, int, int]:
+    return tuple(sorted((a, b, c)))  # type: ignore[return-value]
+
+
+@dataclass
+class AgreementStatistics:
+    """Cached agreement rates and co-attempt counts for one response matrix.
+
+    The cache is lazy: a pair or triple is computed the first time it is
+    requested and memoized afterwards.
+    """
+
+    matrix: ResponseMatrix
+    _pair_cache: dict[tuple[int, int], tuple[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    _triple_cache: dict[tuple[int, int, int], int] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _pair(self, a: int, b: int) -> tuple[int, int]:
+        """(common task count, agreement count) for a pair, cached."""
+        if a == b:
+            raise DataValidationError("agreement requires two distinct workers")
+        key = _pair_key(a, b)
+        if key not in self._pair_cache:
+            stats = self.matrix.pair_statistics(*key)
+            self._pair_cache[key] = (stats.common_tasks, stats.agreements)
+        return self._pair_cache[key]
+
+    def common_count(self, a: int, b: int) -> int:
+        """``c_ab`` — number of tasks attempted by both workers."""
+        return self._pair(a, b)[0]
+
+    def agreement_count(self, a: int, b: int) -> int:
+        """Number of common tasks on which the two workers agree."""
+        return self._pair(a, b)[1]
+
+    def agreement_rate(self, a: int, b: int) -> float:
+        """``q_ab`` — empirical agreement rate over common tasks."""
+        common, agreements = self._pair(a, b)
+        if common == 0:
+            raise InsufficientDataError(
+                f"workers {a} and {b} share no common task; "
+                "agreement rate is undefined"
+            )
+        return agreements / common
+
+    def has_overlap(self, a: int, b: int, minimum: int = 1) -> bool:
+        """True if the pair shares at least ``minimum`` common tasks."""
+        return self.common_count(a, b) >= minimum
+
+    def triple_common_count(self, a: int, b: int, c: int) -> int:
+        """``c_abc`` — number of tasks attempted by all three workers."""
+        if len({a, b, c}) != 3:
+            raise DataValidationError("triple counts require three distinct workers")
+        key = _triple_key(a, b, c)
+        if key not in self._triple_cache:
+            self._triple_cache[key] = self.matrix.n_common_tasks(*key)
+        return self._triple_cache[key]
+
+
+def compute_agreement_statistics(matrix: ResponseMatrix) -> AgreementStatistics:
+    """Build an :class:`AgreementStatistics` cache for ``matrix``."""
+    return AgreementStatistics(matrix=matrix)

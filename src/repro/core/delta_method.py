@@ -1,0 +1,136 @@
+"""Theorem 1: the multivariate delta method for confidence intervals.
+
+The paper's Theorem 1 states that if ``Y = f(X_1, ..., X_k)`` for
+approximately normal ``X_i`` with means ``e_i`` and covariances ``c_ij``, and
+``f`` is locally linear with coefficients ``d_i`` (its partial derivatives),
+then::
+
+    E[Y]   = f(e_1, ..., e_k)
+    Dev(Y) = sqrt( sum_i sum_j d_i d_j c_ij )
+    CI(Y, c) = [E[Y] - z_t Dev(Y),  E[Y] + z_t Dev(Y)],  t = (1 + c) / 2
+
+Every confidence interval in the library — binary or k-ary — is produced by
+this one engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stats.normal import two_sided_z
+from repro.types import ConfidenceInterval
+
+__all__ = ["DeltaMethodModel", "confidence_interval_from_moments"]
+
+
+def confidence_interval_from_moments(
+    mean: float,
+    deviation: float,
+    confidence: float,
+    clip_to_unit: bool = True,
+) -> ConfidenceInterval:
+    """Equation (2) of Theorem 1: turn (mean, deviation) into a c-interval.
+
+    Parameters
+    ----------
+    mean, deviation:
+        Estimator mean and standard deviation.
+    confidence:
+        Confidence level ``c`` in ``(0, 1)``.
+    clip_to_unit:
+        Clip the interval (and mean) to ``[0, 1]``, appropriate for
+        probability parameters such as error rates.
+    """
+    if deviation < 0.0 or not math.isfinite(deviation):
+        raise ConfigurationError(
+            f"deviation must be finite and non-negative, got {deviation}"
+        )
+    z = two_sided_z(confidence)
+    half = z * deviation
+    interval = ConfidenceInterval(
+        mean=mean,
+        lower=mean - half,
+        upper=mean + half,
+        confidence=confidence,
+        deviation=deviation,
+    )
+    return interval.clipped() if clip_to_unit else interval
+
+
+@dataclass
+class DeltaMethodModel:
+    """A locally-linear function of approximately normal inputs.
+
+    Attributes
+    ----------
+    value:
+        ``f(e_1, ..., e_k)`` — the point estimate.
+    gradient:
+        Length-k vector of partial derivatives ``d_i``.
+    covariance:
+        ``k x k`` covariance matrix of the inputs.
+    """
+
+    value: float
+    gradient: np.ndarray
+    covariance: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.gradient = np.asarray(self.gradient, dtype=float).reshape(-1)
+        self.covariance = np.asarray(self.covariance, dtype=float)
+        k = self.gradient.size
+        if self.covariance.shape != (k, k):
+            raise ConfigurationError(
+                f"covariance must be {k}x{k} to match the gradient, "
+                f"got shape {self.covariance.shape}"
+            )
+        if not np.all(np.isfinite(self.gradient)):
+            raise ConfigurationError("gradient contains non-finite entries")
+        if not np.all(np.isfinite(self.covariance)):
+            raise ConfigurationError("covariance contains non-finite entries")
+
+    @property
+    def variance(self) -> float:
+        """``sum_ij d_i d_j c_ij``, floored at zero against round-off."""
+        raw = float(self.gradient @ self.covariance @ self.gradient)
+        return max(raw, 0.0)
+
+    @property
+    def deviation(self) -> float:
+        """Standard deviation of the output estimator."""
+        return math.sqrt(self.variance)
+
+    def interval(self, confidence: float, clip_to_unit: bool = True) -> ConfidenceInterval:
+        """The c-confidence interval for the output (Equation (2))."""
+        return confidence_interval_from_moments(
+            self.value, self.deviation, confidence, clip_to_unit=clip_to_unit
+        )
+
+    @classmethod
+    def linear_combination(
+        cls,
+        values: np.ndarray,
+        weights: np.ndarray,
+        covariance: np.ndarray,
+    ) -> "DeltaMethodModel":
+        """Model for ``Y = sum_k a_k X_k`` (Algorithm A2, Step 3).
+
+        For a linear function the gradient is simply the weight vector, so the
+        delta method is exact (no local-linearity approximation needed).
+        """
+        values = np.asarray(values, dtype=float).reshape(-1)
+        weights = np.asarray(weights, dtype=float).reshape(-1)
+        if values.shape != weights.shape:
+            raise ConfigurationError(
+                f"values and weights must have equal length, "
+                f"got {values.size} and {weights.size}"
+            )
+        return cls(
+            value=float(weights @ values),
+            gradient=weights,
+            covariance=covariance,
+        )

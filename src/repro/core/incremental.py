@@ -1,0 +1,167 @@
+"""Incremental worker evaluation.
+
+The paper's conclusion notes that the methods "can be easily modified to be
+incremental, to keep efficiently updating worker error rates as more tasks
+get done."  This module provides that mode of operation: an
+:class:`IncrementalEvaluator` accepts responses one at a time (or in
+batches), maintains the response store, and recomputes confidence intervals
+on demand — only for the workers whose data actually changed since the last
+computation, which is the efficient path when a stream of task completions
+trickles in.
+
+The estimates themselves are identical to running the batch estimator on the
+accumulated data (the class delegates to :class:`MWorkerEstimator`); the
+value added is the bookkeeping of what changed and the per-worker caching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.core.agreement import compute_agreement_statistics
+from repro.core.m_worker import MWorkerEstimator
+from repro.data.response_matrix import ResponseMatrix
+from repro.types import WorkerErrorEstimate
+
+__all__ = ["IncrementalEvaluator"]
+
+
+class IncrementalEvaluator:
+    """Streaming wrapper around the m-worker binary estimator.
+
+    Parameters
+    ----------
+    n_workers, n_tasks:
+        Dimensions of the response matrix being filled in over time.  Tasks
+        can be added lazily beyond ``n_tasks`` via :meth:`extend_tasks`.
+    confidence:
+        Confidence level of the produced intervals.
+    optimize_weights:
+        Passed through to :class:`MWorkerEstimator`.
+
+    Notes
+    -----
+    Estimates are cached per worker.  Adding a response from worker ``w`` on
+    task ``t`` invalidates the cache of ``w`` and of every other worker who
+    answered ``t`` (their agreement rates with ``w`` changed), but leaves the
+    rest untouched — on sparse streams most cached intervals survive.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        n_tasks: int,
+        confidence: float = 0.95,
+        optimize_weights: bool = True,
+    ) -> None:
+        if n_workers < 3:
+            raise ConfigurationError(
+                "incremental evaluation needs at least 3 workers to ever produce "
+                "an estimate"
+            )
+        self._matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=2)
+        self._estimator = MWorkerEstimator(
+            confidence=confidence, optimize_weights=optimize_weights
+        )
+        self._cache: dict[int, WorkerErrorEstimate] = {}
+        self._dirty: set[int] = set(range(n_workers))
+        self._responses_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Data ingestion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def matrix(self) -> ResponseMatrix:
+        """The accumulated response data (do not mutate directly)."""
+        return self._matrix
+
+    @property
+    def n_responses(self) -> int:
+        """Number of responses ingested so far."""
+        return self._responses_seen
+
+    @property
+    def dirty_workers(self) -> set[int]:
+        """Workers whose cached estimate is stale (or missing)."""
+        return set(self._dirty)
+
+    def extend_tasks(self, additional_tasks: int) -> None:
+        """Grow the task space (e.g. when a new batch of tasks is published)."""
+        if additional_tasks <= 0:
+            raise ConfigurationError(
+                f"additional_tasks must be positive, got {additional_tasks}"
+            )
+        extended = ResponseMatrix(
+            n_workers=self._matrix.n_workers,
+            n_tasks=self._matrix.n_tasks + additional_tasks,
+            arity=2,
+        )
+        for worker, task, label in self._matrix.iter_responses():
+            extended.add_response(worker, task, label)
+        for task, label in self._matrix.gold_labels.items():
+            extended.set_gold_label(task, label)
+        self._matrix = extended
+
+    def add_response(self, worker: int, task: int, label: int) -> None:
+        """Ingest one response and invalidate the affected caches."""
+        affected = set(self._matrix.workers_of(task))
+        self._matrix.add_response(worker, task, label)
+        self._responses_seen += 1
+        self._dirty.add(worker)
+        self._dirty.update(affected)
+
+    def add_responses(self, records: Iterable[tuple[int, int, int]]) -> int:
+        """Ingest a batch of ``(worker, task, label)`` records; returns the count."""
+        count = 0
+        for worker, task, label in records:
+            self.add_response(worker, task, label)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, worker: int, force: bool = False) -> WorkerErrorEstimate:
+        """Current confidence interval for one worker.
+
+        Cached results are reused unless the worker's data changed (or
+        ``force`` is set).
+        """
+        if worker in self._cache and worker not in self._dirty and not force:
+            return self._cache[worker]
+        if self._matrix.n_tasks_of(worker) == 0:
+            raise InsufficientDataError(
+                f"worker {worker} has no responses yet; nothing to estimate"
+            )
+        estimate = self._estimator.evaluate_worker(self._matrix, worker)
+        self._cache[worker] = estimate
+        self._dirty.discard(worker)
+        return estimate
+
+    def estimate_all(self, force: bool = False) -> dict[int, WorkerErrorEstimate]:
+        """Current intervals for every worker that has any responses.
+
+        Workers with unchanged data are served from the cache; the rest are
+        recomputed sharing one agreement-statistics cache.
+        """
+        results: dict[int, WorkerErrorEstimate] = {}
+        to_recompute = [
+            worker
+            for worker in range(self._matrix.n_workers)
+            if self._matrix.n_tasks_of(worker) > 0
+            and (force or worker in self._dirty or worker not in self._cache)
+        ]
+        if to_recompute:
+            stats = compute_agreement_statistics(self._matrix)
+            for worker in to_recompute:
+                self._cache[worker] = self._estimator.evaluate_worker(
+                    self._matrix, worker, stats=stats
+                )
+                self._dirty.discard(worker)
+        for worker in range(self._matrix.n_workers):
+            if worker in self._cache:
+                results[worker] = self._cache[worker]
+        return results

@@ -1,0 +1,301 @@
+"""Algorithm A2: m-worker binary non-regular confidence intervals.
+
+For each worker ``w_i``:
+
+1. the remaining workers are paired up (Section III-C1, greedy by default),
+   each pair plus ``w_i`` forming a triple;
+2. the 3-worker procedure of Section III-B is run on every triple, producing
+   an estimate ``p_{k,i}``, its deviation ``Dev_{k,i}`` and the partial
+   derivatives of the estimate with respect to the agreement rates of ``w_i``
+   with its two partners;
+3. the cross-triple covariances of the estimates are computed (Lemma 4), the
+   minimum-variance weights are obtained (Lemma 5, or uniform weights), and
+   Theorem 1 applied to the weighted combination yields the final interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
+from repro.core.delta_method import DeltaMethodModel
+from repro.core.pairing import form_triples
+from repro.core.three_worker import (
+    MIN_AGREEMENT_MARGIN,
+    clamp_agreement,
+    evaluate_worker_in_triple,
+    smoothed_variance_rate,
+)
+from repro.core.weights import optimal_weights, uniform_weights
+from repro.data.response_matrix import ResponseMatrix
+from repro.types import (
+    ConfidenceInterval,
+    EstimateStatus,
+    TripleEstimate,
+    WorkerErrorEstimate,
+)
+
+__all__ = ["MWorkerEstimator", "evaluate_worker", "evaluate_all_workers"]
+
+
+def _pair_covariance_term(
+    stats: AgreementStatistics,
+    worker: int,
+    partner_a: int,
+    partner_b: int,
+    p_worker: float,
+    clamp_margin: float,
+) -> float:
+    """The quantity ``C(i, j, j')`` of Lemma 4.
+
+    ``C(i, j, j') = c_ijj' * p_i (1 - p_i) (2 q_jj' - 1) / (c_ij * c_ij')``.
+    When the two partners share no task, ``c_ijj' = 0`` and the term vanishes.
+    """
+    if partner_a == partner_b:
+        # Same partner appears in both triples: the shared agreement rate is
+        # identical, so the covariance term is Var(Q_{i,j}).
+        c_ij = stats.common_count(worker, partner_a)
+        q_ij, _ = clamp_agreement(stats.agreement_rate(worker, partner_a), clamp_margin)
+        q_var = smoothed_variance_rate(q_ij, c_ij)
+        return q_var * (1.0 - q_var) / c_ij
+    c_triple = stats.triple_common_count(worker, partner_a, partner_b)
+    if c_triple == 0:
+        return 0.0
+    c_ia = stats.common_count(worker, partner_a)
+    c_ib = stats.common_count(worker, partner_b)
+    if stats.common_count(partner_a, partner_b) == 0:
+        return 0.0
+    q_ab, _ = clamp_agreement(stats.agreement_rate(partner_a, partner_b), clamp_margin)
+    return c_triple * p_worker * (1.0 - p_worker) * (2.0 * q_ab - 1.0) / (c_ia * c_ib)
+
+
+def _cross_triple_covariance(
+    stats: AgreementStatistics,
+    worker: int,
+    triple_a: TripleEstimate,
+    triple_b: TripleEstimate,
+    p_worker: float,
+    clamp_margin: float,
+) -> float:
+    """Lemma 4: covariance between the estimates from two different triples.
+
+    Only the agreement rates involving the evaluated worker contribute: the
+    partners' mutual agreement rates live on disjoint worker pairs across
+    triples and are therefore uncorrelated under the model.
+    """
+    total = 0.0
+    for partner_a, derivative_a in triple_a.derivatives.items():
+        for partner_b, derivative_b in triple_b.derivatives.items():
+            term = _pair_covariance_term(
+                stats, worker, partner_a, partner_b, p_worker, clamp_margin
+            )
+            total += derivative_a * derivative_b * term
+    return total
+
+
+@dataclass
+class MWorkerEstimator:
+    """Configurable m-worker binary estimator (Algorithm A2).
+
+    Parameters
+    ----------
+    confidence:
+        Confidence level ``c`` of the produced intervals.
+    optimize_weights:
+        Use Lemma 5's minimum-variance weights (True, the paper's default) or
+        uniform weights (False, the Fig 2(c) ablation).
+    pairing_strategy:
+        ``"greedy"`` (Section III-C1) or ``"random"`` (ablation).
+    clamp_margin:
+        Numerical guard keeping agreement rates away from the Eq. (1)
+        singularity at 1/2.
+    min_overlap:
+        Minimum number of common tasks required between members of a triple.
+    rng:
+        Only needed for the random pairing strategy.
+    """
+
+    confidence: float = 0.95
+    optimize_weights: bool = True
+    pairing_strategy: str = "greedy"
+    clamp_margin: float = MIN_AGREEMENT_MARGIN
+    min_overlap: int = 1
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.confidence < 1.0):
+            raise ConfigurationError(
+                f"confidence must lie strictly between 0 and 1, got {self.confidence}"
+            )
+        if self.min_overlap < 1:
+            raise ConfigurationError(
+                f"min_overlap must be at least 1, got {self.min_overlap}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate_worker(
+        self,
+        matrix: ResponseMatrix,
+        worker: int,
+        stats: AgreementStatistics | None = None,
+    ) -> WorkerErrorEstimate:
+        """Confidence interval for one worker's error rate."""
+        if not matrix.is_binary:
+            raise ConfigurationError(
+                "the m-worker estimator handles binary data; use the k-ary "
+                "estimator for higher arities"
+            )
+        if matrix.n_workers < 3:
+            raise InsufficientDataError(
+                "at least 3 workers are required to estimate error rates "
+                "without a gold standard"
+            )
+        if stats is None:
+            stats = compute_agreement_statistics(matrix)
+        candidates = [w for w in range(matrix.n_workers) if w != worker]
+        triples = form_triples(
+            stats,
+            worker,
+            candidates,
+            strategy=self.pairing_strategy,
+            rng=self.rng,
+            min_overlap=self.min_overlap,
+        )
+        if not triples:
+            return self._degenerate_estimate(matrix, worker)
+
+        triple_estimates: list[TripleEstimate] = []
+        worst_status = EstimateStatus.OK
+        for _, partner_a, partner_b in triples:
+            try:
+                result = evaluate_worker_in_triple(
+                    stats, worker, (partner_a, partner_b), clamp_margin=self.clamp_margin
+                )
+            except InsufficientDataError:
+                continue
+            triple_estimates.append(
+                TripleEstimate(
+                    worker=worker,
+                    partners=(partner_a, partner_b),
+                    error_rate=result.error_rate,
+                    deviation=result.deviation,
+                    derivatives=result.derivative_by_partner,
+                    status=result.status,
+                )
+            )
+            if result.status is EstimateStatus.CLAMPED:
+                worst_status = EstimateStatus.CLAMPED
+        if not triple_estimates:
+            return self._degenerate_estimate(matrix, worker)
+
+        interval, weights = self._aggregate(stats, worker, triple_estimates)
+        return WorkerErrorEstimate(
+            worker=worker,
+            interval=interval,
+            n_tasks=matrix.n_tasks_of(worker),
+            triples=tuple(triple_estimates),
+            weights=tuple(float(w) for w in weights),
+            status=worst_status,
+        )
+
+    def evaluate_all(self, matrix: ResponseMatrix) -> list[WorkerErrorEstimate]:
+        """Confidence intervals for every worker in the matrix."""
+        stats = compute_agreement_statistics(matrix)
+        return [
+            self.evaluate_worker(matrix, worker, stats=stats)
+            for worker in range(matrix.n_workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def _aggregate(
+        self,
+        stats: AgreementStatistics,
+        worker: int,
+        triple_estimates: list[TripleEstimate],
+    ) -> tuple[ConfidenceInterval, np.ndarray]:
+        """Step 3 of Algorithm A2: combine triple estimates via Theorem 1."""
+        n = len(triple_estimates)
+        values = np.array([t.error_rate for t in triple_estimates])
+        # Plug-in error rate of the evaluated worker for Lemma 4's C(i, j, j');
+        # the simple average of the triple estimates is a consistent plug-in.
+        p_plugin = float(np.clip(np.mean(values), 0.0, 0.5))
+        covariance = np.zeros((n, n))
+        for a in range(n):
+            covariance[a, a] = triple_estimates[a].deviation ** 2
+            for b in range(a + 1, n):
+                value = _cross_triple_covariance(
+                    stats,
+                    worker,
+                    triple_estimates[a],
+                    triple_estimates[b],
+                    p_plugin,
+                    self.clamp_margin,
+                )
+                covariance[a, b] = value
+                covariance[b, a] = value
+        if self.optimize_weights:
+            weights = optimal_weights(covariance)
+        else:
+            weights = uniform_weights(n)
+        model = DeltaMethodModel.linear_combination(values, weights, covariance)
+        return model.interval(self.confidence), weights
+
+    def _degenerate_estimate(
+        self, matrix: ResponseMatrix, worker: int
+    ) -> WorkerErrorEstimate:
+        """Trivial full-range interval when no usable triple exists."""
+        interval = ConfidenceInterval(
+            mean=0.25,
+            lower=0.0,
+            upper=1.0,
+            confidence=self.confidence,
+            deviation=1.0,
+        )
+        return WorkerErrorEstimate(
+            worker=worker,
+            interval=interval,
+            n_tasks=matrix.n_tasks_of(worker),
+            triples=(),
+            weights=(),
+            status=EstimateStatus.DEGENERATE,
+        )
+
+
+def evaluate_worker(
+    matrix: ResponseMatrix,
+    worker: int,
+    confidence: float,
+    optimize_weights: bool = True,
+    pairing_strategy: str = "greedy",
+    rng: np.random.Generator | None = None,
+) -> WorkerErrorEstimate:
+    """One-call wrapper around :class:`MWorkerEstimator` for a single worker."""
+    estimator = MWorkerEstimator(
+        confidence=confidence,
+        optimize_weights=optimize_weights,
+        pairing_strategy=pairing_strategy,
+        rng=rng,
+    )
+    return estimator.evaluate_worker(matrix, worker)
+
+
+def evaluate_all_workers(
+    matrix: ResponseMatrix,
+    confidence: float,
+    optimize_weights: bool = True,
+    pairing_strategy: str = "greedy",
+    rng: np.random.Generator | None = None,
+) -> list[WorkerErrorEstimate]:
+    """One-call wrapper around :class:`MWorkerEstimator` for all workers."""
+    estimator = MWorkerEstimator(
+        confidence=confidence,
+        optimize_weights=optimize_weights,
+        pairing_strategy=pairing_strategy,
+        rng=rng,
+    )
+    return estimator.evaluate_all(matrix)

@@ -1,0 +1,127 @@
+"""Triple formation for the m-worker estimator (Section III-C1).
+
+To evaluate worker ``w_i``, Algorithm A2 partitions the remaining workers
+into pairs; each pair plus ``w_i`` forms a triple whose 3-worker estimate is
+later aggregated.  The paper's greedy strategy favours pairs that share many
+tasks with ``w_i`` (good triples), accepting that some triples will be poor —
+the optimal weighting of Lemma 5 then down-weights the poor ones.
+
+A random pairing strategy is also provided for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.agreement import AgreementStatistics
+
+__all__ = ["form_triples", "greedy_pairs", "random_pairs"]
+
+
+def greedy_pairs(
+    stats: AgreementStatistics,
+    target: int,
+    candidates: list[int],
+    min_overlap: int = 1,
+) -> list[tuple[int, int]]:
+    """The paper's greedy pairing of ``candidates`` for evaluating ``target``.
+
+    Candidates are sorted by the number of tasks they share with ``target``
+    (descending).  The best candidate is paired with the first later candidate
+    that shares at least ``min_overlap`` tasks with both ``target`` and the
+    best candidate; both are removed and the process repeats until no valid
+    pair remains.
+    """
+    if target in candidates:
+        raise ConfigurationError("the evaluated worker cannot be its own partner")
+    remaining = sorted(
+        (w for w in candidates if stats.common_count(target, w) >= min_overlap),
+        key=lambda w: -stats.common_count(target, w),
+    )
+    pairs: list[tuple[int, int]] = []
+    while len(remaining) >= 2:
+        first = remaining[0]
+        partner_index = None
+        for index in range(1, len(remaining)):
+            other = remaining[index]
+            if stats.common_count(first, other) >= min_overlap:
+                partner_index = index
+                break
+        if partner_index is None:
+            # Nobody pairs with the best candidate; drop it and continue.
+            remaining.pop(0)
+            continue
+        partner = remaining.pop(partner_index)
+        remaining.pop(0)
+        pairs.append((first, partner))
+    return pairs
+
+
+def random_pairs(
+    stats: AgreementStatistics,
+    target: int,
+    candidates: list[int],
+    rng: np.random.Generator,
+    min_overlap: int = 1,
+) -> list[tuple[int, int]]:
+    """Baseline pairing strategy: shuffle and pair adjacent candidates.
+
+    Pairs violating the overlap requirement (with the target or with each
+    other) are discarded.  Used by the pairing ablation bench to show the
+    value of the greedy strategy.
+    """
+    if target in candidates:
+        raise ConfigurationError("the evaluated worker cannot be its own partner")
+    usable = [w for w in candidates if stats.common_count(target, w) >= min_overlap]
+    shuffled = list(usable)
+    rng.shuffle(shuffled)
+    pairs = []
+    for index in range(0, len(shuffled) - 1, 2):
+        first, second = shuffled[index], shuffled[index + 1]
+        if stats.common_count(first, second) >= min_overlap:
+            pairs.append((first, second))
+    return pairs
+
+
+def form_triples(
+    stats: AgreementStatistics,
+    target: int,
+    candidates: list[int],
+    strategy: str = "greedy",
+    rng: np.random.Generator | None = None,
+    min_overlap: int = 1,
+) -> list[tuple[int, int, int]]:
+    """Form the triples used to evaluate ``target`` (Step 1 of Algorithm A2).
+
+    Parameters
+    ----------
+    stats:
+        Agreement cache over the response matrix.
+    target:
+        The worker being evaluated.
+    candidates:
+        The other workers available as partners.
+    strategy:
+        ``"greedy"`` (the paper's strategy) or ``"random"`` (ablation).
+    rng:
+        Required for the random strategy.
+    min_overlap:
+        Minimum number of common tasks required between every pair inside a
+        triple.
+
+    Returns
+    -------
+    list of triples ``(target, partner_a, partner_b)``.
+    """
+    if strategy == "greedy":
+        pairs = greedy_pairs(stats, target, candidates, min_overlap=min_overlap)
+    elif strategy == "random":
+        if rng is None:
+            raise ConfigurationError("the random pairing strategy requires an rng")
+        pairs = random_pairs(stats, target, candidates, rng, min_overlap=min_overlap)
+    else:
+        raise ConfigurationError(
+            f"unknown pairing strategy '{strategy}'; expected 'greedy' or 'random'"
+        )
+    return [(target, a, b) for a, b in pairs]

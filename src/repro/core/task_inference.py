@@ -1,0 +1,223 @@
+"""Task-label inference from estimated worker quality.
+
+The paper's motivation (Section I, "Crowd Algorithms") is that knowing worker
+quality improves every downstream crowd algorithm.  The most direct payoff is
+label aggregation: once each worker's error rate (binary) or response
+probability matrix (k-ary) has been estimated, the posterior over a task's
+true label follows from Bayes' rule, weighting accurate workers more and
+biased workers according to their bias.
+
+Two aggregators are provided:
+
+* :func:`infer_binary_labels` — log-odds weighted voting using per-worker
+  error rates (the estimates produced by Algorithms A1/A2);
+* :func:`infer_kary_labels` — posterior inference using full confusion
+  matrices (the estimates produced by Algorithm A3 or Dawid-Skene).
+
+Both accept a conservative mode that uses the interval's *upper* error-rate
+bound instead of the point estimate, which discounts workers we are not yet
+sure about — the label-quality ablation bench measures the effect.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.data.response_matrix import ResponseMatrix
+from repro.types import KaryWorkerEstimate, WorkerErrorEstimate
+
+__all__ = [
+    "infer_binary_labels",
+    "infer_kary_labels",
+    "label_accuracy",
+]
+
+#: Error rates are clamped into [floor, 1 - floor] before the log-odds weight
+#: is computed, so a (possibly lucky) perfect worker does not get infinite weight.
+_ERROR_RATE_FLOOR = 1e-3
+
+
+def _worker_error_rate(
+    estimate: WorkerErrorEstimate | float, conservative: bool
+) -> float:
+    if isinstance(estimate, WorkerErrorEstimate):
+        rate = estimate.interval.upper if conservative else estimate.interval.mean
+    else:
+        rate = float(estimate)
+    return float(min(max(rate, _ERROR_RATE_FLOOR), 1.0 - _ERROR_RATE_FLOOR))
+
+
+def infer_binary_labels(
+    matrix: ResponseMatrix,
+    worker_estimates: Mapping[int, WorkerErrorEstimate | float],
+    positive_prior: float = 0.5,
+    conservative: bool = False,
+) -> dict[int, int]:
+    """Maximum-a-posteriori binary labels from per-worker error rates.
+
+    Each worker contributes a log-odds weight ``log((1 - p) / p)`` towards the
+    label they reported, the textbook weighted-majority rule for symmetric
+    error rates.  Workers absent from ``worker_estimates`` are skipped (they
+    contribute nothing), so the function works on filtered worker sets too.
+
+    Parameters
+    ----------
+    matrix:
+        Binary response data.
+    worker_estimates:
+        Either :class:`WorkerErrorEstimate` objects (the library's output) or
+        plain floats, keyed by worker id.
+    positive_prior:
+        Prior probability that a task's true label is 1.
+    conservative:
+        Use the interval's upper bound instead of the point estimate, which
+        down-weights workers whose quality is still uncertain.
+
+    Returns
+    -------
+    dict
+        Task id -> inferred label, for every task with at least one response
+        from an estimated worker.
+    """
+    if not matrix.is_binary:
+        raise ConfigurationError("infer_binary_labels requires binary data")
+    if not (0.0 < positive_prior < 1.0):
+        raise ConfigurationError(
+            f"positive_prior must lie strictly between 0 and 1, got {positive_prior}"
+        )
+    prior_log_odds = math.log(positive_prior / (1.0 - positive_prior))
+    labels: dict[int, int] = {}
+    for task in range(matrix.n_tasks):
+        responses = matrix.task_responses(task)
+        if not responses:
+            continue
+        log_odds = prior_log_odds
+        informative = False
+        for worker, label in responses.items():
+            if worker not in worker_estimates:
+                continue
+            informative = True
+            rate = _worker_error_rate(worker_estimates[worker], conservative)
+            weight = math.log((1.0 - rate) / rate)
+            log_odds += weight if label == 1 else -weight
+        if not informative:
+            continue
+        labels[task] = 1 if log_odds >= 0.0 else 0
+    return labels
+
+
+def _confusion_from_estimate(
+    estimate: KaryWorkerEstimate | np.ndarray, arity: int, conservative: bool
+) -> np.ndarray:
+    if isinstance(estimate, KaryWorkerEstimate):
+        if estimate.arity != arity:
+            raise DataValidationError(
+                f"estimate arity {estimate.arity} does not match data arity {arity}"
+            )
+        if conservative:
+            # Shrink towards the uniform matrix in proportion to the average
+            # interval width: wide intervals -> less trusted worker.
+            mean_width = float(
+                np.mean(
+                    [
+                        estimate.interval(a, b).size
+                        for a in range(arity)
+                        for b in range(arity)
+                    ]
+                )
+            )
+            shrinkage = min(max(mean_width, 0.0), 1.0)
+            point = np.array(estimate.point_matrix())
+            uniform = np.full((arity, arity), 1.0 / arity)
+            matrix = (1.0 - shrinkage) * point + shrinkage * uniform
+        else:
+            matrix = np.array(estimate.point_matrix())
+    else:
+        matrix = np.asarray(estimate, dtype=float)
+        if matrix.shape != (arity, arity):
+            raise DataValidationError(
+                f"confusion matrix shape {matrix.shape} does not match arity {arity}"
+            )
+    # Clamp away from zero so log probabilities stay finite, then renormalize.
+    matrix = np.clip(matrix, _ERROR_RATE_FLOOR, 1.0)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+def infer_kary_labels(
+    matrix: ResponseMatrix,
+    worker_estimates: Mapping[int, KaryWorkerEstimate | np.ndarray],
+    selectivity: Sequence[float] | None = None,
+    conservative: bool = False,
+) -> dict[int, int]:
+    """Maximum-a-posteriori k-ary labels from worker confusion matrices.
+
+    The posterior over the true label ``a`` of a task is proportional to
+    ``S[a] * prod_w P_w[a, response_w]`` over the workers who answered it.
+
+    Parameters
+    ----------
+    matrix:
+        Response data of any arity.
+    worker_estimates:
+        :class:`KaryWorkerEstimate` objects or plain ``k x k`` arrays, keyed
+        by worker id; workers without an estimate are skipped.
+    selectivity:
+        Prior over true labels; uniform when omitted.
+    conservative:
+        Shrink each confusion matrix towards uniform in proportion to its
+        interval widths (uncertain workers count less).
+    """
+    arity = matrix.arity
+    if selectivity is None:
+        prior = np.full(arity, 1.0 / arity)
+    else:
+        prior = np.asarray(selectivity, dtype=float)
+        if prior.shape != (arity,) or np.any(prior < 0.0):
+            raise ConfigurationError(
+                f"selectivity must be a non-negative vector of length {arity}"
+            )
+        total = prior.sum()
+        if total <= 0.0:
+            raise ConfigurationError("selectivity must have positive mass")
+        prior = prior / total
+
+    confusions = {
+        worker: _confusion_from_estimate(estimate, arity, conservative)
+        for worker, estimate in worker_estimates.items()
+    }
+    log_prior = np.log(np.clip(prior, 1e-12, None))
+    labels: dict[int, int] = {}
+    for task in range(matrix.n_tasks):
+        responses = matrix.task_responses(task)
+        relevant = {w: r for w, r in responses.items() if w in confusions}
+        if not relevant:
+            continue
+        log_posterior = log_prior.copy()
+        for worker, response in relevant.items():
+            log_posterior += np.log(confusions[worker][:, response])
+        labels[task] = int(np.argmax(log_posterior))
+    return labels
+
+
+def label_accuracy(matrix: ResponseMatrix, labels: Mapping[int, int]) -> float:
+    """Fraction of gold-labelled tasks for which ``labels`` is correct.
+
+    Only tasks present in both the gold set and ``labels`` are scored.
+    """
+    if not matrix.has_gold:
+        raise DataValidationError("label_accuracy requires gold labels on the matrix")
+    judged = 0
+    correct = 0
+    for task, gold in matrix.gold_labels.items():
+        if task not in labels:
+            continue
+        judged += 1
+        if labels[task] == gold:
+            correct += 1
+    if judged == 0:
+        raise DataValidationError("no task is covered by both gold labels and inferences")
+    return correct / judged

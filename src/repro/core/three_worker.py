@@ -1,0 +1,347 @@
+"""Algorithm A1: 3-worker binary estimation (regular and non-regular data).
+
+The error rate of worker ``i`` is recovered from the three pairwise
+agreement rates via Eq. (1)::
+
+    p_i = 1/2 - 1/2 * sqrt( (2 q_ij - 1)(2 q_ik - 1) / (2 q_jk - 1) )
+
+and the confidence interval follows from Theorem 1 using
+
+* the partial derivatives of that function (Lemma 2), and
+* the covariances of the agreement-rate estimators (Lemma 1 for regular
+  data; Lemma 3 generalizes it to non-regular data, with Lemma 1 as the
+  special case ``c_ij = n``).
+
+The module also exposes the building blocks (:func:`error_rate_from_agreements`,
+:func:`error_rate_gradient`, :func:`agreement_covariance_matrix`) that the
+m-worker estimator of Algorithm A2 reuses per triple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    DegenerateEstimateError,
+    InsufficientDataError,
+)
+from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
+from repro.core.delta_method import DeltaMethodModel
+from repro.data.response_matrix import ResponseMatrix
+from repro.types import ConfidenceInterval, EstimateStatus, WorkerErrorEstimate
+
+__all__ = [
+    "MIN_AGREEMENT_MARGIN",
+    "smoothed_variance_rate",
+    "clamp_agreement",
+    "error_rate_from_agreements",
+    "error_rate_gradient",
+    "agreement_covariance_matrix",
+    "ThreeWorkerResult",
+    "evaluate_three_workers",
+]
+
+#: Minimum allowed distance of an agreement rate above 1/2.  Eq. (1) has a
+#: singularity at q = 1/2 (Section III-E2 discusses the resulting volatility),
+#: so rates at or below 1/2 + margin are clamped and the estimate is flagged.
+MIN_AGREEMENT_MARGIN: float = 1e-3
+
+
+def smoothed_variance_rate(q: float, common_tasks: int) -> float:
+    """Laplace-smoothed agreement rate used inside variance formulas.
+
+    On sparse data a pair of workers often agrees on *every* one of a handful
+    of common tasks, making the plug-in variance ``q (1 - q) / c`` collapse to
+    zero and producing zero-width intervals that can never cover the truth.
+    Smoothing the rate as ``(agreements + 1) / (c + 2)`` for the *variance*
+    computation only (the point estimate still uses the raw rate) keeps the
+    uncertainty honest at the boundary; for moderate ``c`` the correction is
+    negligible.
+    """
+    if common_tasks <= 0:
+        raise InsufficientDataError("variance smoothing requires at least one common task")
+    agreements = q * common_tasks
+    return (agreements + 1.0) / (common_tasks + 2.0)
+
+
+def clamp_agreement(q: float, margin: float = MIN_AGREEMENT_MARGIN) -> tuple[float, bool]:
+    """Clamp an agreement rate into ``(1/2 + margin, 1]``.
+
+    Returns the (possibly clamped) rate and a flag saying whether clamping
+    happened.  Rates above 1 (impossible, but guarded) are clamped down to 1.
+    """
+    clamped = False
+    if q > 1.0:
+        q, clamped = 1.0, True
+    if q < 0.5 + margin:
+        q, clamped = 0.5 + margin, True
+    return q, clamped
+
+
+def error_rate_from_agreements(q_ij: float, q_ik: float, q_jk: float) -> float:
+    """Eq. (1): the error rate of worker ``i`` from the three agreement rates.
+
+    ``q_ij`` and ``q_ik`` are the agreements of worker ``i`` with the other
+    two workers; ``q_jk`` is the agreement between the other two.  All three
+    must exceed 1/2 (clamp first with :func:`clamp_agreement` if necessary).
+    """
+    for name, q in (("q_ij", q_ij), ("q_ik", q_ik), ("q_jk", q_jk)):
+        if q <= 0.5:
+            raise DegenerateEstimateError(
+                f"agreement rate {name}={q} is not above 1/2; "
+                "Eq. (1) is undefined (clamp or prune spammers first)"
+            )
+    ratio = (2.0 * q_ij - 1.0) * (2.0 * q_ik - 1.0) / (2.0 * q_jk - 1.0)
+    return 0.5 - 0.5 * math.sqrt(ratio)
+
+
+def error_rate_gradient(q_ij: float, q_ik: float, q_jk: float) -> np.ndarray:
+    """Lemma 2: partial derivatives of Eq. (1) w.r.t. ``(q_ij, q_ik, q_jk)``.
+
+    Returns the gradient vector ``[df/dq_ij, df/dq_ik, df/dq_jk]``.
+    """
+    for name, q in (("q_ij", q_ij), ("q_ik", q_ik), ("q_jk", q_jk)):
+        if q <= 0.5:
+            raise DegenerateEstimateError(
+                f"agreement rate {name}={q} is not above 1/2; "
+                "the gradient of Eq. (1) is undefined"
+            )
+    a = q_ij - 0.5
+    b = q_ik - 0.5
+    c = q_jk - 0.5
+    d_ij = -math.sqrt(b / (8.0 * a * c))
+    d_ik = -math.sqrt(a / (8.0 * b * c))
+    d_jk = math.sqrt(a * b / (8.0 * c**3))
+    return np.array([d_ij, d_ik, d_jk])
+
+
+def agreement_covariance_matrix(
+    q: dict[tuple[int, int], float],
+    c_pair: dict[tuple[int, int], int],
+    c_triple: int,
+    error_rates: dict[int, float],
+    workers: tuple[int, int, int],
+) -> np.ndarray:
+    """Lemma 3 (and its special case Lemma 1): covariance of the three Q's.
+
+    Parameters
+    ----------
+    q:
+        Agreement rates keyed by sorted worker pair.
+    c_pair:
+        Common-task counts keyed by sorted worker pair.
+    c_triple:
+        Number of tasks attempted by all three workers.
+    error_rates:
+        Plug-in error-rate estimates ``p_i`` keyed by worker (needed for the
+        off-diagonal terms).
+    workers:
+        The triple ``(i, j, k)``; the returned matrix is ordered as
+        ``(Q_ij, Q_ik, Q_jk)``.
+
+    Notes
+    -----
+    * Diagonal: ``Var(Q_ab) = q_ab (1 - q_ab) / c_ab``.
+    * Off-diagonal, pairs sharing worker ``b``:
+      ``Cov(Q_ab, Q_bc) = c_abc * p_b (1 - p_b) (2 q_ac - 1) / (c_ab c_bc)``.
+    """
+    i, j, k = workers
+    pairs = [(i, j), (i, k), (j, k)]
+    keys = [tuple(sorted(p)) for p in pairs]
+    cov = np.zeros((3, 3))
+    for idx, key in enumerate(keys):
+        c_ab = c_pair[key]
+        if c_ab <= 0:
+            raise InsufficientDataError(
+                f"workers {key} share no common task; covariance undefined"
+            )
+        q_ab = smoothed_variance_rate(q[key], c_ab)
+        cov[idx, idx] = q_ab * (1.0 - q_ab) / c_ab
+    # Off-diagonal terms: each pair of the three Q's shares exactly one worker.
+    pair_indices = [(0, 1), (0, 2), (1, 2)]
+    for idx_a, idx_b in pair_indices:
+        workers_a = set(pairs[idx_a])
+        workers_b = set(pairs[idx_b])
+        shared = workers_a & workers_b
+        others = tuple(sorted(workers_a.symmetric_difference(workers_b)))
+        shared_worker = shared.pop()
+        p_shared = error_rates[shared_worker]
+        q_others = q[others]
+        c_a = c_pair[tuple(sorted(pairs[idx_a]))]
+        c_b = c_pair[tuple(sorted(pairs[idx_b]))]
+        value = c_triple * p_shared * (1.0 - p_shared) * (2.0 * q_others - 1.0) / (c_a * c_b)
+        cov[idx_a, idx_b] = value
+        cov[idx_b, idx_a] = value
+    return cov
+
+
+@dataclass(frozen=True)
+class ThreeWorkerResult:
+    """Intermediate result of the 3-worker procedure for one worker.
+
+    Carries everything Algorithm A2 needs to aggregate across triples: the
+    point estimate, its standard deviation, and the partial derivatives with
+    respect to the agreement rates involving the evaluated worker.
+    """
+
+    worker: int
+    partners: tuple[int, int]
+    error_rate: float
+    deviation: float
+    #: derivative of the estimate with respect to ``q_{worker, partner}``
+    derivative_by_partner: dict[int, float]
+    #: derivative with respect to the partners' mutual agreement rate
+    derivative_partners: float
+    status: EstimateStatus
+
+    def interval(self, confidence: float) -> ConfidenceInterval:
+        """The c-confidence interval implied by (error_rate, deviation)."""
+        model = DeltaMethodModel(
+            value=self.error_rate,
+            gradient=np.array([1.0]),
+            covariance=np.array([[self.deviation**2]]),
+        )
+        return model.interval(confidence)
+
+
+def _triple_estimates(
+    stats: AgreementStatistics,
+    workers: tuple[int, int, int],
+    clamp_margin: float,
+) -> tuple[dict[tuple[int, int], float], dict[tuple[int, int], int], int, dict[int, float], bool]:
+    """Agreement rates, pair counts, triple count and plug-in error rates.
+
+    Shared preparation for evaluating any worker of a triple.  Returns a
+    clamping flag so callers can mark the estimate status.
+    """
+    i, j, k = workers
+    keys = [tuple(sorted(p)) for p in ((i, j), (i, k), (j, k))]
+    q: dict[tuple[int, int], float] = {}
+    c_pair: dict[tuple[int, int], int] = {}
+    clamped_any = False
+    for key in keys:
+        common = stats.common_count(*key)
+        if common == 0:
+            raise InsufficientDataError(
+                f"workers {key} share no common task; the triple {workers} "
+                "cannot be evaluated"
+            )
+        rate, clamped = clamp_agreement(stats.agreement_rate(*key), clamp_margin)
+        clamped_any = clamped_any or clamped
+        q[key] = rate
+        c_pair[key] = common
+    c_triple = stats.triple_common_count(i, j, k)
+    # Plug-in point estimates for all three workers (needed by Lemma 3).
+    error_rates: dict[int, float] = {}
+    for worker in workers:
+        others = [w for w in workers if w != worker]
+        q_ij = q[tuple(sorted((worker, others[0])))]
+        q_ik = q[tuple(sorted((worker, others[1])))]
+        q_jk = q[tuple(sorted((others[0], others[1])))]
+        estimate = error_rate_from_agreements(q_ij, q_ik, q_jk)
+        error_rates[worker] = float(min(max(estimate, 0.0), 0.5))
+    return q, c_pair, c_triple, error_rates, clamped_any
+
+
+def evaluate_worker_in_triple(
+    stats: AgreementStatistics,
+    worker: int,
+    partners: tuple[int, int],
+    clamp_margin: float = MIN_AGREEMENT_MARGIN,
+) -> ThreeWorkerResult:
+    """Run the 3-worker procedure of Section III-B for one worker of a triple.
+
+    This is Step 2 of Algorithm A2 — everything except the final conversion
+    to a confidence interval, so the caller can aggregate multiple triples.
+    """
+    j1, j2 = partners
+    if len({worker, j1, j2}) != 3:
+        raise ConfigurationError("a triple requires three distinct workers")
+    workers = (worker, j1, j2)
+    q, c_pair, c_triple, error_rates, clamped = _triple_estimates(
+        stats, workers, clamp_margin
+    )
+    key_ij = tuple(sorted((worker, j1)))
+    key_ik = tuple(sorted((worker, j2)))
+    key_jk = tuple(sorted((j1, j2)))
+    q_ij, q_ik, q_jk = q[key_ij], q[key_ik], q[key_jk]
+
+    estimate = error_rate_from_agreements(q_ij, q_ik, q_jk)
+    gradient = error_rate_gradient(q_ij, q_ik, q_jk)
+    covariance = agreement_covariance_matrix(q, c_pair, c_triple, error_rates, workers)
+    model = DeltaMethodModel(value=estimate, gradient=gradient, covariance=covariance)
+
+    status = EstimateStatus.CLAMPED if clamped else EstimateStatus.OK
+    return ThreeWorkerResult(
+        worker=worker,
+        partners=(j1, j2),
+        error_rate=estimate,
+        deviation=model.deviation,
+        derivative_by_partner={j1: float(gradient[0]), j2: float(gradient[1])},
+        derivative_partners=float(gradient[2]),
+        status=status,
+    )
+
+
+def evaluate_three_workers(
+    matrix: ResponseMatrix,
+    confidence: float,
+    workers: tuple[int, int, int] | None = None,
+    clamp_margin: float = MIN_AGREEMENT_MARGIN,
+) -> list[WorkerErrorEstimate]:
+    """Algorithm A1: confidence intervals for all three workers of a triple.
+
+    Works for both regular and non-regular data — the only difference is the
+    covariance formula, and Lemma 3 covers both.
+
+    Parameters
+    ----------
+    matrix:
+        Binary response data.
+    confidence:
+        Confidence level ``c`` of the intervals.
+    workers:
+        The triple to evaluate; defaults to workers ``(0, 1, 2)`` and is
+        required when the matrix has more than three workers.
+    clamp_margin:
+        How far above 1/2 agreement rates are forced to stay (numerical
+        guard around the Eq. (1) singularity).
+    """
+    if not matrix.is_binary:
+        raise ConfigurationError(
+            "evaluate_three_workers handles binary data; use the k-ary "
+            "estimator for higher arities"
+        )
+    if workers is None:
+        if matrix.n_workers != 3:
+            raise ConfigurationError(
+                "matrix has more than three workers; pass the triple explicitly"
+            )
+        workers = (0, 1, 2)
+    if len(set(workers)) != 3:
+        raise ConfigurationError("the three workers must be distinct")
+    stats = compute_agreement_statistics(matrix)
+    results = []
+    for worker in workers:
+        partners = tuple(w for w in workers if w != worker)
+        triple_result = evaluate_worker_in_triple(
+            stats, worker, (partners[0], partners[1]), clamp_margin=clamp_margin
+        )
+        interval = triple_result.interval(confidence)
+        results.append(
+            WorkerErrorEstimate(
+                worker=worker,
+                interval=interval,
+                n_tasks=matrix.n_tasks_of(worker),
+                triples=(
+                    # A single implicit triple for the 3-worker case.
+                ),
+                weights=(1.0,),
+                status=triple_result.status,
+            )
+        )
+    return results

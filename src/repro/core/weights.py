@@ -1,0 +1,54 @@
+"""Lemma 5: minimum-variance linear weights for combining triple estimates.
+
+Given per-triple estimates ``p_1, ..., p_l`` of the same worker error rate
+with covariance matrix ``C``, the final estimate is ``sum_k a_k p_k`` with
+``sum_k a_k = 1``.  The variance ``A^T C A`` is minimized by
+``A = C^{-1} 1 / || C^{-1} 1 ||_1`` (Lemma 5).  Uniform weights are always a
+valid fallback (Section III-D3) and are exposed for the ablation comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stats.covariance import regularize_covariance
+from repro.stats.linalg import optimal_min_variance_weights
+
+__all__ = ["optimal_weights", "uniform_weights", "combined_variance"]
+
+
+def uniform_weights(n_triples: int) -> np.ndarray:
+    """Equal weights ``1/l`` for each of ``l`` triples."""
+    if n_triples <= 0:
+        raise ConfigurationError(f"need at least one triple, got {n_triples}")
+    return np.full(n_triples, 1.0 / n_triples)
+
+
+def optimal_weights(covariance: np.ndarray) -> np.ndarray:
+    """Lemma 5 weights for the given triple-estimate covariance matrix.
+
+    The covariance is repaired to be symmetric positive semidefinite (plus a
+    tiny ridge) before inversion, so near-duplicate triples do not make the
+    solve blow up; if the solve still fails, uniform weights are returned.
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise ConfigurationError(
+            f"covariance must be square, got shape {covariance.shape}"
+        )
+    if covariance.shape[0] == 1:
+        return np.array([1.0])
+    safe = regularize_covariance(covariance)
+    return optimal_min_variance_weights(safe)
+
+
+def combined_variance(weights: np.ndarray, covariance: np.ndarray) -> float:
+    """Variance ``A^T C A`` of the weighted combination."""
+    weights = np.asarray(weights, dtype=float).reshape(-1)
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.shape != (weights.size, weights.size):
+        raise ConfigurationError(
+            "covariance shape does not match the number of weights"
+        )
+    return float(max(weights @ covariance @ weights, 0.0))

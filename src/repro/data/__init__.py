@@ -1,0 +1,30 @@
+"""Response data model and dataset utilities.
+
+The single interchange type is :class:`~repro.data.response_matrix.ResponseMatrix`,
+a sparse worker-by-task response store supporting binary and k-ary labels,
+optional gold labels, and the co-attempt queries (``c_ij``, ``c_ijk``) the
+paper's algorithms are built on.
+"""
+
+from repro.data.response_matrix import UNANSWERED, ResponseMatrix
+from repro.data.loaders import (
+    load_response_matrix_csv,
+    load_response_matrix_json,
+    save_response_matrix_csv,
+    save_response_matrix_json,
+)
+from repro.data import real_datasets
+from repro.data.registry import DATASET_REGISTRY, dataset_names, load_dataset
+
+__all__ = [
+    "UNANSWERED",
+    "ResponseMatrix",
+    "load_response_matrix_csv",
+    "load_response_matrix_json",
+    "save_response_matrix_csv",
+    "save_response_matrix_json",
+    "real_datasets",
+    "DATASET_REGISTRY",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,125 @@
+"""Serialization of :class:`~repro.data.response_matrix.ResponseMatrix`.
+
+Two plain-text formats are supported:
+
+* **CSV** — one response per line, ``worker,task,label``; gold labels go in a
+  companion CSV with lines ``task,label``.  This matches how public crowd
+  datasets (e.g. the Snow et al. 2008 collections) are usually distributed.
+* **JSON** — a single self-describing document with dimensions, responses and
+  gold labels, convenient for round-tripping simulated datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.exceptions import DataValidationError
+from repro.data.response_matrix import ResponseMatrix
+
+__all__ = [
+    "save_response_matrix_csv",
+    "load_response_matrix_csv",
+    "save_response_matrix_json",
+    "load_response_matrix_json",
+]
+
+
+def save_response_matrix_csv(
+    matrix: ResponseMatrix,
+    responses_path: str | Path,
+    gold_path: str | Path | None = None,
+) -> None:
+    """Write responses (and optionally gold labels) as CSV files."""
+    responses_path = Path(responses_path)
+    with responses_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["worker", "task", "label"])
+        for worker, task, label in matrix.iter_responses():
+            writer.writerow([worker, task, label])
+    if gold_path is not None and matrix.has_gold:
+        gold_path = Path(gold_path)
+        with gold_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["task", "label"])
+            for task, label in sorted(matrix.gold_labels.items()):
+                writer.writerow([task, label])
+
+
+def load_response_matrix_csv(
+    responses_path: str | Path,
+    gold_path: str | Path | None = None,
+    n_workers: int | None = None,
+    n_tasks: int | None = None,
+    arity: int | None = None,
+) -> ResponseMatrix:
+    """Load a :class:`ResponseMatrix` from CSV files written by
+    :func:`save_response_matrix_csv` (or any file with the same columns)."""
+    responses_path = Path(responses_path)
+    records: list[tuple[int, int, int]] = []
+    with responses_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"worker", "task", "label"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise DataValidationError(
+                f"response CSV must have columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for row in reader:
+            records.append((int(row["worker"]), int(row["task"]), int(row["label"])))
+    gold: dict[int, int] | None = None
+    if gold_path is not None:
+        gold = {}
+        with Path(gold_path).open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or not {"task", "label"}.issubset(
+                reader.fieldnames
+            ):
+                raise DataValidationError(
+                    "gold CSV must have columns ['task', 'label'], "
+                    f"got {reader.fieldnames}"
+                )
+            for row in reader:
+                gold[int(row["task"])] = int(row["label"])
+    return ResponseMatrix.from_records(
+        records, n_workers=n_workers, n_tasks=n_tasks, arity=arity, gold=gold
+    )
+
+
+def save_response_matrix_json(matrix: ResponseMatrix, path: str | Path) -> None:
+    """Write the matrix as a single self-describing JSON document."""
+    document = {
+        "n_workers": matrix.n_workers,
+        "n_tasks": matrix.n_tasks,
+        "arity": matrix.arity,
+        "responses": [
+            {"worker": worker, "task": task, "label": label}
+            for worker, task, label in matrix.iter_responses()
+        ],
+        "gold": {str(task): label for task, label in matrix.gold_labels.items()},
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_response_matrix_json(path: str | Path) -> ResponseMatrix:
+    """Load a matrix previously written by :func:`save_response_matrix_json`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DataValidationError(f"file {path} is not valid JSON: {exc}") from exc
+    for key in ("n_workers", "n_tasks", "arity", "responses"):
+        if key not in document:
+            raise DataValidationError(f"JSON document is missing the '{key}' field")
+    matrix = ResponseMatrix(
+        n_workers=int(document["n_workers"]),
+        n_tasks=int(document["n_tasks"]),
+        arity=int(document["arity"]),
+    )
+    for record in document["responses"]:
+        matrix.add_response(
+            int(record["worker"]), int(record["task"]), int(record["label"])
+        )
+    for task, label in document.get("gold", {}).items():
+        matrix.set_gold_label(int(task), int(label))
+    return matrix

@@ -1,0 +1,277 @@
+"""Simulated stand-ins for the paper's six real-world datasets.
+
+The paper evaluates on crowd datasets that are not redistributable here
+(Mechanical Turk image comparison from [2], the Snow et al. 2008 NLP
+collections, and a Stanford MOOC peer-grading export).  Following the
+substitution policy in DESIGN.md, each dataset is replaced by a *seeded
+synthetic generator with the same shape*: the same number of workers and
+tasks, the same (non-)regularity and sparsity pattern, heterogeneous worker
+quality including spammers, and mild task-difficulty correlation so the
+paper's independence assumption is violated the way it is in real crowds.
+
+What the paper's real-data experiments measure is whether the confidence
+intervals stay accurate when those assumptions are violated — behaviour that
+depends on the *shape* of the data, not on the specific images or sentences
+behind it, so these stand-ins exercise the identical code paths.
+
+Every generator takes a ``seed`` and is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.kary import random_confusion_matrix
+
+__all__ = [
+    "image_comparison",
+    "rte_entailment",
+    "temporal_ordering",
+    "mooc_peer_grading",
+    "word_sense_disambiguation",
+    "word_similarity",
+]
+
+
+def _simulate_binary_crowd(
+    n_workers: int,
+    n_tasks: int,
+    worker_error_rates: np.ndarray,
+    tasks_per_worker: np.ndarray,
+    rng: np.random.Generator,
+    difficulty_spread: float = 0.08,
+) -> ResponseMatrix:
+    """Shared machinery for the binary stand-ins.
+
+    Each task gets a difficulty offset added to every worker's error rate on
+    that task (truncated to [0.02, 0.95]), which creates the mild positive
+    correlation between workers' errors that real tasks induce.  Each worker
+    answers a fixed number of tasks chosen uniformly at random.
+    """
+    truths = rng.integers(0, 2, size=n_tasks)
+    difficulty = rng.normal(0.0, difficulty_spread, size=n_tasks)
+    matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=2)
+    for worker in range(n_workers):
+        count = int(min(n_tasks, max(1, tasks_per_worker[worker])))
+        tasks = rng.choice(n_tasks, size=count, replace=False)
+        base_error = worker_error_rates[worker]
+        for task in tasks:
+            p_err = float(np.clip(base_error + difficulty[task], 0.02, 0.95))
+            truth = int(truths[task])
+            label = 1 - truth if rng.random() < p_err else truth
+            matrix.add_response(worker, int(task), label)
+    matrix.set_gold_labels(truths.tolist())
+    return matrix
+
+
+def _simulate_kary_crowd(
+    n_workers: int,
+    n_tasks: int,
+    arity: int,
+    confusion_matrices: list[np.ndarray],
+    tasks_per_worker: np.ndarray,
+    rng: np.random.Generator,
+    selectivity: np.ndarray | None = None,
+) -> ResponseMatrix:
+    """Shared machinery for the k-ary stand-ins."""
+    if selectivity is None:
+        selectivity = np.full(arity, 1.0 / arity)
+    truths = rng.choice(arity, size=n_tasks, p=selectivity)
+    matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+    for worker in range(n_workers):
+        count = int(min(n_tasks, max(1, tasks_per_worker[worker])))
+        tasks = rng.choice(n_tasks, size=count, replace=False)
+        confusion = confusion_matrices[worker]
+        for task in tasks:
+            truth = int(truths[task])
+            label = int(rng.choice(arity, p=confusion[truth]))
+            matrix.add_response(worker, int(task), label)
+    matrix.set_gold_labels(truths.tolist())
+    return matrix
+
+
+def _heavy_tailed_task_counts(
+    n_workers: int, n_tasks: int, rng: np.random.Generator, mean_fraction: float
+) -> np.ndarray:
+    """Per-worker task counts with the heavy-tailed spread real crowds show:
+
+    a few prolific workers answer most tasks, many workers answer a handful.
+    """
+    raw = rng.pareto(1.5, size=n_workers) + 1.0
+    raw = raw / raw.mean() * (mean_fraction * n_tasks)
+    return np.clip(raw.astype(int), 3, n_tasks)
+
+
+def _error_rates_with_spammers(
+    n_workers: int,
+    rng: np.random.Generator,
+    good_low: float = 0.05,
+    good_high: float = 0.3,
+    spammer_fraction: float = 0.1,
+) -> np.ndarray:
+    """Mostly-competent workers plus a spammer fraction with error near 1/2."""
+    rates = rng.uniform(good_low, good_high, size=n_workers)
+    n_spammers = int(round(spammer_fraction * n_workers))
+    if n_spammers > 0:
+        spammers = rng.choice(n_workers, size=n_spammers, replace=False)
+        rates[spammers] = rng.uniform(0.42, 0.5, size=n_spammers)
+    return rates
+
+
+def image_comparison(seed: int = 7, make_non_regular: bool = True) -> ResponseMatrix:
+    """Stand-in for the IC dataset of [2].
+
+    48 binary tasks (same person in two sports photos?), 19 workers, fully
+    regular; the paper removes 20 % of responses at random to make the data
+    non-regular, which ``make_non_regular`` reproduces.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks = 19, 48
+    error_rates = _error_rates_with_spammers(
+        n_workers, rng, good_low=0.05, good_high=0.35, spammer_fraction=0.1
+    )
+    tasks_per_worker = np.full(n_workers, n_tasks)
+    matrix = _simulate_binary_crowd(
+        n_workers, n_tasks, error_rates, tasks_per_worker, rng, difficulty_spread=0.1
+    )
+    if make_non_regular:
+        matrix = matrix.thin(keep_probability=0.8, rng=rng)
+    return matrix
+
+
+def rte_entailment(seed: int = 11) -> ResponseMatrix:
+    """Stand-in for the RTE/ENT dataset (Snow et al. 2008).
+
+    800 binary entailment tasks, 164 workers, sparse: each worker answered
+    only a small, heavy-tailed number of tasks.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks = 164, 800
+    error_rates = _error_rates_with_spammers(
+        n_workers, rng, good_low=0.05, good_high=0.35, spammer_fraction=0.12
+    )
+    tasks_per_worker = _heavy_tailed_task_counts(
+        n_workers, n_tasks, rng, mean_fraction=0.06
+    )
+    return _simulate_binary_crowd(
+        n_workers, n_tasks, error_rates, tasks_per_worker, rng, difficulty_spread=0.08
+    )
+
+
+def temporal_ordering(seed: int = 13) -> ResponseMatrix:
+    """Stand-in for the TEM dataset (Snow et al. 2008).
+
+    462 binary temporal-ordering tasks, 76 workers, sparse.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks = 76, 462
+    error_rates = _error_rates_with_spammers(
+        n_workers, rng, good_low=0.05, good_high=0.3, spammer_fraction=0.1
+    )
+    tasks_per_worker = _heavy_tailed_task_counts(
+        n_workers, n_tasks, rng, mean_fraction=0.12
+    )
+    return _simulate_binary_crowd(
+        n_workers, n_tasks, error_rates, tasks_per_worker, rng, difficulty_spread=0.08
+    )
+
+
+def mooc_peer_grading(seed: int = 17, reduce_to_ternary: bool = True) -> ResponseMatrix:
+    """Stand-in for the MOOC peer-grading dataset.
+
+    Students grade peers' assignments 0-5 (6-ary).  Graders are biased
+    upwards (lenient), which the confusion matrices reflect.  Following the
+    paper, grades are reduced to 3-ary via ``g -> ceil(g / 2)`` when
+    ``reduce_to_ternary`` is set; the returned matrix then has arity 3.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks, arity = 60, 300, 6
+    confusion_matrices = []
+    for _ in range(n_workers):
+        base = random_confusion_matrix(arity, rng, diagonal_low=0.55, diagonal_high=0.85)
+        # Lenient-bias: shift some probability mass one grade upwards.
+        bias = np.zeros_like(base)
+        for row in range(arity):
+            shift = 0.1 * base[row, row]
+            bias[row, row] -= shift
+            bias[row, min(row + 1, arity - 1)] += shift
+        confusion_matrices.append(base + bias)
+    # Graders handle sizeable batches (as course staff assigned them in the
+    # original), so triples of graders share enough assignments for the k-ary
+    # estimator's overlap requirement.
+    tasks_per_worker = np.clip(
+        rng.poisson(150, size=n_workers), 60, n_tasks
+    )
+    # True grades are bell-shaped around the middle grades.
+    selectivity = np.array([0.05, 0.15, 0.25, 0.25, 0.2, 0.1])
+    matrix = _simulate_kary_crowd(
+        n_workers, n_tasks, arity, confusion_matrices, tasks_per_worker, rng,
+        selectivity=selectivity,
+    )
+    if reduce_to_ternary:
+        # The paper maps grade g to ceil(g / 2) to obtain 3-ary labels; with
+        # 0-5 grades the top value is clipped so the result stays 3-ary
+        # (fail / pass / good).
+        mapping = {g: min(math.ceil(g / 2), 2) for g in range(arity)}
+        matrix = matrix.reduce_arity(mapping, new_arity=3)
+    return matrix
+
+
+def word_sense_disambiguation(seed: int = 19, reduce_to_binary: bool = True) -> ResponseMatrix:
+    """Stand-in for the WSD dataset (Snow et al. 2008).
+
+    3-ary word-sense tasks where almost no task has true label 2 — the
+    degenerate class that breaks the 3-ary spectral estimator (a response
+    frequency matrix row becomes all zeros).  The paper's fix, merging
+    labels 1 and 2 into one, is applied when ``reduce_to_binary`` is set.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks, arity = 34, 177, 3
+    confusion_matrices = [
+        random_confusion_matrix(arity, rng, diagonal_low=0.7, diagonal_high=0.95)
+        for _ in range(n_workers)
+    ]
+    tasks_per_worker = np.clip(rng.poisson(120, size=n_workers), 40, n_tasks)
+    # Class 2 is almost absent, as in the real dataset.
+    selectivity = np.array([0.55, 0.43, 0.02])
+    matrix = _simulate_kary_crowd(
+        n_workers, n_tasks, arity, confusion_matrices, tasks_per_worker, rng,
+        selectivity=selectivity,
+    )
+    if reduce_to_binary:
+        matrix = matrix.reduce_arity({0: 0, 1: 1, 2: 1}, new_arity=2)
+    return matrix
+
+
+def word_similarity(seed: int = 23, reduce_to_binary: bool = True) -> ResponseMatrix:
+    """Stand-in for the WS dataset (Snow et al. 2008).
+
+    Word-similarity ratings 0-10 (11-ary), extremely sparse triples.  The
+    paper reduces the arity to 2 via ``g -> ceil(g / 6)``; this generator
+    reproduces that reduction when ``reduce_to_binary`` is set.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers, n_tasks, arity = 10, 30, 11
+    # Workers rate on a continuous-ish scale: model as true rating plus noise.
+    truths = rng.integers(0, arity, size=n_tasks)
+    matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+    per_worker_noise = rng.uniform(0.8, 2.5, size=n_workers)
+    for worker in range(n_workers):
+        count = int(rng.integers(20, n_tasks + 1))
+        tasks = rng.choice(n_tasks, size=count, replace=False)
+        for task in tasks:
+            noisy = truths[task] + rng.normal(0.0, per_worker_noise[worker])
+            label = int(np.clip(round(noisy), 0, arity - 1))
+            matrix.add_response(worker, int(task), label)
+    matrix.set_gold_labels(truths.tolist())
+    if reduce_to_binary:
+        # The paper folds the 0-10 similarity scale down to a binary
+        # similar / not-similar judgement (it writes the reduction as
+        # ceil(g / 6)); a threshold at 6 realizes that intent while keeping
+        # exactly two labels.
+        mapping = {g: 0 if g < 6 else 1 for g in range(arity)}
+        matrix = matrix.reduce_arity(mapping, new_arity=2)
+    return matrix

@@ -1,0 +1,115 @@
+"""Dataset registry: name -> generator for the paper's real-data stand-ins.
+
+Gives benches, examples and tests a single place to enumerate the datasets
+used in the paper's Figures 3, 4 and 5(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.data import real_datasets
+from repro.data.response_matrix import ResponseMatrix
+
+__all__ = ["DatasetSpec", "DATASET_REGISTRY", "dataset_names", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata and loader for one dataset stand-in.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used on the command line and in reports.
+    description:
+        One-line description including the paper's dimensions.
+    arity:
+        Label arity of the loaded matrix (after any paper-prescribed
+        reduction).
+    used_in:
+        The paper figures this dataset appears in.
+    loader:
+        Zero-or-seed-argument callable returning the :class:`ResponseMatrix`.
+    """
+
+    name: str
+    description: str
+    arity: int
+    used_in: tuple[str, ...]
+    loader: Callable[..., ResponseMatrix]
+
+
+DATASET_REGISTRY: dict[str, DatasetSpec] = {
+    "ic": DatasetSpec(
+        name="ic",
+        description="Image Comparison (48 tasks x 19 workers, binary, regular -> 20% thinned)",
+        arity=2,
+        used_in=("fig3", "fig4"),
+        loader=real_datasets.image_comparison,
+    ),
+    "rte": DatasetSpec(
+        name="rte",
+        description="Recognizing Textual Entailment (800 tasks x 164 workers, binary, sparse)",
+        arity=2,
+        used_in=("fig3", "fig4"),
+        loader=real_datasets.rte_entailment,
+    ),
+    "tem": DatasetSpec(
+        name="tem",
+        description="Temporal ordering (462 tasks x 76 workers, binary, sparse)",
+        arity=2,
+        used_in=("fig3", "fig4"),
+        loader=real_datasets.temporal_ordering,
+    ),
+    "mooc": DatasetSpec(
+        name="mooc",
+        description="MOOC peer grading (6-ary grades reduced to 3-ary)",
+        arity=3,
+        used_in=("fig5c",),
+        loader=real_datasets.mooc_peer_grading,
+    ),
+    "wsd": DatasetSpec(
+        name="wsd",
+        description="Word sense disambiguation (3-ary with degenerate class, reduced to binary)",
+        arity=2,
+        used_in=("fig5c",),
+        loader=real_datasets.word_sense_disambiguation,
+    ),
+    "ws": DatasetSpec(
+        name="ws",
+        description="Word similarity (11-ary ratings reduced to binary)",
+        arity=2,
+        used_in=("fig5c",),
+        loader=real_datasets.word_similarity,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of all registered datasets."""
+    return sorted(DATASET_REGISTRY)
+
+
+def load_dataset(name: str, seed: int | None = None) -> ResponseMatrix:
+    """Load a registered dataset stand-in by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    seed:
+        Optional seed override for the generator; the registered default is
+        used when omitted, so repeated calls return identical data.
+    """
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise ConfigurationError(
+            f"unknown dataset '{name}'; available: {', '.join(dataset_names())}"
+        )
+    spec = DATASET_REGISTRY[key]
+    if seed is None:
+        return spec.loader()
+    return spec.loader(seed=seed)

@@ -1,0 +1,59 @@
+"""Experiment harness: coverage measurement, sweeps, and figure reproduction.
+
+The paper's evaluation reports two metrics:
+
+* **interval-accuracy** — the fraction of computed c-confidence intervals
+  that contain the true parameter (ideal value: the confidence level c);
+* **interval size** — the average width of the intervals (smaller is better
+  as long as accuracy holds).
+
+:mod:`repro.evaluation.experiments` packages one function per paper figure;
+:mod:`repro.evaluation.reporting` renders the results as plain-text tables.
+"""
+
+from repro.evaluation.coverage import (
+    CoverageResult,
+    binary_coverage,
+    kary_coverage,
+    dataset_coverage,
+    kary_dataset_coverage,
+)
+from repro.evaluation.sweeps import Series, SweepResult
+from repro.evaluation.experiments import (
+    ExperimentResult,
+    figure1_old_vs_new,
+    figure2a_accuracy,
+    figure2b_density,
+    figure2c_weight_optimization,
+    figure3_real_data_accuracy,
+    figure4_spammer_filtered_accuracy,
+    figure5a_kary_accuracy,
+    figure5b_kary_density,
+    figure5c_kary_real_data,
+    PAPER_CONFIDENCE_GRID,
+)
+from repro.evaluation.reporting import format_table, format_experiment, series_to_rows
+
+__all__ = [
+    "CoverageResult",
+    "binary_coverage",
+    "kary_coverage",
+    "dataset_coverage",
+    "kary_dataset_coverage",
+    "Series",
+    "SweepResult",
+    "ExperimentResult",
+    "figure1_old_vs_new",
+    "figure2a_accuracy",
+    "figure2b_density",
+    "figure2c_weight_optimization",
+    "figure3_real_data_accuracy",
+    "figure4_spammer_filtered_accuracy",
+    "figure5a_kary_accuracy",
+    "figure5b_kary_density",
+    "figure5c_kary_real_data",
+    "PAPER_CONFIDENCE_GRID",
+    "format_table",
+    "format_experiment",
+    "series_to_rows",
+]

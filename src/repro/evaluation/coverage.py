@@ -1,0 +1,271 @@
+"""Interval-accuracy (coverage) and interval-size measurement.
+
+These helpers run an estimator many times on freshly simulated data (or on a
+fixed real dataset with gold-derived truth) and report the two quantities the
+paper plots everywhere: the fraction of intervals containing the truth and
+the average interval width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.core.m_worker import MWorkerEstimator
+from repro.core.kary import KaryEstimator
+from repro.core.spammer_filter import filter_spammers
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.binary import simulate_binary_responses
+from repro.simulation.kary import simulate_kary_responses
+from repro.types import EstimateStatus
+
+__all__ = [
+    "CoverageResult",
+    "binary_coverage",
+    "kary_coverage",
+    "dataset_coverage",
+    "kary_dataset_coverage",
+]
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Aggregate coverage statistics over many intervals.
+
+    Attributes
+    ----------
+    n_intervals:
+        Number of intervals produced and checked.
+    n_covering:
+        How many of them contained the true parameter.
+    mean_size:
+        Average interval width.
+    mean_absolute_error:
+        Average distance between interval centre and true parameter.
+    """
+
+    n_intervals: int
+    n_covering: int
+    mean_size: float
+    mean_absolute_error: float
+
+    @property
+    def accuracy(self) -> float:
+        """The paper's interval-accuracy: covering fraction."""
+        if self.n_intervals == 0:
+            return float("nan")
+        return self.n_covering / self.n_intervals
+
+    @staticmethod
+    def from_observations(
+        covered: list[bool], sizes: list[float], errors: list[float]
+    ) -> "CoverageResult":
+        """Build the aggregate from raw per-interval observations."""
+        if not covered:
+            return CoverageResult(0, 0, float("nan"), float("nan"))
+        return CoverageResult(
+            n_intervals=len(covered),
+            n_covering=sum(covered),
+            mean_size=float(np.mean(sizes)),
+            mean_absolute_error=float(np.mean(errors)),
+        )
+
+
+def binary_coverage(
+    n_workers: int,
+    n_tasks: int,
+    confidence: float,
+    rng: np.random.Generator,
+    density: float | np.ndarray = 0.8,
+    n_repetitions: int = 100,
+    optimize_weights: bool = True,
+    include_degenerate: bool = False,
+) -> CoverageResult:
+    """Coverage of the m-worker binary estimator on simulated data.
+
+    Reproduces the measurement loop of Sections III-D1/D2/D3: fresh worker
+    population and responses per repetition, intervals for every worker,
+    checked against the known error rates.
+    """
+    if n_repetitions <= 0:
+        raise ConfigurationError("n_repetitions must be positive")
+    estimator = MWorkerEstimator(
+        confidence=confidence, optimize_weights=optimize_weights
+    )
+    covered: list[bool] = []
+    sizes: list[float] = []
+    errors: list[float] = []
+    for _ in range(n_repetitions):
+        matrix, true_rates = simulate_binary_responses(
+            n_workers, n_tasks, rng, density=density
+        )
+        estimates = estimator.evaluate_all(matrix)
+        for estimate in estimates:
+            if estimate.status is EstimateStatus.DEGENERATE and not include_degenerate:
+                continue
+            truth = float(true_rates[estimate.worker])
+            covered.append(estimate.interval.contains(truth))
+            sizes.append(estimate.interval.size)
+            errors.append(abs(estimate.interval.mean - truth))
+    return CoverageResult.from_observations(covered, sizes, errors)
+
+
+def kary_coverage(
+    arity: int,
+    n_tasks: int,
+    confidence: float,
+    rng: np.random.Generator,
+    density: float = 1.0,
+    n_repetitions: int = 50,
+    n_workers: int = 3,
+    epsilon: float = 0.01,
+) -> CoverageResult:
+    """Coverage of the k-ary estimator on simulated data (Section IV-B)."""
+    if n_repetitions <= 0:
+        raise ConfigurationError("n_repetitions must be positive")
+    estimator = KaryEstimator(confidence=confidence, epsilon=epsilon)
+    covered: list[bool] = []
+    sizes: list[float] = []
+    errors: list[float] = []
+    for _ in range(n_repetitions):
+        matrix, confusion = simulate_kary_responses(
+            n_workers, n_tasks, arity, rng, density=density
+        )
+        try:
+            estimates = estimator.evaluate(matrix, workers=(0, 1, 2))
+        except InsufficientDataError:
+            continue
+        for position, estimate in enumerate(estimates):
+            if estimate.status is EstimateStatus.DEGENERATE:
+                continue
+            truth_matrix = confusion[position]
+            for a in range(arity):
+                for b in range(arity):
+                    interval = estimate.interval(a, b)
+                    truth = float(truth_matrix[a, b])
+                    covered.append(interval.contains(truth))
+                    sizes.append(interval.size)
+                    errors.append(abs(interval.mean - truth))
+    return CoverageResult.from_observations(covered, sizes, errors)
+
+
+def dataset_coverage(
+    matrix: ResponseMatrix,
+    confidence: float,
+    remove_spammers: bool = False,
+    spammer_threshold: float = 0.4,
+    min_gold_tasks: int = 5,
+    optimize_weights: bool = True,
+) -> CoverageResult:
+    """Coverage of the binary estimator on one (real or stand-in) dataset.
+
+    As in Section III-E, the "true" error rate of each worker is the fraction
+    of gold-labelled tasks they answered incorrectly; workers with fewer than
+    ``min_gold_tasks`` gold-labelled answers are skipped because their proxy
+    truth is itself too noisy to judge coverage against.
+    """
+    if not matrix.has_gold:
+        raise InsufficientDataError("dataset_coverage requires gold labels")
+    working = matrix
+    id_map = list(range(matrix.n_workers))
+    if remove_spammers:
+        filtered = filter_spammers(matrix, threshold=spammer_threshold)
+        working = filtered.filtered
+        id_map = list(filtered.kept_workers)
+    estimator = MWorkerEstimator(
+        confidence=confidence, optimize_weights=optimize_weights
+    )
+    estimates = estimator.evaluate_all(working)
+    covered: list[bool] = []
+    sizes: list[float] = []
+    errors: list[float] = []
+    for estimate in estimates:
+        if estimate.status is EstimateStatus.DEGENERATE:
+            continue
+        original_id = id_map[estimate.worker]
+        try:
+            truth = matrix.empirical_error_rate(original_id)
+        except InsufficientDataError:
+            continue
+        gold_answered = sum(
+            1
+            for task in matrix.worker_responses(original_id)
+            if matrix.gold_label(task) is not None
+        )
+        if gold_answered < min_gold_tasks:
+            continue
+        covered.append(estimate.interval.contains(truth))
+        sizes.append(estimate.interval.size)
+        errors.append(abs(estimate.interval.mean - truth))
+    return CoverageResult.from_observations(covered, sizes, errors)
+
+
+def kary_dataset_coverage(
+    matrix: ResponseMatrix,
+    confidence: float,
+    min_common_tasks: int,
+    n_triples: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.01,
+) -> CoverageResult:
+    """Coverage of the k-ary estimator on one dataset (Section IV-C).
+
+    Random triples of workers sharing at least ``min_common_tasks`` tasks are
+    drawn (as the paper does); the "true" response probabilities are the
+    empirical confusion matrices against gold labels.
+    """
+    if not matrix.has_gold:
+        raise InsufficientDataError("kary_dataset_coverage requires gold labels")
+    arity = matrix.arity
+    estimator = KaryEstimator(confidence=confidence, epsilon=epsilon)
+    covered: list[bool] = []
+    sizes: list[float] = []
+    errors: list[float] = []
+
+    eligible_triples = _sample_triples(matrix, min_common_tasks, n_triples, rng)
+    if not eligible_triples:
+        raise InsufficientDataError(
+            f"no triple of workers shares at least {min_common_tasks} tasks"
+        )
+    for triple in eligible_triples:
+        try:
+            estimates = estimator.evaluate(matrix, workers=triple)
+        except InsufficientDataError:
+            continue
+        for worker, estimate in zip(triple, estimates):
+            if estimate.status is EstimateStatus.DEGENERATE:
+                continue
+            truth_matrix = matrix.empirical_confusion_matrix(worker)
+            for a in range(arity):
+                for b in range(arity):
+                    interval = estimate.interval(a, b)
+                    truth = float(truth_matrix[a, b])
+                    covered.append(interval.contains(truth))
+                    sizes.append(interval.size)
+                    errors.append(abs(interval.mean - truth))
+    return CoverageResult.from_observations(covered, sizes, errors)
+
+
+def _sample_triples(
+    matrix: ResponseMatrix,
+    min_common_tasks: int,
+    n_triples: int,
+    rng: np.random.Generator,
+    max_attempts: int = 5000,
+) -> list[tuple[int, int, int]]:
+    """Draw up to ``n_triples`` random worker triples with enough overlap."""
+    triples: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int, int]] = set()
+    attempts = 0
+    workers = np.arange(matrix.n_workers)
+    while len(triples) < n_triples and attempts < max_attempts:
+        attempts += 1
+        chosen = tuple(sorted(int(w) for w in rng.choice(workers, size=3, replace=False)))
+        if chosen in seen:
+            continue
+        seen.add(chosen)
+        if matrix.n_common_tasks(*chosen) >= min_common_tasks:
+            triples.append(chosen)
+    return triples

@@ -1,0 +1,499 @@
+"""One function per figure of the paper's evaluation.
+
+Every function returns an :class:`ExperimentResult` containing the same
+series the corresponding figure plots, so the benchmark harness (and the
+examples) can print paper-comparable numbers.  The paper uses 500 repetitions
+and a 19-point confidence grid; the defaults here are reduced so a full
+reproduction run finishes in minutes on a laptop — pass ``n_repetitions`` and
+``confidence_grid`` explicitly to match the paper exactly.
+
+Figure index
+------------
+
+========  ===========================================================
+figure    function
+========  ===========================================================
+Fig 1     :func:`figure1_old_vs_new`
+Fig 2(a)  :func:`figure2a_accuracy`
+Fig 2(b)  :func:`figure2b_density`
+Fig 2(c)  :func:`figure2c_weight_optimization`
+Fig 3     :func:`figure3_real_data_accuracy`
+Fig 4     :func:`figure4_spammer_filtered_accuracy`
+Fig 5(a)  :func:`figure5a_kary_accuracy`
+Fig 5(b)  :func:`figure5b_kary_density`
+Fig 5(c)  :func:`figure5c_kary_real_data`
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.old_technique import OldTechniqueEstimator
+from repro.core.m_worker import MWorkerEstimator
+from repro.data.registry import load_dataset
+from repro.evaluation.coverage import (
+    binary_coverage,
+    dataset_coverage,
+    kary_coverage,
+    kary_dataset_coverage,
+)
+from repro.evaluation.sweeps import SweepResult
+from repro.simulation.binary import simulate_binary_responses
+from repro.simulation.density import per_worker_density_ramp
+from repro.simulation.kary import simulate_kary_responses
+from repro.types import EstimateStatus
+
+__all__ = [
+    "PAPER_CONFIDENCE_GRID",
+    "DEFAULT_CONFIDENCE_GRID",
+    "ExperimentResult",
+    "figure1_old_vs_new",
+    "figure2a_accuracy",
+    "figure2b_density",
+    "figure2c_weight_optimization",
+    "figure3_real_data_accuracy",
+    "figure4_spammer_filtered_accuracy",
+    "figure5a_kary_accuracy",
+    "figure5b_kary_density",
+    "figure5c_kary_real_data",
+]
+
+#: The paper's confidence grid: 0.05, 0.10, ..., 0.95.
+PAPER_CONFIDENCE_GRID: tuple[float, ...] = tuple(
+    round(0.05 * step, 2) for step in range(1, 20)
+)
+
+#: Coarser default grid used by the benches so they run in seconds.
+DEFAULT_CONFIDENCE_GRID: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
+
+#: Density grid of Figures 2(b) and 5(b).
+PAPER_DENSITY_GRID: tuple[float, ...] = tuple(
+    round(0.5 + 0.05 * step, 2) for step in range(0, 10)
+)
+
+DEFAULT_DENSITY_GRID: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: Minimum common-task thresholds per k-ary dataset (Section IV-C uses
+#: 60/100/30 on the originals; the stand-ins have their own overlap
+#: structure, so the thresholds are scaled to keep ~50 usable triples).
+KARY_DATASET_THRESHOLDS: dict[str, int] = {"mooc": 20, "wsd": 40, "ws": 15}
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced content of one paper figure.
+
+    Attributes
+    ----------
+    figure:
+        Paper figure id, e.g. ``"fig2a"``.
+    title:
+        Human-readable description.
+    sweep:
+        The named series with their axis labels.
+    notes:
+        Free-form notes (e.g. reduced repetition counts).
+    """
+
+    figure: str
+    title: str
+    sweep: SweepResult
+    notes: str = ""
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Convenience: label -> list of (x, y) points."""
+        return {label: list(series.points) for label, series in self.sweep.series.items()}
+
+
+def _mean_interval_size(estimates, include_degenerate: bool = False) -> float:
+    sizes = [
+        estimate.interval.size
+        for estimate in estimates
+        if include_degenerate or estimate.status is not EstimateStatus.DEGENERATE
+    ]
+    if not sizes:
+        return float("nan")
+    return float(np.mean(sizes))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 — old vs new technique, interval size vs confidence
+# --------------------------------------------------------------------------- #
+
+
+def figure1_old_vs_new(
+    n_tasks: int = 100,
+    worker_counts: Sequence[int] = (3, 7),
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    n_repetitions: int = 30,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 1: average interval size vs confidence, new vs old technique.
+
+    Regular data, error rates drawn from {0.1, 0.2, 0.3}.  The paper reports
+    the new intervals being up to ~40 % smaller; the exact factor depends on
+    the conservative-baseline re-derivation (see DESIGN.md), but the ordering
+    (new < old at every confidence level) must hold.
+    """
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(
+        name="fig1", x_label="confidence level", y_label="mean interval size"
+    )
+    for n_workers in worker_counts:
+        matrices = [
+            simulate_binary_responses(n_workers, n_tasks, rng, density=1.0)[0]
+            for _ in range(n_repetitions)
+        ]
+        for confidence in confidence_grid:
+            new_estimator = MWorkerEstimator(confidence=confidence)
+            old_estimator = OldTechniqueEstimator(confidence=confidence, seed=seed)
+            new_sizes = []
+            old_sizes = []
+            for matrix in matrices:
+                new_sizes.append(_mean_interval_size(new_estimator.evaluate_all(matrix)))
+                old_sizes.append(_mean_interval_size(old_estimator.evaluate_all(matrix)))
+            sweep.add_point(
+                f"new technique, {n_workers} workers", confidence, float(np.mean(new_sizes))
+            )
+            sweep.add_point(
+                f"old technique, {n_workers} workers", confidence, float(np.mean(old_sizes))
+            )
+    return ExperimentResult(
+        figure="fig1",
+        title="Interval size vs confidence: new vs old technique "
+        f"(n={n_tasks} tasks, regular data)",
+        sweep=sweep,
+        parameters={
+            "n_tasks": n_tasks,
+            "worker_counts": tuple(worker_counts),
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2(a) — interval accuracy vs confidence (binary, non-regular)
+# --------------------------------------------------------------------------- #
+
+
+def figure2a_accuracy(
+    configurations: Sequence[tuple[int, int]] = ((3, 100), (3, 300), (7, 100), (7, 300)),
+    density: float = 0.8,
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    n_repetitions: int = 60,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Figure 2(a): interval-accuracy vs confidence for (workers, tasks) pairs."""
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(
+        name="fig2a", x_label="confidence level", y_label="interval accuracy"
+    )
+    for n_workers, n_tasks in configurations:
+        label = f"{n_workers} workers {n_tasks} tasks"
+        for confidence in confidence_grid:
+            result = binary_coverage(
+                n_workers=n_workers,
+                n_tasks=n_tasks,
+                confidence=confidence,
+                rng=rng,
+                density=density,
+                n_repetitions=n_repetitions,
+            )
+            sweep.add_point(label, confidence, result.accuracy)
+    return ExperimentResult(
+        figure="fig2a",
+        title="Accuracy of the m-worker binary non-regular method vs confidence "
+        f"(density={density})",
+        sweep=sweep,
+        parameters={
+            "configurations": tuple(configurations),
+            "density": density,
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2(b) — interval size vs density
+# --------------------------------------------------------------------------- #
+
+
+def figure2b_density(
+    configurations: Sequence[tuple[int, int]] = ((7, 100), (3, 300), (7, 300)),
+    densities: Sequence[float] = DEFAULT_DENSITY_GRID,
+    confidence: float = 0.8,
+    n_repetitions: int = 60,
+    seed: int = 2,
+) -> ExperimentResult:
+    """Figure 2(b): average interval size vs data density at c = 0.8."""
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(name="fig2b", x_label="density", y_label="mean interval size")
+    for n_workers, n_tasks in configurations:
+        label = f"{n_workers} workers, {n_tasks} tasks"
+        for density in densities:
+            result = binary_coverage(
+                n_workers=n_workers,
+                n_tasks=n_tasks,
+                confidence=confidence,
+                rng=rng,
+                density=density,
+                n_repetitions=n_repetitions,
+            )
+            sweep.add_point(label, density, result.mean_size)
+    return ExperimentResult(
+        figure="fig2b",
+        title=f"Interval size vs density (c={confidence})",
+        sweep=sweep,
+        parameters={
+            "configurations": tuple(configurations),
+            "confidence": confidence,
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2(c) — weight optimization ablation
+# --------------------------------------------------------------------------- #
+
+
+def figure2c_weight_optimization(
+    n_workers: int = 7,
+    n_tasks: int = 100,
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    n_repetitions: int = 60,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Figure 2(c): interval size with Lemma-5 weights vs uniform weights.
+
+    The per-worker density ramp ``d_i = (0.5 i + m - i) / m`` makes triples
+    carry very different amounts of information, which is where the weight
+    optimization pays off (about 2x smaller intervals in the paper).
+    """
+    rng = np.random.default_rng(seed)
+    densities = per_worker_density_ramp(n_workers)
+    sweep = SweepResult(
+        name="fig2c", x_label="confidence level", y_label="mean interval size"
+    )
+    for confidence in confidence_grid:
+        for optimize, label in ((True, "with optimization"), (False, "no optimization")):
+            result = binary_coverage(
+                n_workers=n_workers,
+                n_tasks=n_tasks,
+                confidence=confidence,
+                rng=rng,
+                density=densities,
+                n_repetitions=n_repetitions,
+                optimize_weights=optimize,
+            )
+            sweep.add_point(label, confidence, result.mean_size)
+    return ExperimentResult(
+        figure="fig2c",
+        title="Interval size vs confidence, optimized vs uniform triple weights",
+        sweep=sweep,
+        parameters={
+            "n_workers": n_workers,
+            "n_tasks": n_tasks,
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 3 and 4 — real-data accuracy, without and with spammer filtering
+# --------------------------------------------------------------------------- #
+
+
+def _real_data_accuracy(
+    figure: str,
+    title: str,
+    datasets: Sequence[str],
+    confidence_grid: Sequence[float],
+    remove_spammers: bool,
+    seed: int,
+) -> ExperimentResult:
+    sweep = SweepResult(
+        name=figure, x_label="confidence level", y_label="interval accuracy"
+    )
+    display_names = {"ic": "Image Comparison", "rte": "RTE", "tem": "Temporal"}
+    for dataset_name in datasets:
+        matrix = load_dataset(dataset_name, seed=seed)
+        label = display_names.get(dataset_name, dataset_name)
+        for confidence in confidence_grid:
+            result = dataset_coverage(
+                matrix, confidence=confidence, remove_spammers=remove_spammers
+            )
+            sweep.add_point(label, confidence, result.accuracy)
+    return ExperimentResult(
+        figure=figure,
+        title=title,
+        sweep=sweep,
+        notes="datasets are seeded synthetic stand-ins with the shapes of the "
+        "originals (see DESIGN.md, substitutions)",
+        parameters={"datasets": tuple(datasets), "remove_spammers": remove_spammers},
+    )
+
+
+def figure3_real_data_accuracy(
+    datasets: Sequence[str] = ("ic", "rte", "tem"),
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Figure 3: interval accuracy on the three binary datasets, no filtering."""
+    return _real_data_accuracy(
+        "fig3",
+        "Interval accuracy vs confidence on real-data stand-ins (no spammer filter)",
+        datasets,
+        confidence_grid,
+        remove_spammers=False,
+        seed=seed,
+    )
+
+
+def figure4_spammer_filtered_accuracy(
+    datasets: Sequence[str] = ("ic", "rte", "tem"),
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Figure 4: the same measurement after pruning near-spammers (threshold 0.4)."""
+    return _real_data_accuracy(
+        "fig4",
+        "Interval accuracy vs confidence on real-data stand-ins (spammers removed)",
+        datasets,
+        confidence_grid,
+        remove_spammers=True,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5(a) — k-ary accuracy vs confidence
+# --------------------------------------------------------------------------- #
+
+
+def figure5a_kary_accuracy(
+    arities: Sequence[int] = (2, 3, 4),
+    task_counts: Sequence[int] = (100, 1000),
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    n_repetitions: int = 20,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Figure 5(a): k-ary interval accuracy vs confidence for several arities."""
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(
+        name="fig5a", x_label="confidence level", y_label="interval accuracy"
+    )
+    for arity in arities:
+        for n_tasks in task_counts:
+            label = f"arity {arity}, {n_tasks} tasks"
+            for confidence in confidence_grid:
+                result = kary_coverage(
+                    arity=arity,
+                    n_tasks=n_tasks,
+                    confidence=confidence,
+                    rng=rng,
+                    density=1.0,
+                    n_repetitions=n_repetitions,
+                )
+                sweep.add_point(label, confidence, result.accuracy)
+    return ExperimentResult(
+        figure="fig5a",
+        title="k-ary interval accuracy vs confidence (3 workers, paper matrices)",
+        sweep=sweep,
+        parameters={
+            "arities": tuple(arities),
+            "task_counts": tuple(task_counts),
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5(b) — k-ary interval size vs density and arity
+# --------------------------------------------------------------------------- #
+
+
+def figure5b_kary_density(
+    arities: Sequence[int] = (2, 3, 4),
+    densities: Sequence[float] = DEFAULT_DENSITY_GRID,
+    n_tasks: int = 500,
+    confidence: float = 0.8,
+    n_repetitions: int = 20,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Figure 5(b): average k-ary interval size vs density for each arity."""
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(name="fig5b", x_label="density", y_label="mean interval size")
+    for arity in arities:
+        label = f"arity {arity}"
+        for density in densities:
+            result = kary_coverage(
+                arity=arity,
+                n_tasks=n_tasks,
+                confidence=confidence,
+                rng=rng,
+                density=density,
+                n_repetitions=n_repetitions,
+            )
+            sweep.add_point(label, density, result.mean_size)
+    return ExperimentResult(
+        figure="fig5b",
+        title=f"k-ary interval size vs density (n={n_tasks}, c={confidence})",
+        sweep=sweep,
+        parameters={
+            "arities": tuple(arities),
+            "n_tasks": n_tasks,
+            "confidence": confidence,
+            "n_repetitions": n_repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5(c) — k-ary accuracy on real datasets
+# --------------------------------------------------------------------------- #
+
+
+def figure5c_kary_real_data(
+    datasets: Sequence[str] = ("mooc", "wsd", "ws"),
+    confidence_grid: Sequence[float] = DEFAULT_CONFIDENCE_GRID,
+    n_triples: int = 20,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Figure 5(c): k-ary interval accuracy on the MOOC / WSD / WS stand-ins.
+
+    Random triples of workers with enough common tasks are evaluated, as in
+    Section IV-C; thresholds are scaled to the stand-ins' overlap structure.
+    """
+    rng = np.random.default_rng(seed)
+    sweep = SweepResult(
+        name="fig5c", x_label="confidence level", y_label="interval accuracy"
+    )
+    display_names = {"mooc": "MOOC arity 3", "wsd": "WSD arity 2", "ws": "Wordsim arity 2"}
+    for dataset_name in datasets:
+        matrix = load_dataset(dataset_name)
+        threshold = KARY_DATASET_THRESHOLDS.get(dataset_name, 20)
+        label = display_names.get(dataset_name, dataset_name)
+        for confidence in confidence_grid:
+            result = kary_dataset_coverage(
+                matrix,
+                confidence=confidence,
+                min_common_tasks=threshold,
+                n_triples=n_triples,
+                rng=rng,
+            )
+            sweep.add_point(label, confidence, result.accuracy)
+    return ExperimentResult(
+        figure="fig5c",
+        title="k-ary interval accuracy on real-data stand-ins",
+        sweep=sweep,
+        notes="datasets are seeded synthetic stand-ins; common-task thresholds "
+        "scaled to their overlap structure (see DESIGN.md)",
+        parameters={"datasets": tuple(datasets), "n_triples": n_triples},
+    )

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers format a :class:`~repro.evaluation.sweeps.SweepResult` (or an
+:class:`~repro.evaluation.experiments.ExperimentResult`) as an aligned text
+table with one column per series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.sweeps import SweepResult
+
+__all__ = ["series_to_rows", "format_table", "format_experiment"]
+
+
+def series_to_rows(sweep: SweepResult) -> tuple[list[str], list[list[str]]]:
+    """Convert a sweep into (header, rows) with one column per series.
+
+    The x grid is the union of all series' x values, sorted; missing points
+    render as ``-``.
+    """
+    labels = sweep.labels
+    x_values = sorted({x for series in sweep.series.values() for x in series.xs})
+    header = [sweep.x_label] + labels
+    rows: list[list[str]] = []
+    for x in x_values:
+        row = [f"{x:g}"]
+        for label in labels:
+            series = sweep.series[label]
+            try:
+                row.append(f"{series.y_at(x):.4f}")
+            except Exception:
+                row.append("-")
+        rows.append(row)
+    return header, rows
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align a header and rows into a fixed-width text table."""
+    columns = len(header)
+    widths = [len(str(header[i])) for i in range(columns)]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [format_row(header), format_row(["-" * w for w in widths])]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render a full experiment (title, parameters, table, notes)."""
+    header, rows = series_to_rows(result.sweep)
+    lines = [f"{result.figure}: {result.title}"]
+    if result.parameters:
+        parameter_text = ", ".join(f"{k}={v}" for k, v in result.parameters.items())
+        lines.append(f"parameters: {parameter_text}")
+    lines.append("")
+    lines.append(format_table(header, rows))
+    if result.notes:
+        lines.append("")
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Lightweight series/sweep containers used by the figure-reproduction code.
+
+A figure in the paper is a set of named series (one per legend entry), each a
+list of (x, y) points.  :class:`SweepResult` holds that structure plus axis
+labels, so the reporting module can render any figure the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Series", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class Series:
+    """One named line of a figure: a label plus (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point to the series."""
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> list[float]:
+        """The x coordinates, in insertion order."""
+        return [point[0] for point in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """The y coordinates, in insertion order."""
+        return [point[1] for point in self.points]
+
+    def y_at(self, x: float, tolerance: float = 1e-9) -> float:
+        """The y value recorded at a given x (exact match within tolerance)."""
+        for point_x, point_y in self.points:
+            if abs(point_x - x) <= tolerance:
+                return point_y
+        raise ConfigurationError(f"series '{self.label}' has no point at x={x}")
+
+
+@dataclass
+class SweepResult:
+    """A named collection of series sharing the same axes."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def series_named(self, label: str) -> Series:
+        """Fetch (or lazily create) the series with the given label."""
+        if label not in self.series:
+            self.series[label] = Series(label=label)
+        return self.series[label]
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append one point to the series with the given label."""
+        self.series_named(label).add(x, y)
+
+    @property
+    def labels(self) -> list[str]:
+        """Series labels in insertion order."""
+        return list(self.series)
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    series_labels: Iterable[str],
+    evaluate: Callable[[str, float], float],
+) -> SweepResult:
+    """Evaluate ``evaluate(label, x)`` on a grid and collect the results.
+
+    A convenience wrapper for the common "for each series, for each x, compute
+    one number" experiment structure.
+    """
+    result = SweepResult(name=name, x_label=x_label, y_label=y_label)
+    for label in series_labels:
+        for x in x_values:
+            result.add_point(label, float(x), float(evaluate(label, float(x))))
+    return result

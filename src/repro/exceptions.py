@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error the library raises deliberately derives from
+:class:`CrowdAssessmentError`, so downstream users can catch library-specific
+failures with a single ``except`` clause while still letting programming
+errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class CrowdAssessmentError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataValidationError(CrowdAssessmentError):
+    """Raised when input response data is malformed or inconsistent.
+
+    Examples: responses outside the declared label set, negative worker or
+    task identifiers, a gold label for a task that does not exist.
+    """
+
+
+class InsufficientDataError(CrowdAssessmentError):
+    """Raised when the data cannot support the requested estimate.
+
+    The paper requires, for example, that every pair of workers in a triple
+    shares at least one common task (Section III-B), and that at least three
+    workers are available for any evaluation without a gold standard.
+    """
+
+
+class DegenerateEstimateError(CrowdAssessmentError):
+    """Raised when an estimate is mathematically degenerate.
+
+    The closed-form error-rate function of Eq. (1) has a singularity when a
+    pairwise agreement rate equals 1/2; the k-ary spectral estimator fails
+    when a response-frequency matrix is singular.  Callers that prefer a
+    best-effort answer can pass ``strict=False`` to the estimators, in which
+    case a clamped estimate flagged as degenerate is returned instead of this
+    exception being raised.
+    """
+
+
+class ConvergenceError(CrowdAssessmentError):
+    """Raised when an iterative procedure (e.g. Dawid-Skene EM) fails to
+    converge within the configured iteration budget and the caller asked for
+    strict behaviour."""
+
+
+class ConfigurationError(CrowdAssessmentError):
+    """Raised when an estimator or experiment is configured inconsistently
+    (e.g. a confidence level outside (0, 1), a negative density)."""

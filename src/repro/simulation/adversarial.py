@@ -1,0 +1,139 @@
+"""Adversarial worker models for robustness experiments.
+
+The paper assumes workers err independently and are not malicious
+(``p_i < 1/2``).  Real crowds violate both: spammers answer randomly,
+adversaries answer systematically wrongly, and colluders copy each other
+(Section II cites work on adversarial behaviour, ref [20]).  This module
+provides populations that break the assumptions in controlled ways so the
+robustness of the confidence intervals can be measured — the paper's Figures
+3/4 do this implicitly through real data; here the violation strength is a
+dial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.density import attempt_mask, uniform_density
+
+__all__ = ["AdversarialPopulation"]
+
+
+@dataclass
+class AdversarialPopulation:
+    """Binary worker population with spammers, adversaries, and colluders.
+
+    Parameters
+    ----------
+    honest_error_rates:
+        Error rates of the honest workers (the assumption-conforming part of
+        the crowd).
+    n_spammers:
+        Workers who answer uniformly at random (error rate exactly 1/2).
+    n_adversaries:
+        Workers who answer *incorrectly* with the given probability
+        (``adversary_error_rate > 1/2`` breaks the non-maliciousness
+        assumption).
+    n_colluders:
+        Workers who copy the response of a single "leader" colluder (breaking
+        the independence assumption); the leader behaves like an honest
+        worker with error rate ``colluder_error_rate``.
+    """
+
+    honest_error_rates: np.ndarray
+    n_spammers: int = 0
+    n_adversaries: int = 0
+    n_colluders: int = 0
+    adversary_error_rate: float = 0.8
+    colluder_error_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        self.honest_error_rates = np.asarray(self.honest_error_rates, dtype=float)
+        if self.honest_error_rates.ndim != 1 or self.honest_error_rates.size == 0:
+            raise ConfigurationError("honest_error_rates must be a non-empty 1-D array")
+        if np.any(self.honest_error_rates < 0.0) or np.any(self.honest_error_rates >= 0.5):
+            raise ConfigurationError("honest workers must have error rates in [0, 0.5)")
+        for name, value in (
+            ("n_spammers", self.n_spammers),
+            ("n_adversaries", self.n_adversaries),
+            ("n_colluders", self.n_colluders),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {value}")
+        if not (0.5 < self.adversary_error_rate <= 1.0):
+            raise ConfigurationError(
+                "adversary_error_rate must exceed 1/2 (that is what makes them adversarial)"
+            )
+        if not (0.0 <= self.colluder_error_rate < 0.5):
+            raise ConfigurationError("colluder_error_rate must lie in [0, 0.5)")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of workers across all behaviour groups."""
+        return (
+            self.honest_error_rates.size
+            + self.n_spammers
+            + self.n_adversaries
+            + self.n_colluders
+        )
+
+    def worker_kinds(self) -> list[str]:
+        """Behaviour label per worker id: honest / spammer / adversary / colluder."""
+        kinds = ["honest"] * self.honest_error_rates.size
+        kinds += ["spammer"] * self.n_spammers
+        kinds += ["adversary"] * self.n_adversaries
+        kinds += ["colluder"] * self.n_colluders
+        return kinds
+
+    def true_error_rates(self) -> np.ndarray:
+        """The effective per-worker error rate (colluders share the leader's)."""
+        rates = list(self.honest_error_rates)
+        rates += [0.5] * self.n_spammers
+        rates += [self.adversary_error_rate] * self.n_adversaries
+        rates += [self.colluder_error_rate] * self.n_colluders
+        return np.asarray(rates, dtype=float)
+
+    def generate(
+        self,
+        n_tasks: int,
+        rng: np.random.Generator,
+        density: float = 1.0,
+    ) -> ResponseMatrix:
+        """Simulate responses under the adversarial model (gold labels attached)."""
+        if n_tasks <= 0:
+            raise ConfigurationError(f"n_tasks must be positive, got {n_tasks}")
+        m = self.n_workers
+        truths = rng.integers(0, 2, size=n_tasks)
+        mask = attempt_mask(m, n_tasks, uniform_density(m, density), rng)
+        matrix = ResponseMatrix(n_workers=m, n_tasks=n_tasks, arity=2)
+        kinds = self.worker_kinds()
+        rates = self.true_error_rates()
+
+        # Colluders copy a single leader's answers; draw those answers first.
+        leader_answers: dict[int, int] = {}
+        if self.n_colluders > 0:
+            for task in range(n_tasks):
+                truth = int(truths[task])
+                wrong = rng.random() < self.colluder_error_rate
+                leader_answers[task] = 1 - truth if wrong else truth
+
+        for worker in range(m):
+            kind = kinds[worker]
+            for task in np.nonzero(mask[worker])[0]:
+                truth = int(truths[task])
+                if kind == "colluder":
+                    label = leader_answers[int(task)]
+                elif kind == "spammer":
+                    label = int(rng.integers(0, 2))
+                else:
+                    wrong = rng.random() < rates[worker]
+                    label = 1 - truth if wrong else truth
+                matrix.add_response(worker, int(task), label)
+        matrix.set_gold_labels(truths.tolist())
+        return matrix

@@ -1,0 +1,155 @@
+"""Synthetic binary-task worker simulation.
+
+Reproduces the simulation setting used throughout Section III: each worker
+``w_i`` has an error rate ``p_i`` drawn uniformly from ``{0.1, 0.2, 0.3}``;
+whenever the worker attempts a task they flip the true answer with
+probability ``p_i``, independently of everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.density import attempt_mask, uniform_density
+
+__all__ = [
+    "PAPER_ERROR_RATES",
+    "BinaryWorkerPopulation",
+    "sample_error_rates",
+    "simulate_binary_responses",
+]
+
+#: The error-rate palette used by the paper's simulations (Sections III-A, III-D).
+PAPER_ERROR_RATES: tuple[float, ...] = (0.1, 0.2, 0.3)
+
+
+def sample_error_rates(
+    n_workers: int,
+    rng: np.random.Generator,
+    palette: Sequence[float] = PAPER_ERROR_RATES,
+) -> np.ndarray:
+    """Draw one error rate per worker uniformly from ``palette``."""
+    if n_workers <= 0:
+        raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
+    palette_array = np.asarray(palette, dtype=float)
+    if palette_array.size == 0:
+        raise ConfigurationError("error-rate palette must not be empty")
+    if np.any(palette_array < 0.0) or np.any(palette_array >= 1.0):
+        raise ConfigurationError("error rates must lie in [0, 1)")
+    indices = rng.integers(0, palette_array.size, size=n_workers)
+    return palette_array[indices]
+
+
+@dataclass
+class BinaryWorkerPopulation:
+    """A fixed set of binary workers with known error rates.
+
+    Attributes
+    ----------
+    error_rates:
+        Per-worker probability of answering a task incorrectly.
+    task_positive_prior:
+        A-priori probability that a task's true answer is label 1
+        (the paper uses 0.5 throughout).
+    """
+
+    error_rates: np.ndarray
+    task_positive_prior: float = 0.5
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.error_rates = np.asarray(self.error_rates, dtype=float)
+        if self.error_rates.ndim != 1 or self.error_rates.size == 0:
+            raise ConfigurationError("error_rates must be a non-empty 1-D array")
+        if np.any(self.error_rates < 0.0) or np.any(self.error_rates >= 1.0):
+            raise ConfigurationError("error rates must lie in [0, 1)")
+        if not (0.0 < self.task_positive_prior < 1.0):
+            raise ConfigurationError(
+                f"task_positive_prior must lie in (0, 1), got {self.task_positive_prior}"
+            )
+
+    @classmethod
+    def from_paper_palette(
+        cls, n_workers: int, rng: np.random.Generator
+    ) -> "BinaryWorkerPopulation":
+        """Population with error rates drawn from the paper's {0.1, 0.2, 0.3}."""
+        return cls(error_rates=sample_error_rates(n_workers, rng))
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers in the population."""
+        return int(self.error_rates.size)
+
+    def generate(
+        self,
+        n_tasks: int,
+        rng: np.random.Generator,
+        densities: np.ndarray | float = 1.0,
+        ensure_pairwise_overlap: bool = True,
+    ) -> ResponseMatrix:
+        """Simulate responses on ``n_tasks`` fresh tasks.
+
+        Parameters
+        ----------
+        n_tasks:
+            Number of tasks to create.
+        rng:
+            Random generator driving truth sampling, attempts and errors.
+        densities:
+            Either a scalar density shared by all workers or a per-worker
+            array of attempt probabilities.
+        ensure_pairwise_overlap:
+            Redraw the attempt mask until every worker pair shares tasks
+            (see :func:`repro.simulation.density.attempt_mask`).
+
+        Returns
+        -------
+        ResponseMatrix
+            Responses with gold labels attached (the estimators ignore gold;
+            the evaluation harness uses it for coverage checks).
+        """
+        if n_tasks <= 0:
+            raise ConfigurationError(f"n_tasks must be positive, got {n_tasks}")
+        m = self.n_workers
+        truths = (rng.random(n_tasks) < self.task_positive_prior).astype(int)
+        mask = attempt_mask(
+            m, n_tasks, densities, rng, ensure_pairwise_overlap=ensure_pairwise_overlap
+        )
+        errors = rng.random((m, n_tasks)) < self.error_rates[:, None]
+        matrix = ResponseMatrix(n_workers=m, n_tasks=n_tasks, arity=2)
+        for worker in range(m):
+            attempted = np.nonzero(mask[worker])[0]
+            for task in attempted:
+                truth = int(truths[task])
+                label = 1 - truth if errors[worker, task] else truth
+                matrix.add_response(worker, int(task), label)
+        matrix.set_gold_labels(truths.tolist())
+        return matrix
+
+
+def simulate_binary_responses(
+    n_workers: int,
+    n_tasks: int,
+    rng: np.random.Generator,
+    density: float | np.ndarray = 1.0,
+    error_rate_palette: Sequence[float] = PAPER_ERROR_RATES,
+) -> tuple[ResponseMatrix, np.ndarray]:
+    """One-call helper: draw a population and its responses.
+
+    Returns the response matrix and the true per-worker error rates so the
+    caller can score interval coverage.
+    """
+    population = BinaryWorkerPopulation(
+        error_rates=sample_error_rates(n_workers, rng, palette=error_rate_palette)
+    )
+    if np.isscalar(density):
+        densities: np.ndarray | float = uniform_density(n_workers, float(density))
+    else:
+        densities = np.asarray(density, dtype=float)
+    matrix = population.generate(n_tasks, rng, densities=densities)
+    return matrix, population.error_rates

@@ -1,0 +1,88 @@
+"""Attempt-pattern (density) models.
+
+The paper's non-regular experiments control which worker attempts which task
+through a per-worker attempt probability ("density"):
+
+* Section III-D1/D2 uses a single density ``d`` shared by all workers;
+* Section III-D3 (the weight-optimization experiment, Fig 2(c)) gives worker
+  ``i`` of ``m`` the density ``(0.5 * i + (m - i)) / m`` so different workers
+  answer very different numbers of tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["uniform_density", "per_worker_density_ramp", "attempt_mask"]
+
+
+def uniform_density(n_workers: int, density: float) -> np.ndarray:
+    """Every worker attempts each task with the same probability ``density``."""
+    if n_workers <= 0:
+        raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
+    if not (0.0 < density <= 1.0):
+        raise ConfigurationError(f"density must lie in (0, 1], got {density}")
+    return np.full(n_workers, density, dtype=float)
+
+
+def per_worker_density_ramp(n_workers: int) -> np.ndarray:
+    """The Fig 2(c) density ramp: worker ``i`` gets ``(0.5*i + (m - i)) / m``.
+
+    With 1-based worker index ``i`` (as in the paper), the first worker gets
+    density close to 1 and the last close to 0.5, so different triples carry
+    very different amounts of information — exactly the situation where
+    Lemma 5's weight optimization matters.
+    """
+    if n_workers <= 0:
+        raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
+    m = n_workers
+    densities = np.array(
+        [(0.5 * i + (m - i)) / m for i in range(1, m + 1)], dtype=float
+    )
+    return densities
+
+
+def attempt_mask(
+    n_workers: int,
+    n_tasks: int,
+    densities: np.ndarray | float,
+    rng: np.random.Generator,
+    ensure_pairwise_overlap: bool = True,
+    max_retries: int = 50,
+) -> np.ndarray:
+    """Boolean ``(n_workers, n_tasks)`` mask of who attempts what.
+
+    Each cell is drawn independently: worker ``i`` attempts task ``j`` with
+    probability ``densities[i]``.  When ``ensure_pairwise_overlap`` is set the
+    mask is re-drawn (up to ``max_retries`` times) until every pair of workers
+    shares at least two common tasks, the minimum the 3-worker method needs to
+    produce a finite-variance estimate; this mirrors the paper's (implicit)
+    assumption that every pair of workers has common tasks.
+    """
+    if n_workers <= 0 or n_tasks <= 0:
+        raise ConfigurationError("n_workers and n_tasks must be positive")
+    if np.isscalar(densities):
+        densities = uniform_density(n_workers, float(densities))
+    densities = np.asarray(densities, dtype=float)
+    if densities.shape != (n_workers,):
+        raise ConfigurationError(
+            f"densities must have shape ({n_workers},), got {densities.shape}"
+        )
+    if np.any(densities <= 0.0) or np.any(densities > 1.0):
+        raise ConfigurationError("all densities must lie in (0, 1]")
+
+    for _ in range(max_retries):
+        mask = rng.random((n_workers, n_tasks)) < densities[:, None]
+        if not ensure_pairwise_overlap:
+            return mask
+        overlaps = mask.astype(int) @ mask.astype(int).T
+        off_diagonal = overlaps[~np.eye(n_workers, dtype=bool)]
+        if off_diagonal.size == 0 or off_diagonal.min() >= 2:
+            return mask
+    # Could not satisfy the overlap requirement by rejection; force it by
+    # making every worker attempt the first two tasks.
+    mask = rng.random((n_workers, n_tasks)) < densities[:, None]
+    mask[:, : min(2, n_tasks)] = True
+    return mask

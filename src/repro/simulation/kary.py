@@ -1,0 +1,254 @@
+"""Synthetic k-ary worker simulation.
+
+Reproduces the Section IV-B setting: each worker is assigned one of three
+per-arity response-probability (confusion) matrices with equal probability;
+the true label of each task is uniform over the ``k`` labels; a worker's
+response to a task is drawn from the row of their matrix indexed by the true
+label.  The three matrices per arity are the ones printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.density import attempt_mask, uniform_density
+
+__all__ = [
+    "PAPER_CONFUSION_MATRICES",
+    "random_confusion_matrix",
+    "sample_confusion_matrices",
+    "KaryWorkerPopulation",
+    "simulate_kary_responses",
+]
+
+#: The worker response-probability matrices from Section IV-B, keyed by arity.
+PAPER_CONFUSION_MATRICES: dict[int, tuple[np.ndarray, ...]] = {
+    2: (
+        np.array([[0.9, 0.1], [0.2, 0.8]]),
+        np.array([[0.8, 0.2], [0.1, 0.9]]),
+        np.array([[0.9, 0.1], [0.1, 0.9]]),
+    ),
+    3: (
+        np.array([[0.6, 0.3, 0.1], [0.1, 0.6, 0.3], [0.3, 0.1, 0.6]]),
+        np.array([[0.8, 0.1, 0.1], [0.2, 0.8, 0.0], [0.0, 0.2, 0.8]]),
+        np.array([[0.9, 0.0, 0.1], [0.1, 0.9, 0.0], [0.0, 0.2, 0.8]]),
+    ),
+    4: (
+        np.array(
+            [
+                [0.7, 0.1, 0.1, 0.1],
+                [0.1, 0.6, 0.2, 0.1],
+                [0.0, 0.1, 0.8, 0.1],
+                [0.2, 0.1, 0.0, 0.7],
+            ]
+        ),
+        np.array(
+            [
+                [0.8, 0.1, 0.0, 0.1],
+                [0.1, 0.8, 0.0, 0.1],
+                [0.1, 0.1, 0.7, 0.1],
+                [0.0, 0.1, 0.2, 0.7],
+            ]
+        ),
+        np.array(
+            [
+                [0.6, 0.1, 0.2, 0.1],
+                [0.0, 0.7, 0.1, 0.2],
+                [0.1, 0.0, 0.9, 0.0],
+                [0.2, 0.0, 0.0, 0.8],
+            ]
+        ),
+    ),
+}
+
+
+def _validate_confusion_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError(
+            f"confusion matrix must be square, got shape {matrix.shape}"
+        )
+    if np.any(matrix < 0.0) or np.any(matrix > 1.0):
+        raise ConfigurationError("confusion matrix entries must lie in [0, 1]")
+    row_sums = matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        raise ConfigurationError(
+            f"confusion matrix rows must sum to 1, got row sums {row_sums}"
+        )
+    return matrix
+
+
+def random_confusion_matrix(
+    arity: int,
+    rng: np.random.Generator,
+    diagonal_low: float = 0.6,
+    diagonal_high: float = 0.95,
+) -> np.ndarray:
+    """Draw a diagonally-dominant confusion matrix.
+
+    The diagonal entry (probability of answering correctly) is drawn
+    uniformly in ``[diagonal_low, diagonal_high]`` per row; the remaining
+    mass is spread over the off-diagonal entries by a Dirichlet draw.  The
+    diagonal dominance matches the paper's assumption ``P[j, j] > P[j, j']``.
+    """
+    if arity < 2:
+        raise ConfigurationError(f"arity must be at least 2, got {arity}")
+    if not (0.5 < diagonal_low <= diagonal_high < 1.0):
+        raise ConfigurationError(
+            "need 0.5 < diagonal_low <= diagonal_high < 1 for a diagonally "
+            f"dominant matrix, got [{diagonal_low}, {diagonal_high}]"
+        )
+    matrix = np.zeros((arity, arity), dtype=float)
+    for row in range(arity):
+        diag = rng.uniform(diagonal_low, diagonal_high)
+        off = rng.dirichlet(np.ones(arity - 1)) * (1.0 - diag)
+        matrix[row, row] = diag
+        matrix[row, [c for c in range(arity) if c != row]] = off
+    return matrix
+
+
+def sample_confusion_matrices(
+    n_workers: int,
+    arity: int,
+    rng: np.random.Generator,
+    palette: Sequence[np.ndarray] | None = None,
+) -> list[np.ndarray]:
+    """Assign each worker a confusion matrix drawn uniformly from ``palette``.
+
+    When ``palette`` is None, the paper's matrices for the given arity are
+    used if available, otherwise random diagonally-dominant matrices are
+    generated.
+    """
+    if n_workers <= 0:
+        raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
+    if palette is None:
+        if arity in PAPER_CONFUSION_MATRICES:
+            palette = PAPER_CONFUSION_MATRICES[arity]
+        else:
+            palette = tuple(
+                random_confusion_matrix(arity, rng) for _ in range(3)
+            )
+    validated = [_validate_confusion_matrix(m) for m in palette]
+    if any(m.shape[0] != arity for m in validated):
+        raise ConfigurationError("palette matrices must match the requested arity")
+    choices = rng.integers(0, len(validated), size=n_workers)
+    return [validated[int(c)].copy() for c in choices]
+
+
+@dataclass
+class KaryWorkerPopulation:
+    """A fixed set of k-ary workers with known confusion matrices.
+
+    Attributes
+    ----------
+    confusion_matrices:
+        One row-stochastic ``k x k`` matrix per worker; entry ``[a, b]`` is the
+        probability of answering ``b`` when the truth is ``a``.
+    selectivity:
+        Prior over true labels (the paper's ``S`` vector); uniform by default.
+    """
+
+    confusion_matrices: list[np.ndarray]
+    selectivity: np.ndarray | None = None
+    _arity: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.confusion_matrices:
+            raise ConfigurationError("need at least one worker confusion matrix")
+        self.confusion_matrices = [
+            _validate_confusion_matrix(m) for m in self.confusion_matrices
+        ]
+        arities = {m.shape[0] for m in self.confusion_matrices}
+        if len(arities) != 1:
+            raise ConfigurationError("all confusion matrices must share one arity")
+        self._arity = arities.pop()
+        if self.selectivity is None:
+            self.selectivity = np.full(self._arity, 1.0 / self._arity)
+        else:
+            self.selectivity = np.asarray(self.selectivity, dtype=float)
+            if self.selectivity.shape != (self._arity,):
+                raise ConfigurationError(
+                    f"selectivity must have shape ({self._arity},), "
+                    f"got {self.selectivity.shape}"
+                )
+            if np.any(self.selectivity < 0.0) or not np.isclose(
+                self.selectivity.sum(), 1.0, atol=1e-6
+            ):
+                raise ConfigurationError("selectivity must be a probability vector")
+
+    @classmethod
+    def from_paper_palette(
+        cls, n_workers: int, arity: int, rng: np.random.Generator
+    ) -> "KaryWorkerPopulation":
+        """Population whose matrices are drawn from the paper's palette."""
+        return cls(
+            confusion_matrices=sample_confusion_matrices(n_workers, arity, rng)
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers in the population."""
+        return len(self.confusion_matrices)
+
+    @property
+    def arity(self) -> int:
+        """Number of possible labels."""
+        return self._arity
+
+    def generate(
+        self,
+        n_tasks: int,
+        rng: np.random.Generator,
+        densities: np.ndarray | float = 1.0,
+        ensure_pairwise_overlap: bool = True,
+    ) -> ResponseMatrix:
+        """Simulate responses on ``n_tasks`` fresh tasks (gold labels attached)."""
+        if n_tasks <= 0:
+            raise ConfigurationError(f"n_tasks must be positive, got {n_tasks}")
+        m = self.n_workers
+        k = self._arity
+        truths = rng.choice(k, size=n_tasks, p=self.selectivity)
+        mask = attempt_mask(
+            m, n_tasks, densities, rng, ensure_pairwise_overlap=ensure_pairwise_overlap
+        )
+        matrix = ResponseMatrix(n_workers=m, n_tasks=n_tasks, arity=k)
+        for worker in range(m):
+            confusion = self.confusion_matrices[worker]
+            attempted = np.nonzero(mask[worker])[0]
+            for task in attempted:
+                truth = int(truths[task])
+                label = int(rng.choice(k, p=confusion[truth]))
+                matrix.add_response(worker, int(task), label)
+        matrix.set_gold_labels(truths.tolist())
+        return matrix
+
+
+def simulate_kary_responses(
+    n_workers: int,
+    n_tasks: int,
+    arity: int,
+    rng: np.random.Generator,
+    density: float | np.ndarray = 1.0,
+    palette: Sequence[np.ndarray] | None = None,
+) -> tuple[ResponseMatrix, list[np.ndarray]]:
+    """One-call helper: draw a k-ary population and its responses.
+
+    Returns the response matrix together with the true per-worker confusion
+    matrices so the caller can score interval coverage.
+    """
+    population = KaryWorkerPopulation(
+        confusion_matrices=sample_confusion_matrices(
+            n_workers, arity, rng, palette=palette
+        )
+    )
+    if np.isscalar(density):
+        densities: np.ndarray | float = uniform_density(n_workers, float(density))
+    else:
+        densities = np.asarray(density, dtype=float)
+    matrix = population.generate(n_tasks, rng, densities=densities)
+    return matrix, population.confusion_matrices

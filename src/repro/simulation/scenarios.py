@@ -1,0 +1,151 @@
+"""Named simulation scenarios matching the paper's experiment setups.
+
+A :class:`SimulationScenario` bundles everything one repetition of a paper
+experiment needs: how many workers and tasks, the density model, the arity,
+and the worker-behaviour palette.  The evaluation harness
+(:mod:`repro.evaluation.experiments`) iterates scenarios to regenerate the
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.binary import PAPER_ERROR_RATES, BinaryWorkerPopulation, sample_error_rates
+from repro.simulation.density import per_worker_density_ramp, uniform_density
+from repro.simulation.kary import KaryWorkerPopulation, sample_confusion_matrices
+
+__all__ = [
+    "SimulationScenario",
+    "paper_binary_scenario",
+    "paper_kary_scenario",
+    "weight_optimization_scenario",
+]
+
+
+@dataclass
+class SimulationScenario:
+    """A reproducible description of one simulated experiment configuration.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in reports).
+    n_workers, n_tasks:
+        Population and task-set sizes.
+    arity:
+        Number of labels (2 for the binary experiments).
+    densities:
+        Per-worker attempt probabilities.
+    error_rate_palette:
+        Palette the binary error rates are drawn from (binary scenarios only).
+    confusion_palette:
+        Palette the confusion matrices are drawn from (k-ary scenarios only).
+    """
+
+    name: str
+    n_workers: int
+    n_tasks: int
+    arity: int = 2
+    densities: np.ndarray | None = None
+    error_rate_palette: Sequence[float] = PAPER_ERROR_RATES
+    confusion_palette: Sequence[np.ndarray] | None = None
+    _cached_densities: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 3:
+            raise ConfigurationError(
+                f"the paper's methods need at least 3 workers, got {self.n_workers}"
+            )
+        if self.n_tasks <= 0:
+            raise ConfigurationError(f"n_tasks must be positive, got {self.n_tasks}")
+        if self.arity < 2:
+            raise ConfigurationError(f"arity must be at least 2, got {self.arity}")
+        if self.densities is None:
+            self._cached_densities = uniform_density(self.n_workers, 1.0)
+        else:
+            densities = np.asarray(self.densities, dtype=float)
+            if densities.shape != (self.n_workers,):
+                raise ConfigurationError(
+                    f"densities must have shape ({self.n_workers},), "
+                    f"got {densities.shape}"
+                )
+            self._cached_densities = densities
+
+    @property
+    def effective_densities(self) -> np.ndarray:
+        """Per-worker attempt probabilities actually used."""
+        return self._cached_densities
+
+    def sample(
+        self, rng: np.random.Generator
+    ) -> tuple[ResponseMatrix, np.ndarray | list[np.ndarray]]:
+        """Draw one repetition: a fresh worker population and its responses.
+
+        Returns
+        -------
+        (matrix, truth)
+            ``truth`` is the per-worker error-rate array for binary scenarios
+            and the list of per-worker confusion matrices for k-ary ones.
+        """
+        if self.arity == 2 and self.confusion_palette is None:
+            population = BinaryWorkerPopulation(
+                error_rates=sample_error_rates(
+                    self.n_workers, rng, palette=self.error_rate_palette
+                )
+            )
+            matrix = population.generate(
+                self.n_tasks, rng, densities=self._cached_densities
+            )
+            return matrix, population.error_rates
+        population_kary = KaryWorkerPopulation(
+            confusion_matrices=sample_confusion_matrices(
+                self.n_workers, self.arity, rng, palette=self.confusion_palette
+            )
+        )
+        matrix = population_kary.generate(
+            self.n_tasks, rng, densities=self._cached_densities
+        )
+        return matrix, population_kary.confusion_matrices
+
+
+def paper_binary_scenario(
+    n_workers: int, n_tasks: int, density: float = 1.0
+) -> SimulationScenario:
+    """The Section III simulation: error rates in {0.1, 0.2, 0.3}, shared density."""
+    return SimulationScenario(
+        name=f"binary-m{n_workers}-n{n_tasks}-d{density:g}",
+        n_workers=n_workers,
+        n_tasks=n_tasks,
+        arity=2,
+        densities=uniform_density(n_workers, density),
+    )
+
+
+def paper_kary_scenario(
+    arity: int, n_tasks: int, density: float = 1.0, n_workers: int = 3
+) -> SimulationScenario:
+    """The Section IV-B simulation: 3 workers, paper confusion matrices."""
+    return SimulationScenario(
+        name=f"kary{arity}-m{n_workers}-n{n_tasks}-d{density:g}",
+        n_workers=n_workers,
+        n_tasks=n_tasks,
+        arity=arity,
+        densities=uniform_density(n_workers, density),
+    )
+
+
+def weight_optimization_scenario(n_workers: int = 7, n_tasks: int = 100) -> SimulationScenario:
+    """The Fig 2(c) setting: per-worker density ramp so triples differ in quality."""
+    return SimulationScenario(
+        name=f"weight-opt-m{n_workers}-n{n_tasks}",
+        n_workers=n_workers,
+        n_tasks=n_tasks,
+        arity=2,
+        densities=per_worker_density_ramp(n_workers),
+    )

@@ -1,0 +1,90 @@
+"""Covariance-matrix utilities.
+
+Both the binary (Lemmas 1, 3, 4) and the k-ary (Lemma 9) pipelines build
+covariance matrices from plug-in estimates of unknown quantities.  Those
+plug-in matrices can end up slightly indefinite due to sampling noise, which
+would break the variance computation ``A^T C A`` and the weight optimization
+``C^{-1} 1`` of Lemma 5.  The helpers here estimate, validate and repair
+covariance matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "bernoulli_variance",
+    "sample_covariance",
+    "is_positive_semidefinite",
+    "nearest_positive_semidefinite",
+    "regularize_covariance",
+]
+
+
+def bernoulli_variance(p: float, n: int) -> float:
+    """Variance of the sample mean of ``n`` iid Bernoulli(p) draws.
+
+    This is the diagonal term of Lemma 1 / Lemma 3:
+    ``Var(Q_ij) = q_ij (1 - q_ij) / c_ij``.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"sample count must be positive, got {n}")
+    p = min(max(p, 0.0), 1.0)
+    return p * (1.0 - p) / n
+
+
+def sample_covariance(samples: np.ndarray) -> np.ndarray:
+    """Unbiased sample covariance of row-wise observations.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n_observations, n_variables)``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise ConfigurationError(
+            f"samples must be a 2-D array, got shape {samples.shape}"
+        )
+    if samples.shape[0] < 2:
+        raise ConfigurationError("need at least two observations for covariance")
+    return np.cov(samples, rowvar=False)
+
+
+def is_positive_semidefinite(matrix: np.ndarray, tol: float = 1e-10) -> bool:
+    """Check symmetry and positive semidefiniteness up to tolerance."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not np.allclose(matrix, matrix.T, atol=1e-8):
+        return False
+    eigenvalues = np.linalg.eigvalsh(0.5 * (matrix + matrix.T))
+    return bool(np.all(eigenvalues >= -tol))
+
+
+def nearest_positive_semidefinite(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone (Higham-style).
+
+    The matrix is symmetrized and its negative eigenvalues are clipped to
+    zero.  For the mildly indefinite plug-in covariance matrices produced by
+    the estimators this is a faithful, cheap repair.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    sym = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def regularize_covariance(matrix: np.ndarray, ridge: float = 1e-12) -> np.ndarray:
+    """Return a symmetric PSD version of ``matrix`` with a tiny ridge added.
+
+    The ridge keeps the matrix invertible for Lemma 5's weight computation
+    even when two triples carry identical information (perfectly correlated
+    estimates).
+    """
+    repaired = nearest_positive_semidefinite(matrix)
+    n = repaired.shape[0]
+    return repaired + ridge * np.eye(n)

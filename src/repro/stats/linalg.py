@@ -1,0 +1,143 @@
+"""Linear-algebra helpers for the k-ary spectral estimator and Lemma 5.
+
+Algorithm A3 recovers ``S^{1/2} P_1`` from an eigendecomposition of
+``R_12 R_32^{-1} R_31`` (Lemma 7) and then identifies the unknown unitary
+rotation via the conditional response-frequency matrices (Lemma 8).  The raw
+numpy eigendecomposition returns complex values in arbitrary order, so the
+helpers here normalize that output and perform the row re-ordering step the
+paper describes (making the diagonal the row maximum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DegenerateEstimateError
+
+__all__ = [
+    "safe_inverse",
+    "eigendecompose",
+    "matrix_inverse_sqrt",
+    "align_rows_to_diagonal",
+    "optimal_min_variance_weights",
+]
+
+
+def safe_inverse(matrix: np.ndarray, ridge: float = 1e-10) -> np.ndarray:
+    """Invert ``matrix``, adding a small ridge if it is (near-)singular.
+
+    The k-ary method inverts response-frequency matrices that are estimated
+    from finite samples; occasionally a row is all-but-zero (the WSD dataset
+    pathology discussed in Section IV-C1).  A ridge keeps the computation
+    alive; truly degenerate inputs still raise.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DegenerateEstimateError(
+            f"cannot invert non-square matrix of shape {matrix.shape}"
+        )
+    try:
+        return np.linalg.inv(matrix)
+    except np.linalg.LinAlgError:
+        pass
+    ridged = matrix + ridge * np.eye(matrix.shape[0])
+    try:
+        return np.linalg.inv(ridged)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - extremely rare
+        raise DegenerateEstimateError(
+            "matrix is singular even after ridge regularization"
+        ) from exc
+
+
+def eigendecompose(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition ``matrix = E diag(D) E^{-1}`` with real outputs.
+
+    The product ``R_12 R_32^{-1} R_31`` equals ``(S^{1/2} P_1)^T (S^{1/2} P_1)``
+    in expectation (Lemma 7) and therefore has real non-negative eigenvalues;
+    finite-sample noise can introduce tiny imaginary parts and small negative
+    eigenvalues, which are stripped/clipped here.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors):
+        ``eigenvalues`` is a 1-D array, ``eigenvectors`` has the eigenvectors
+        as columns, both real-valued.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    eigenvalues, eigenvectors = np.linalg.eig(matrix)
+    if np.iscomplexobj(eigenvalues):
+        eigenvalues = np.real(eigenvalues)
+        eigenvectors = np.real(eigenvectors)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return eigenvalues, eigenvectors
+
+
+def matrix_inverse_sqrt(matrix: np.ndarray, ridge: float = 1e-10) -> np.ndarray:
+    """Inverse square root of a symmetric PSD matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    sym = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    eigenvalues = np.clip(eigenvalues, ridge, None)
+    return (eigenvectors * (1.0 / np.sqrt(eigenvalues))) @ eigenvectors.T
+
+
+def align_rows_to_diagonal(matrix: np.ndarray) -> np.ndarray:
+    """Permute rows so each row's largest entry sits on the diagonal.
+
+    This is Step 6.d of Algorithm A3: the spectral decomposition recovers the
+    rows of ``S^{1/2} P_1`` only up to permutation, and the paper resolves the
+    ambiguity using the assumption that a worker's most likely response is
+    the correct one (``P[j, j] > P[j, j']``).
+
+    A greedy assignment is used: rows are assigned to their argmax column in
+    descending order of that maximum, falling back to unclaimed columns when
+    two rows compete for the same position.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    k = matrix.shape[0]
+    if matrix.shape != (k, k):
+        raise DegenerateEstimateError(
+            f"row alignment expects a square matrix, got shape {matrix.shape}"
+        )
+    order = sorted(range(k), key=lambda r: -float(np.max(matrix[r])))
+    placement: dict[int, int] = {}
+    taken: set[int] = set()
+    for row in order:
+        preferences = np.argsort(-matrix[row])
+        target = next((int(c) for c in preferences if int(c) not in taken), None)
+        if target is None:  # pragma: no cover - cannot happen for square input
+            raise DegenerateEstimateError("failed to assign rows to diagonal")
+        placement[target] = row
+        taken.add(target)
+    aligned = np.empty_like(matrix)
+    for target, row in placement.items():
+        aligned[target] = matrix[row]
+    return aligned
+
+
+def optimal_min_variance_weights(covariance: np.ndarray) -> np.ndarray:
+    """Lemma 5: weights summing to 1 that minimize ``A^T C A``.
+
+    Given the covariance matrix ``C`` of the per-triple estimates, the
+    variance-minimizing convex combination has weights
+    ``A = C^{-1} 1 / || C^{-1} 1 ||_1``.
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise DegenerateEstimateError(
+            f"covariance must be square, got shape {covariance.shape}"
+        )
+    n = covariance.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    ones = np.ones(n)
+    b = safe_inverse(covariance) @ ones
+    norm = float(np.sum(np.abs(b)))
+    if norm <= 0.0 or not np.isfinite(norm):
+        # Fall back to uniform weights when the covariance is too ill-behaved
+        # to invert meaningfully; uniform weights remain valid (Section III-D3).
+        return np.full(n, 1.0 / n)
+    weights = b / float(np.sum(b)) if abs(float(np.sum(b))) > 1e-12 else b / norm
+    if not np.all(np.isfinite(weights)):
+        return np.full(n, 1.0 / n)
+    return weights

@@ -1,0 +1,67 @@
+"""Normal-distribution primitives.
+
+Theorem 1 of the paper turns an estimator's mean and standard deviation into
+a c-confidence interval via the normal quantile ``z_t`` with
+``t = (1 + c) / 2``.  These helpers wrap the scipy implementations behind a
+small, explicit API and add validation so bad confidence levels fail loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import special
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["normal_cdf", "normal_pdf", "normal_quantile", "two_sided_z"]
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def normal_pdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Density of the normal distribution at ``x``."""
+    if std <= 0.0:
+        raise ConfigurationError(f"standard deviation must be positive, got {std}")
+    z = (x - mean) / std
+    return _INV_SQRT_2PI * math.exp(-0.5 * z * z) / std
+
+
+def normal_cdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Cumulative distribution function of the normal distribution."""
+    if std <= 0.0:
+        raise ConfigurationError(f"standard deviation must be positive, got {std}")
+    return 0.5 * (1.0 + special.erf((x - mean) / (std * _SQRT2)))
+
+
+def normal_quantile(p: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Inverse CDF (quantile function) of the normal distribution.
+
+    Parameters
+    ----------
+    p:
+        Probability level in the open interval ``(0, 1)``.
+    """
+    if not (0.0 < p < 1.0):
+        raise ConfigurationError(
+            f"quantile level must lie strictly between 0 and 1, got {p}"
+        )
+    if std <= 0.0:
+        raise ConfigurationError(f"standard deviation must be positive, got {std}")
+    return mean + std * _SQRT2 * special.erfinv(2.0 * p - 1.0)
+
+
+def two_sided_z(confidence: float) -> float:
+    """The multiplier ``z_t`` for a two-sided c-confidence interval.
+
+    Following Theorem 1 of the paper, for a confidence level ``c`` the
+    interval is ``mean +/- z_t * deviation`` with ``t = (1 + c) / 2`` (the
+    paper writes ``t = (1 - c) / 2`` for the lower tail; both describe the
+    same symmetric interval).
+    """
+    if not (0.0 < confidence < 1.0):
+        raise ConfigurationError(
+            f"confidence must lie strictly between 0 and 1, got {confidence}"
+        )
+    return normal_quantile((1.0 + confidence) / 2.0)

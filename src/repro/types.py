@@ -1,0 +1,244 @@
+"""Core value types shared across the library.
+
+The central objects are :class:`ConfidenceInterval` (the paper's deliverable
+for each worker error rate or confusion-matrix entry) and the per-worker
+result records returned by the estimators in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = [
+    "EstimateStatus",
+    "ConfidenceInterval",
+    "WorkerErrorEstimate",
+    "ResponseProbabilityEstimate",
+    "KaryWorkerEstimate",
+    "TripleEstimate",
+]
+
+
+class EstimateStatus(enum.Enum):
+    """Quality flag attached to every estimate the library produces.
+
+    OK
+        The estimate was produced without numerical intervention.
+    CLAMPED
+        Agreement rates or probabilities had to be clamped away from a
+        singularity (e.g. an agreement rate at or below 1/2); the estimate is
+        usable but less reliable.
+    DEGENERATE
+        The data did not support a meaningful estimate (e.g. a worker shares
+        no tasks with any usable pair); the reported interval spans the whole
+        parameter range.
+    """
+
+    OK = "ok"
+    CLAMPED = "clamped"
+    DEGENERATE = "degenerate"
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A c-confidence interval ``[lower, upper]`` around ``mean``.
+
+    Attributes
+    ----------
+    mean:
+        The point estimate at the centre of the interval (before clipping).
+    lower, upper:
+        Interval end points, clipped to the valid parameter range
+        (``[0, 1]`` for probabilities).
+    confidence:
+        The nominal confidence level ``c`` in ``(0, 1)``.
+    deviation:
+        The standard deviation of the estimator from Theorem 1 (pre-clipping
+        half-width is ``z_t * deviation``).
+    """
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    deviation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError(
+                f"confidence must lie strictly between 0 and 1, got {self.confidence}"
+            )
+        if self.upper < self.lower:
+            raise ValueError(
+                f"upper bound {self.upper} is below lower bound {self.lower}"
+            )
+
+    @property
+    def size(self) -> float:
+        """Width of the interval, the paper's 'size of interval' metric."""
+        return self.upper - self.lower
+
+    @property
+    def half_width(self) -> float:
+        """Half of the interval width."""
+        return 0.5 * self.size
+
+    def contains(self, value: float) -> bool:
+        """Return True if ``value`` lies inside the closed interval."""
+        return self.lower <= value <= self.upper
+
+    def clipped(self, lo: float = 0.0, hi: float = 1.0) -> "ConfidenceInterval":
+        """Return a copy with bounds clipped to ``[lo, hi]``."""
+        return ConfidenceInterval(
+            mean=min(max(self.mean, lo), hi),
+            lower=min(max(self.lower, lo), hi),
+            upper=min(max(self.upper, lo), hi),
+            confidence=self.confidence,
+            deviation=self.deviation,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.lower:.4f}, {self.upper:.4f}] "
+            f"(mean={self.mean:.4f}, c={self.confidence:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class TripleEstimate:
+    """Result of evaluating one worker inside one triple (Algorithm A2 step 2).
+
+    Attributes
+    ----------
+    worker:
+        Identifier of the worker being evaluated.
+    partners:
+        The two other workers forming the triple.
+    error_rate:
+        The point estimate ``p_{k,i}`` from Eq. (1).
+    deviation:
+        Standard deviation ``Dev_{k,i}`` of the estimate.
+    derivatives:
+        Partial derivatives of the estimate with respect to the agreement
+        rates ``q_{i,j1}`` and ``q_{i,j2}``, keyed by partner id.
+    status:
+        Numerical-quality flag for the estimate.
+    """
+
+    worker: int
+    partners: tuple[int, int]
+    error_rate: float
+    deviation: float
+    derivatives: Mapping[int, float]
+    status: EstimateStatus = EstimateStatus.OK
+
+
+@dataclass(frozen=True)
+class WorkerErrorEstimate:
+    """Final per-worker output of the binary estimators (Algorithms A1/A2).
+
+    Attributes
+    ----------
+    worker:
+        Worker identifier.
+    interval:
+        The c-confidence interval on the worker's error rate.
+    n_tasks:
+        Number of tasks the worker attempted in the data used.
+    triples:
+        The per-triple estimates that were aggregated (empty for the plain
+        3-worker algorithm where there is exactly one implicit triple).
+    weights:
+        The linear weights used to combine the triple estimates (Lemma 5 or
+        uniform), aligned with ``triples``.
+    status:
+        Worst numerical-quality flag encountered while producing the result.
+    """
+
+    worker: int
+    interval: ConfidenceInterval
+    n_tasks: int
+    triples: Sequence[TripleEstimate] = field(default_factory=tuple)
+    weights: Sequence[float] = field(default_factory=tuple)
+    status: EstimateStatus = EstimateStatus.OK
+
+    @property
+    def error_rate(self) -> float:
+        """Point estimate of the error rate (centre of the interval)."""
+        return self.interval.mean
+
+    def contains_truth(self, true_error_rate: float) -> bool:
+        """Convenience for coverage experiments."""
+        return self.interval.contains(true_error_rate)
+
+
+@dataclass(frozen=True)
+class ResponseProbabilityEstimate:
+    """Confidence interval for one entry ``P_i[j1, j2]`` of a worker's
+    response-probability (confusion) matrix (Algorithm A3)."""
+
+    worker: int
+    true_label: int
+    response_label: int
+    interval: ConfidenceInterval
+    status: EstimateStatus = EstimateStatus.OK
+
+
+@dataclass(frozen=True)
+class KaryWorkerEstimate:
+    """Full k-ary output for one worker: a k x k grid of interval estimates.
+
+    Attributes
+    ----------
+    worker:
+        Worker identifier.
+    arity:
+        Number of possible responses ``k``.
+    entries:
+        Mapping ``(true_label, response_label) -> ResponseProbabilityEstimate``
+        covering every cell of the confusion matrix.
+    status:
+        Worst status across the entries.
+    """
+
+    worker: int
+    arity: int
+    entries: Mapping[tuple[int, int], ResponseProbabilityEstimate]
+    status: EstimateStatus = EstimateStatus.OK
+
+    def interval(self, true_label: int, response_label: int) -> ConfidenceInterval:
+        """Interval for ``P[true_label, response_label]``."""
+        return self.entries[(true_label, response_label)].interval
+
+    def point_matrix(self) -> list[list[float]]:
+        """The point-estimate confusion matrix as a nested list."""
+        return [
+            [self.entries[(a, b)].interval.mean for b in range(self.arity)]
+            for a in range(self.arity)
+        ]
+
+    def accuracy_interval(self, true_label: int) -> ConfidenceInterval:
+        """Interval on the diagonal entry for ``true_label`` (probability of
+        answering correctly when the truth is ``true_label``)."""
+        return self.interval(true_label, true_label)
+
+    def mean_error_rate(self, selectivity: Sequence[float] | None = None) -> float:
+        """Scalar error rate implied by the confusion matrix.
+
+        Weighted by ``selectivity`` (prior over true labels) when provided,
+        uniform otherwise.
+        """
+        if selectivity is None:
+            selectivity = [1.0 / self.arity] * self.arity
+        if len(selectivity) != self.arity:
+            raise ValueError("selectivity length must equal arity")
+        total = float(sum(selectivity))
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            selectivity = [s / total for s in selectivity]
+        return sum(
+            selectivity[a] * (1.0 - self.entries[(a, a)].interval.mean)
+            for a in range(self.arity)
+        )

@@ -1,0 +1,27 @@
+"""Worker-pool management driven by confidence intervals.
+
+The paper's motivation for confidence intervals is operational: deciding
+which workers to *fire* (replace) and which to retain, without firing good
+workers who were merely unlucky.  This package provides the policy layer —
+retention decisions driven by interval bounds versus point estimates — and a
+worker-pool simulation that measures how quickly each policy converges to a
+high-quality pool, reproducing the argument of the introduction and
+conclusion.
+"""
+
+from repro.workforce.policy import (
+    Decision,
+    FiringPolicy,
+    IntervalFiringPolicy,
+    PointEstimateFiringPolicy,
+)
+from repro.workforce.pool import PoolSimulationResult, simulate_worker_pool
+
+__all__ = [
+    "Decision",
+    "FiringPolicy",
+    "IntervalFiringPolicy",
+    "PointEstimateFiringPolicy",
+    "PoolSimulationResult",
+    "simulate_worker_pool",
+]

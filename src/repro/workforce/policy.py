@@ -1,0 +1,92 @@
+"""Retention policies: decide firing/retention from worker-quality estimates.
+
+Two families are provided:
+
+* :class:`PointEstimateFiringPolicy` fires a worker whenever the *point
+  estimate* of their error rate exceeds the threshold — the behaviour one
+  gets from estimators without confidence intervals (EM and friends).
+* :class:`IntervalFiringPolicy` fires only when the interval shows, at the
+  configured confidence, that the error rate exceeds the threshold (the
+  interval's lower bound is above it), and can symmetrically "clear" workers
+  whose upper bound is below it.  This is the paper's recommended use of the
+  intervals: it avoids firing good workers who were merely unlucky.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.types import WorkerErrorEstimate
+
+__all__ = [
+    "Decision",
+    "FiringPolicy",
+    "PointEstimateFiringPolicy",
+    "IntervalFiringPolicy",
+]
+
+
+class Decision(enum.Enum):
+    """Outcome of a retention review for one worker."""
+
+    FIRE = "fire"
+    RETAIN = "retain"
+    #: Only the interval policy distinguishes "cleared" (confidently good)
+    #: from "retain" (not enough evidence either way).
+    CLEARED = "cleared"
+
+
+class FiringPolicy:
+    """Interface: map a worker estimate to a retention decision."""
+
+    def decide(self, estimate: WorkerErrorEstimate) -> Decision:
+        """Return the decision for one worker."""
+        raise NotImplementedError
+
+
+@dataclass
+class PointEstimateFiringPolicy(FiringPolicy):
+    """Fire whenever the point estimate exceeds ``max_error_rate``."""
+
+    max_error_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.max_error_rate < 1.0):
+            raise ConfigurationError(
+                f"max_error_rate must lie in (0, 1), got {self.max_error_rate}"
+            )
+
+    def decide(self, estimate: WorkerErrorEstimate) -> Decision:
+        """Fire iff the interval centre exceeds the threshold."""
+        if estimate.interval.mean > self.max_error_rate:
+            return Decision.FIRE
+        return Decision.RETAIN
+
+
+@dataclass
+class IntervalFiringPolicy(FiringPolicy):
+    """Fire only when the interval proves the error rate is too high.
+
+    A worker is fired when the interval's *lower* bound exceeds the threshold
+    (we are confident they are bad), cleared when the *upper* bound is below
+    it (we are confident they are good), and retained-for-more-evidence
+    otherwise.
+    """
+
+    max_error_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.max_error_rate < 1.0):
+            raise ConfigurationError(
+                f"max_error_rate must lie in (0, 1), got {self.max_error_rate}"
+            )
+
+    def decide(self, estimate: WorkerErrorEstimate) -> Decision:
+        """Decision from the interval bounds (see class docstring)."""
+        if estimate.interval.lower > self.max_error_rate:
+            return Decision.FIRE
+        if estimate.interval.upper <= self.max_error_rate:
+            return Decision.CLEARED
+        return Decision.RETAIN

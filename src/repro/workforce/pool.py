@@ -1,0 +1,134 @@
+"""Worker-pool simulation: hiring and firing over rounds of tasks.
+
+The simulation reproduces the paper's operational argument: a requester runs
+rounds of tasks, evaluates the current workers after each round (with the
+paper's intervals, or a point-estimate policy), fires the workers the policy
+rejects, replaces them with fresh hires, and keeps going.  The figure of
+merit is the average true error rate of the final pool and the number of
+*good* workers wrongly fired along the way (the cost the introduction warns
+about: firing good workers hurts the requester's reputation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.m_worker import MWorkerEstimator
+from repro.simulation.binary import BinaryWorkerPopulation, sample_error_rates
+from repro.workforce.policy import Decision, FiringPolicy
+
+__all__ = ["PoolSimulationResult", "simulate_worker_pool"]
+
+
+@dataclass
+class PoolSimulationResult:
+    """Outcome of a hire/fire simulation run.
+
+    Attributes
+    ----------
+    final_error_rates:
+        True error rates of the workers in the pool after the last round.
+    fired_good_workers:
+        Number of fired workers whose true error rate was at or below the
+        policy threshold (unfair firings).
+    fired_bad_workers:
+        Number of fired workers whose true error rate exceeded the threshold.
+    rounds_run:
+        Number of evaluation rounds simulated.
+    mean_final_error_rate:
+        Average of ``final_error_rates``.
+    history:
+        Mean true error rate of the pool after each round.
+    """
+
+    final_error_rates: list[float]
+    fired_good_workers: int
+    fired_bad_workers: int
+    rounds_run: int
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def mean_final_error_rate(self) -> float:
+        """Average true error rate of the final pool."""
+        return float(np.mean(self.final_error_rates))
+
+
+def simulate_worker_pool(
+    policy: FiringPolicy,
+    rng: np.random.Generator,
+    n_workers: int = 9,
+    tasks_per_round: int = 60,
+    n_rounds: int = 5,
+    density: float = 0.8,
+    confidence: float = 0.9,
+    error_rate_palette: tuple[float, ...] = (0.05, 0.1, 0.2, 0.35, 0.45),
+    good_threshold: float = 0.25,
+) -> PoolSimulationResult:
+    """Run a hire/fire loop and report the quality of the resulting pool.
+
+    Parameters
+    ----------
+    policy:
+        The retention policy under test.
+    rng:
+        Randomness source for worker quality, attempts and errors.
+    n_workers:
+        Pool size (kept constant: every fired worker is replaced).
+    tasks_per_round:
+        Number of fresh tasks per evaluation round.
+    n_rounds:
+        Number of evaluation rounds.
+    density:
+        Attempt probability per worker-task pair.
+    confidence:
+        Confidence level used when computing the intervals.
+    error_rate_palette:
+        Palette new hires draw their true error rate from (includes clearly
+        bad workers so the policies have something to find).
+    good_threshold:
+        True error rate at or below which a fired worker counts as a wrongly
+        fired good worker.
+    """
+    if n_rounds <= 0:
+        raise ConfigurationError(f"n_rounds must be positive, got {n_rounds}")
+    if n_workers < 3:
+        raise ConfigurationError("the evaluation needs at least 3 workers in the pool")
+
+    error_rates = sample_error_rates(n_workers, rng, palette=error_rate_palette)
+    estimator = MWorkerEstimator(confidence=confidence)
+    fired_good = 0
+    fired_bad = 0
+    history: list[float] = []
+
+    for _ in range(n_rounds):
+        population = BinaryWorkerPopulation(error_rates=error_rates)
+        matrix = population.generate(tasks_per_round, rng, densities=density)
+        estimates = estimator.evaluate_all(matrix)
+        replacements = []
+        for estimate in estimates:
+            decision = policy.decide(estimate)
+            if decision is Decision.FIRE:
+                true_rate = float(error_rates[estimate.worker])
+                if true_rate <= good_threshold:
+                    fired_good += 1
+                else:
+                    fired_bad += 1
+                replacements.append(estimate.worker)
+        if replacements:
+            new_rates = sample_error_rates(
+                len(replacements), rng, palette=error_rate_palette
+            )
+            for slot, worker in enumerate(replacements):
+                error_rates[worker] = new_rates[slot]
+        history.append(float(np.mean(error_rates)))
+
+    return PoolSimulationResult(
+        final_error_rates=[float(rate) for rate in error_rates],
+        fired_good_workers=fired_good,
+        fired_bad_workers=fired_bad,
+        rounds_run=n_rounds,
+        history=history,
+    )

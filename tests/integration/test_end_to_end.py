@@ -1,0 +1,132 @@
+"""End-to-end integration tests: statistical behaviour across modules.
+
+These tests exercise whole pipelines (simulation -> estimation -> coverage
+measurement) at a reduced scale and assert the qualitative properties the
+paper's figures report.  They are slower than the unit tests but still run in
+seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.old_technique import OldTechniqueEstimator
+from repro.core.m_worker import MWorkerEstimator
+from repro.evaluation.coverage import binary_coverage, dataset_coverage, kary_coverage
+from repro.simulation.binary import simulate_binary_responses
+from repro.simulation.density import per_worker_density_ramp
+from repro.types import EstimateStatus
+
+
+class TestBinaryPipeline:
+    def test_coverage_tracks_confidence_level(self, rng):
+        """Interval-accuracy rises with the confidence level and stays near it
+        (the Fig 2(a) property)."""
+        accuracies = {}
+        for confidence in (0.5, 0.8, 0.95):
+            result = binary_coverage(
+                n_workers=5, n_tasks=150, confidence=confidence, rng=rng,
+                density=0.8, n_repetitions=60,
+            )
+            accuracies[confidence] = result.accuracy
+        assert accuracies[0.5] < accuracies[0.95]
+        for confidence, accuracy in accuracies.items():
+            assert accuracy >= confidence - 0.12
+        assert accuracies[0.95] <= 1.0
+
+    def test_interval_size_decreases_with_density(self, rng):
+        """The Fig 2(b) property at a reduced scale."""
+        sizes = []
+        for density in (0.5, 0.7, 0.9):
+            result = binary_coverage(
+                n_workers=7, n_tasks=100, confidence=0.8, rng=rng,
+                density=density, n_repetitions=40,
+            )
+            sizes.append(result.mean_size)
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_weight_optimization_reduces_interval_size(self, rng):
+        """The Fig 2(c) property at a reduced scale."""
+        densities = per_worker_density_ramp(7)
+        optimized = binary_coverage(
+            n_workers=7, n_tasks=100, confidence=0.8, rng=rng,
+            density=densities, n_repetitions=40, optimize_weights=True,
+        )
+        uniform = binary_coverage(
+            n_workers=7, n_tasks=100, confidence=0.8, rng=rng,
+            density=densities, n_repetitions=40, optimize_weights=False,
+        )
+        assert optimized.mean_size < uniform.mean_size
+
+    def test_new_technique_tighter_than_old_at_same_coverage(self, rng):
+        """The Fig 1 property: the paper's intervals are tighter than the
+        conservative super-worker baseline while still covering the truth."""
+        new_sizes, old_sizes = [], []
+        new_hits = old_hits = total = 0
+        for _ in range(25):
+            matrix, rates = simulate_binary_responses(5, 100, rng, density=1.0)
+            new_estimates = MWorkerEstimator(confidence=0.8).evaluate_all(matrix)
+            old_estimates = OldTechniqueEstimator(confidence=0.8).evaluate_all(matrix)
+            for new, old in zip(new_estimates, old_estimates):
+                total += 1
+                new_sizes.append(new.interval.size)
+                old_sizes.append(old.interval.size)
+                new_hits += new.interval.contains(rates[new.worker])
+                old_hits += old.interval.contains(rates[old.worker])
+        assert np.mean(new_sizes) < np.mean(old_sizes)
+        assert new_hits / total >= 0.7
+        assert old_hits / total >= 0.7
+
+
+class TestKaryPipeline:
+    def test_coverage_reasonable_for_all_arities(self, rng):
+        for arity in (2, 3, 4):
+            result = kary_coverage(
+                arity=arity, n_tasks=300, confidence=0.8, rng=rng, n_repetitions=8
+            )
+            assert result.accuracy >= 0.65, f"arity {arity} coverage too low"
+
+    def test_interval_size_grows_with_arity(self, rng):
+        sizes = {}
+        for arity in (2, 4):
+            result = kary_coverage(
+                arity=arity, n_tasks=300, confidence=0.8, rng=rng, n_repetitions=8
+            )
+            sizes[arity] = result.mean_size
+        assert sizes[4] > sizes[2]
+
+
+class TestRealDataPipeline:
+    def test_ic_standin_full_pipeline(self):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("ic")
+        plain = dataset_coverage(matrix, confidence=0.9)
+        filtered = dataset_coverage(matrix, confidence=0.9, remove_spammers=True)
+        assert plain.n_intervals >= 10
+        assert 0.5 <= plain.accuracy <= 1.0
+        assert filtered.accuracy >= plain.accuracy - 0.1
+
+    def test_sparse_dataset_produces_mostly_usable_estimates(self):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("tem")
+        estimates = MWorkerEstimator(confidence=0.8).evaluate_all(matrix)
+        usable = [e for e in estimates if e.status is not EstimateStatus.DEGENERATE]
+        assert len(usable) >= 0.8 * len(estimates)
+        for estimate in usable:
+            assert 0.0 <= estimate.interval.lower <= estimate.interval.upper <= 1.0
+
+
+class TestWorkflowDocumentedInReadme:
+    def test_quickstart_code_path(self, rng):
+        """The README / package-docstring quickstart runs as documented."""
+        from repro import evaluate_workers
+        from repro.simulation import simulate_binary_responses as simulate
+
+        matrix, _ = simulate(n_workers=7, n_tasks=200, rng=rng, density=0.8)
+        estimates = evaluate_workers(matrix, confidence=0.9)
+        assert set(estimates) == set(range(7))
+        interval = estimates[0].interval
+        assert interval.lower <= interval.upper

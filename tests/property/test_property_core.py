@@ -1,0 +1,147 @@
+"""Property-based tests on the core estimator mathematics.
+
+These check the paper's analytical identities on randomly drawn inputs:
+Eq. (1) inverts the agreement model, Lemma 2's gradient matches numerical
+differentiation, Lemma 5's weights are optimal and sum to one, and the k-ary
+ProbEstimate recovers random diagonally-dominant confusion matrices from
+exact population counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.three_worker import (
+    error_rate_from_agreements,
+    error_rate_gradient,
+)
+from repro.core.kary import normalize_rows, prob_estimate
+from repro.core.weights import combined_variance, optimal_weights
+from repro.stats.linalg import align_rows_to_diagonal
+
+error_rates = st.floats(min_value=0.0, max_value=0.45)
+agreements = st.floats(min_value=0.55, max_value=0.999)
+
+
+def expected_agreement(p_a: float, p_b: float) -> float:
+    return p_a * p_b + (1.0 - p_a) * (1.0 - p_b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(p1=error_rates, p2=error_rates, p3=error_rates)
+def test_eq1_inverts_agreement_model(p1, p2, p3):
+    q_12 = expected_agreement(p1, p2)
+    q_13 = expected_agreement(p1, p3)
+    q_23 = expected_agreement(p2, p3)
+    assume(min(q_12, q_13, q_23) > 0.505)
+    recovered = error_rate_from_agreements(q_12, q_13, q_23)
+    assert abs(recovered - p1) < 1e-7
+
+
+@settings(max_examples=200, deadline=None)
+@given(q_ij=agreements, q_ik=agreements, q_jk=agreements)
+def test_gradient_matches_numerical_differentiation(q_ij, q_ik, q_jk):
+    assume(min(q_ij, q_ik, q_jk) > 0.56)
+    gradient = error_rate_gradient(q_ij, q_ik, q_jk)
+    epsilon = 1e-6
+    values = [q_ij, q_ik, q_jk]
+    for index in range(3):
+        up = list(values)
+        down = list(values)
+        up[index] += epsilon
+        down[index] -= epsilon
+        numeric = (
+            error_rate_from_agreements(*up) - error_rate_from_agreements(*down)
+        ) / (2 * epsilon)
+        assert abs(gradient[index] - numeric) < 1e-3 * max(1.0, abs(numeric))
+
+
+@settings(max_examples=200, deadline=None)
+@given(q_ij=agreements, q_ik=agreements, q_jk=agreements)
+def test_error_rate_estimate_below_half_when_consistent(q_ij, q_ik, q_jk):
+    """Whenever the implied ratio is at most 1, the estimate lies in [0, 1/2]."""
+    assume(min(q_ij, q_ik, q_jk) > 0.505)
+    ratio = (2 * q_ij - 1) * (2 * q_ik - 1) / (2 * q_jk - 1)
+    assume(ratio <= 1.0)
+    estimate = error_rate_from_agreements(q_ij, q_ik, q_jk)
+    assert -1e-9 <= estimate <= 0.5 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    variances=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_lemma5_weights_sum_to_one_and_beat_random(variances, seed):
+    rng = np.random.default_rng(seed)
+    n = len(variances)
+    # Random PSD covariance with the given diagonal scale.
+    base = rng.normal(size=(n, n)) * 0.1
+    covariance = base @ base.T + np.diag(variances)
+    weights = optimal_weights(covariance)
+    assert abs(weights.sum() - 1.0) < 1e-9
+    best = combined_variance(weights, covariance)
+    for _ in range(10):
+        raw = rng.random(n)
+        candidate = raw / raw.sum()
+        assert best <= combined_variance(candidate, covariance) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    arity=st.integers(min_value=2, max_value=4),
+)
+def test_prob_estimate_recovers_random_confusion_matrices(seed, arity):
+    """ProbEstimate inverts the generative model on exact population counts."""
+    rng = np.random.default_rng(seed)
+    confusions = []
+    for _ in range(3):
+        matrix = np.zeros((arity, arity))
+        for row in range(arity):
+            diagonal = rng.uniform(0.65, 0.9)
+            off = rng.dirichlet(np.ones(arity - 1)) * (1.0 - diagonal)
+            matrix[row, row] = diagonal
+            matrix[row, [c for c in range(arity) if c != row]] = off
+        confusions.append(matrix)
+    selectivity = rng.dirichlet(np.full(arity, 5.0))
+    assume(selectivity.min() > 0.1)
+
+    counts = np.zeros((arity + 1, arity + 1, arity + 1))
+    for truth in range(arity):
+        for a in range(arity):
+            for b in range(arity):
+                for c in range(arity):
+                    counts[a + 1, b + 1, c + 1] += (
+                        100000.0
+                        * selectivity[truth]
+                        * confusions[0][truth, a]
+                        * confusions[1][truth, b]
+                        * confusions[2][truth, c]
+                    )
+    v_estimates = prob_estimate(counts)
+    for estimate, truth in zip(v_estimates, confusions):
+        assert np.allclose(normalize_rows(estimate), truth, atol=0.05)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=2, max_value=6),
+)
+def test_align_rows_is_a_permutation(seed, size):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((size, size))
+    aligned = align_rows_to_diagonal(matrix)
+    # Every original row appears exactly once in the aligned matrix.
+    used = set()
+    for row in aligned:
+        matches = [
+            index
+            for index in range(size)
+            if index not in used and np.allclose(row, matrix[index])
+        ]
+        assert matches
+        used.add(matches[0])

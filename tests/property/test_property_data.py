@@ -1,0 +1,144 @@
+"""Property-based tests on the data layer and simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dawid_skene import dawid_skene
+from repro.core.m_worker import evaluate_all_workers
+from repro.data.loaders import load_response_matrix_json, save_response_matrix_json
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.types import EstimateStatus
+
+
+@st.composite
+def response_matrices(draw, max_workers=6, max_tasks=12, max_arity=4):
+    """Random sparse response matrices with optional gold labels."""
+    n_workers = draw(st.integers(min_value=1, max_value=max_workers))
+    n_tasks = draw(st.integers(min_value=1, max_value=max_tasks))
+    arity = draw(st.integers(min_value=2, max_value=max_arity))
+    matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+    n_responses = draw(st.integers(min_value=0, max_value=n_workers * n_tasks))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    for _ in range(n_responses):
+        matrix.add_response(
+            int(rng.integers(0, n_workers)),
+            int(rng.integers(0, n_tasks)),
+            int(rng.integers(0, arity)),
+        )
+    if draw(st.booleans()):
+        matrix.set_gold_labels([int(rng.integers(0, arity)) for _ in range(n_tasks)])
+    return matrix
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=response_matrices())
+def test_json_round_trip_preserves_matrix(matrix, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prop") / "matrix.json"
+    save_response_matrix_json(matrix, path)
+    assert load_response_matrix_json(path) == matrix
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=response_matrices())
+def test_dense_round_trip_preserves_responses(matrix):
+    rebuilt = ResponseMatrix.from_dense(matrix.to_dense(), arity=matrix.arity)
+    assert rebuilt.n_responses == matrix.n_responses
+    for worker, task, label in matrix.iter_responses():
+        assert rebuilt.response(worker, task) == label
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=response_matrices())
+def test_density_consistent_with_counts(matrix):
+    assert matrix.density * matrix.n_workers * matrix.n_tasks == pytest.approx(
+        matrix.n_responses
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=response_matrices(max_workers=5, max_tasks=8), seed=st.integers(0, 1000))
+def test_thin_never_adds_responses(matrix, seed):
+    rng = np.random.default_rng(seed)
+    thinned = matrix.thin(0.5, rng)
+    assert thinned.n_responses <= matrix.n_responses
+    for worker, task, label in thinned.iter_responses():
+        assert matrix.response(worker, task) == label
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_workers=st.integers(min_value=3, max_value=8),
+    n_tasks=st.integers(min_value=20, max_value=60),
+)
+def test_simulated_gold_labels_consistent_with_errors(seed, n_workers, n_tasks):
+    """The fraction of wrong answers in the simulator matches the recorded gold."""
+    rng = np.random.default_rng(seed)
+    population = BinaryWorkerPopulation.from_paper_palette(n_workers, rng)
+    matrix = population.generate(n_tasks, rng, densities=0.9)
+    for worker in range(n_workers):
+        responses = matrix.worker_responses(worker)
+        if not responses:
+            continue
+        wrong = sum(
+            1 for task, label in responses.items() if label != matrix.gold_label(task)
+        )
+        assert 0 <= wrong <= len(responses)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_estimator_is_permutation_equivariant_for_single_triple(seed):
+    """Renaming the workers of a 3-worker dataset permutes the estimates but
+    does not change them.
+
+    (For larger pools the greedy pairing of Algorithm A2 breaks overlap ties
+    by worker order, so exact equivariance is not expected — only statistical
+    equivalence.)
+    """
+    n_workers = 3
+    rng = np.random.default_rng(seed)
+    population = BinaryWorkerPopulation.from_paper_palette(n_workers, rng)
+    matrix = population.generate(80, rng, densities=0.9)
+    permutation = list(np.random.default_rng(seed + 1).permutation(n_workers))
+    permuted_matrix = matrix.subset_workers(permutation)
+
+    original = evaluate_all_workers(matrix, confidence=0.8)
+    permuted = evaluate_all_workers(permuted_matrix, confidence=0.8)
+    for new_id, old_id in enumerate(permutation):
+        assert permuted[new_id].interval.mean == pytest.approx(
+            original[old_id].interval.mean, abs=1e-9
+        )
+        assert permuted[new_id].interval.size == pytest.approx(
+            original[old_id].interval.size, abs=1e-9
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_interval_bounds_always_valid_probabilities(seed):
+    rng = np.random.default_rng(seed)
+    population = BinaryWorkerPopulation.from_paper_palette(5, rng)
+    matrix = population.generate(50, rng, densities=0.7)
+    for estimate in evaluate_all_workers(matrix, confidence=0.9):
+        assert 0.0 <= estimate.interval.lower <= estimate.interval.upper <= 1.0
+        assert isinstance(estimate.status, EstimateStatus)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dawid_skene_log_likelihood_monotone(seed):
+    rng = np.random.default_rng(seed)
+    population = BinaryWorkerPopulation.from_paper_palette(4, rng)
+    matrix = population.generate(60, rng, densities=0.8)
+    result = dawid_skene(matrix, max_iterations=25)
+    trace = result.log_likelihood_trace
+    assert all(later >= earlier - 1e-6 for earlier, later in zip(trace, trace[1:]))
+    for confusion in result.confusion_matrices:
+        assert np.allclose(confusion.sum(axis=1), 1.0)

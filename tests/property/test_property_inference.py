@@ -1,0 +1,110 @@
+"""Property-based tests for label inference and the new baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.karger_oh_shah import karger_oh_shah
+from repro.baselines.majority_vote import majority_vote_labels
+from repro.core.task_inference import infer_binary_labels, infer_kary_labels
+from repro.data.response_matrix import ResponseMatrix
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.simulation.kary import KaryWorkerPopulation, sample_confusion_matrices
+
+
+@st.composite
+def binary_crowd(draw):
+    """A random binary crowd with workers of random (non-malicious) quality."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_workers = draw(st.integers(min_value=3, max_value=6))
+    n_tasks = draw(st.integers(min_value=10, max_value=60))
+    rng = np.random.default_rng(seed)
+    error_rates = rng.uniform(0.02, 0.4, size=n_workers)
+    population = BinaryWorkerPopulation(error_rates=error_rates)
+    matrix = population.generate(n_tasks, rng, densities=draw(
+        st.sampled_from([0.6, 0.8, 1.0])
+    ))
+    return matrix, error_rates
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=binary_crowd())
+def test_inferred_labels_are_valid_and_cover_answered_tasks(data):
+    matrix, error_rates = data
+    estimates = {worker: float(rate) for worker, rate in enumerate(error_rates)}
+    labels = infer_binary_labels(matrix, estimates)
+    answered = {task for task in range(matrix.n_tasks) if matrix.task_responses(task)}
+    assert set(labels) == answered
+    assert all(label in (0, 1) for label in labels.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=binary_crowd())
+def test_equal_error_rates_reduce_to_majority_vote(data):
+    matrix, _ = data
+    uniform_estimates = {worker: 0.2 for worker in range(matrix.n_workers)}
+    weighted = infer_binary_labels(matrix, uniform_estimates)
+    majority = majority_vote_labels(matrix)
+    # On tasks without ties the two rules must agree (ties may be broken
+    # differently by the prior, so only non-tied tasks are compared).
+    for task, label in weighted.items():
+        votes = list(matrix.task_responses(task).values())
+        ones = sum(votes)
+        zeros = len(votes) - ones
+        if ones != zeros:
+            assert label == majority[task]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=binary_crowd())
+def test_kos_labels_cover_all_answered_tasks(data):
+    matrix, _ = data
+    result = karger_oh_shah(matrix)
+    answered = {task for task in range(matrix.n_tasks) if matrix.task_responses(task)}
+    assert set(result.labels) == answered
+    assert all(-1.0 <= score <= 1.0 for score in result.worker_scores.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    arity=st.integers(min_value=2, max_value=4),
+    n_tasks=st.integers(min_value=20, max_value=80),
+)
+def test_kary_inference_with_true_matrices_beats_chance(seed, arity, n_tasks):
+    rng = np.random.default_rng(seed)
+    confusions = sample_confusion_matrices(3, arity, rng)
+    population = KaryWorkerPopulation(confusion_matrices=confusions)
+    matrix = population.generate(n_tasks, rng)
+    labels = infer_kary_labels(matrix, dict(enumerate(confusions)))
+    correct = sum(
+        1 for task, gold in matrix.gold_labels.items() if labels.get(task) == gold
+    )
+    assume(len(labels) > 10)
+    assert correct / len(labels) > 1.0 / arity
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    flip_worker=st.integers(min_value=0, max_value=2),
+)
+def test_inference_is_invariant_to_estimate_scaling_of_other_workers(seed, flip_worker):
+    """Making one worker's error estimate slightly better or worse must not
+    change labels on tasks that worker did not answer."""
+    rng = np.random.default_rng(seed)
+    population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+    matrix = population.generate(40, rng, densities=0.6)
+    base = {0: 0.1, 1: 0.2, 2: 0.3}
+    perturbed = dict(base)
+    perturbed[flip_worker] = min(0.45, base[flip_worker] + 0.1)
+    labels_base = infer_binary_labels(matrix, base)
+    labels_perturbed = infer_binary_labels(matrix, perturbed)
+    untouched_tasks = [
+        task for task in labels_base if flip_worker not in matrix.task_responses(task)
+    ]
+    for task in untouched_tasks:
+        assert labels_base[task] == labels_perturbed[task]

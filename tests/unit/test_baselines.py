@@ -1,0 +1,212 @@
+"""Unit tests for the baseline methods (old technique, majority, EM, gold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dawid_skene import dawid_skene
+from repro.baselines.gold_standard import gold_standard_intervals
+from repro.baselines.majority_vote import (
+    majority_accuracy,
+    majority_disagreement_rates,
+    majority_vote_labels,
+)
+from repro.baselines.old_technique import OldTechniqueEstimator, evaluate_workers_old
+from repro.core.m_worker import evaluate_all_workers
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.simulation.kary import KaryWorkerPopulation, PAPER_CONFUSION_MATRICES
+
+
+class TestMajorityVote:
+    def test_labels_follow_majority(self, small_binary_matrix):
+        labels = majority_vote_labels(small_binary_matrix)
+        assert labels[0] == 0  # two of three said 0
+        assert labels[1] == 1
+
+    def test_ties_broken_deterministically_without_rng(self):
+        matrix = ResponseMatrix(2, 1)
+        matrix.add_response(0, 0, 0)
+        matrix.add_response(1, 0, 1)
+        assert majority_vote_labels(matrix)[0] == 0  # lowest label wins
+
+    def test_ties_broken_with_rng(self, rng):
+        matrix = ResponseMatrix(2, 1)
+        matrix.add_response(0, 0, 0)
+        matrix.add_response(1, 0, 1)
+        assert majority_vote_labels(matrix, rng)[0] in (0, 1)
+
+    def test_unanswered_tasks_skipped(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.add_response(0, 0, 1)
+        labels = majority_vote_labels(matrix)
+        assert set(labels) == {0}
+
+    def test_disagreement_rates(self, small_binary_matrix):
+        rates = majority_disagreement_rates(small_binary_matrix)
+        assert rates[2] == pytest.approx(3 / 8)
+
+    def test_majority_accuracy(self, small_binary_matrix):
+        assert majority_accuracy(small_binary_matrix) == pytest.approx(7 / 8)
+
+    def test_majority_accuracy_requires_gold(self):
+        matrix = ResponseMatrix(2, 2)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            majority_accuracy(matrix)
+
+
+class TestGoldStandard:
+    def test_intervals_match_empirical_rates(self, small_binary_matrix):
+        results = gold_standard_intervals(small_binary_matrix, confidence=0.9)
+        assert results[2].interval.contains(0.5)
+        assert results[0].n_tasks == 8
+
+    def test_wald_and_wilson_methods(self, small_binary_matrix):
+        wilson = gold_standard_intervals(small_binary_matrix, 0.9, method="wilson")
+        wald = gold_standard_intervals(small_binary_matrix, 0.9, method="wald")
+        assert set(wilson) == set(wald)
+
+    def test_unknown_method_rejected(self, small_binary_matrix):
+        with pytest.raises(ConfigurationError):
+            gold_standard_intervals(small_binary_matrix, 0.9, method="exactly")
+
+    def test_requires_gold(self):
+        matrix = ResponseMatrix(3, 3)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            gold_standard_intervals(matrix, 0.9)
+
+    def test_workers_without_gold_answers_omitted(self, small_binary_matrix):
+        matrix = small_binary_matrix.copy()
+        # Remove all of worker 2's responses on gold-labelled tasks.
+        for task in range(8):
+            matrix.remove_response(2, task)
+        results = gold_standard_intervals(matrix, 0.9)
+        assert 2 not in results
+
+    def test_coverage_on_simulated_data(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        hits = total = 0
+        for _ in range(50):
+            matrix = population.generate(100, rng)
+            for worker, estimate in gold_standard_intervals(matrix, 0.9).items():
+                total += 1
+                if estimate.interval.contains(population.error_rates[worker]):
+                    hits += 1
+        assert hits / total > 0.8
+
+
+class TestDawidSkene:
+    def test_log_likelihood_non_decreasing(self, simulated_binary):
+        matrix, _ = simulated_binary
+        result = dawid_skene(matrix, max_iterations=30)
+        trace = result.log_likelihood_trace
+        assert all(later >= earlier - 1e-6 for earlier, later in zip(trace, trace[1:]))
+
+    def test_recovers_error_rates_binary(self, rng):
+        rates = np.array([0.05, 0.15, 0.3, 0.2, 0.1])
+        population = BinaryWorkerPopulation(error_rates=rates)
+        matrix = population.generate(800, rng, densities=0.9)
+        result = dawid_skene(matrix)
+        for worker in range(5):
+            assert result.worker_error_rate(worker) == pytest.approx(
+                rates[worker], abs=0.06
+            )
+
+    def test_recovers_labels_better_than_chance(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.2, 0.3]))
+        matrix = population.generate(300, rng)
+        result = dawid_skene(matrix)
+        labels = result.most_likely_labels()
+        correct = sum(
+            1 for task, gold in matrix.gold_labels.items() if labels[task] == gold
+        )
+        assert correct / matrix.n_tasks > 0.9
+
+    def test_kary_confusion_matrices_recovered(self, rng):
+        confusions = [PAPER_CONFUSION_MATRICES[3][i].copy() for i in range(3)]
+        population = KaryWorkerPopulation(confusion_matrices=confusions * 2)
+        matrix = population.generate(600, rng, densities=0.9)
+        result = dawid_skene(matrix)
+        for worker, truth in enumerate(confusions * 2):
+            assert np.allclose(result.confusion_matrices[worker], truth, atol=0.12)
+
+    def test_converged_flag_and_iterations(self, simulated_binary):
+        matrix, _ = simulated_binary
+        result = dawid_skene(matrix, max_iterations=200, tolerance=1e-8)
+        assert result.converged
+        assert result.n_iterations <= 200
+
+    def test_class_priors_sum_to_one(self, simulated_kary):
+        matrix, _ = simulated_kary
+        result = dawid_skene(matrix)
+        assert result.class_priors.sum() == pytest.approx(1.0)
+
+    def test_validation(self, simulated_binary):
+        matrix, _ = simulated_binary
+        with pytest.raises(ConfigurationError):
+            dawid_skene(matrix, max_iterations=0)
+        empty = ResponseMatrix(3, 3)
+        with pytest.raises(InsufficientDataError):
+            dawid_skene(empty)
+
+
+class TestOldTechnique:
+    def test_intervals_cover_truth_often(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        hits = total = 0
+        for _ in range(30):
+            matrix = population.generate(100, rng)
+            for estimate in evaluate_workers_old(matrix, confidence=0.9):
+                total += 1
+                if estimate.interval.contains(population.error_rates[estimate.worker]):
+                    hits += 1
+        assert hits / total > 0.85
+
+    def test_wider_than_new_technique(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3, 0.2, 0.1]))
+        matrix = population.generate(120, rng)
+        old = evaluate_workers_old(matrix, confidence=0.8)
+        new = evaluate_all_workers(matrix, confidence=0.8)
+        assert np.mean([e.interval.size for e in old]) > np.mean(
+            [e.interval.size for e in new]
+        )
+
+    def test_interval_bounds_valid(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.3, 0.3, 0.3]))
+        matrix = population.generate(40, rng)
+        for estimate in evaluate_workers_old(matrix, confidence=0.5):
+            interval = estimate.interval
+            assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_super_workers_used_for_many_workers(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.full(7, 0.2))
+        matrix = population.generate(100, rng)
+        estimates = OldTechniqueEstimator(confidence=0.8).evaluate_all(matrix)
+        assert len(estimates) == 7
+
+    def test_rejects_kary_data(self, simulated_kary):
+        matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            OldTechniqueEstimator().evaluate_worker(matrix, 0)
+
+    def test_rejects_too_few_workers(self):
+        matrix = ResponseMatrix(2, 10)
+        matrix.add_response(0, 0, 1)
+        matrix.add_response(1, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            OldTechniqueEstimator().evaluate_worker(matrix, 0)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ConfigurationError):
+            OldTechniqueEstimator(confidence=1.2)
+
+    def test_deterministic_given_seed(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.full(5, 0.2))
+        matrix = population.generate(60, rng)
+        first = OldTechniqueEstimator(confidence=0.8, seed=3).evaluate_all(matrix)
+        second = OldTechniqueEstimator(confidence=0.8, seed=3).evaluate_all(matrix)
+        assert [e.interval.size for e in first] == [e.interval.size for e in second]

@@ -1,0 +1,112 @@
+"""Unit tests for the Theorem-1 delta-method engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta_method import DeltaMethodModel, confidence_interval_from_moments
+from repro.exceptions import ConfigurationError
+from repro.stats.normal import two_sided_z
+
+
+class TestConfidenceIntervalFromMoments:
+    def test_symmetric_around_mean(self):
+        interval = confidence_interval_from_moments(0.4, 0.05, 0.9, clip_to_unit=False)
+        assert interval.mean == pytest.approx(0.4)
+        assert interval.upper - interval.mean == pytest.approx(interval.mean - interval.lower)
+
+    def test_half_width_is_z_times_deviation(self):
+        confidence = 0.8
+        deviation = 0.07
+        interval = confidence_interval_from_moments(0.5, deviation, confidence, clip_to_unit=False)
+        assert interval.half_width == pytest.approx(two_sided_z(confidence) * deviation)
+
+    def test_clipping_to_unit_interval(self):
+        interval = confidence_interval_from_moments(0.02, 0.1, 0.95)
+        assert interval.lower == 0.0
+        assert interval.upper <= 1.0
+
+    def test_zero_deviation_gives_point_interval(self):
+        interval = confidence_interval_from_moments(0.3, 0.0, 0.9)
+        assert interval.size == 0.0
+        assert interval.contains(0.3)
+
+    def test_higher_confidence_wider(self):
+        narrow = confidence_interval_from_moments(0.3, 0.05, 0.5)
+        wide = confidence_interval_from_moments(0.3, 0.05, 0.99)
+        assert wide.size > narrow.size
+
+    def test_rejects_negative_deviation(self):
+        with pytest.raises(ConfigurationError):
+            confidence_interval_from_moments(0.3, -0.1, 0.9)
+
+    def test_rejects_nan_deviation(self):
+        with pytest.raises(ConfigurationError):
+            confidence_interval_from_moments(0.3, float("nan"), 0.9)
+
+
+class TestDeltaMethodModel:
+    def test_variance_is_quadratic_form(self):
+        gradient = np.array([1.0, 2.0])
+        covariance = np.array([[0.04, 0.01], [0.01, 0.09]])
+        model = DeltaMethodModel(value=0.5, gradient=gradient, covariance=covariance)
+        assert model.variance == pytest.approx(float(gradient @ covariance @ gradient))
+        assert model.deviation == pytest.approx(np.sqrt(model.variance))
+
+    def test_negative_roundoff_variance_floored(self):
+        model = DeltaMethodModel(
+            value=0.1,
+            gradient=np.array([1.0, -1.0]),
+            covariance=np.array([[1.0, 1.0 + 1e-15], [1.0 + 1e-15, 1.0]]),
+        )
+        assert model.variance >= 0.0
+
+    def test_interval_uses_theorem1_formula(self):
+        model = DeltaMethodModel(
+            value=0.3, gradient=np.array([1.0]), covariance=np.array([[0.01]])
+        )
+        interval = model.interval(0.9, clip_to_unit=False)
+        assert interval.half_width == pytest.approx(two_sided_z(0.9) * 0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltaMethodModel(
+                value=0.0, gradient=np.array([1.0, 2.0]), covariance=np.eye(3)
+            )
+
+    def test_non_finite_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltaMethodModel(
+                value=0.0, gradient=np.array([np.nan]), covariance=np.array([[1.0]])
+            )
+        with pytest.raises(ConfigurationError):
+            DeltaMethodModel(
+                value=0.0, gradient=np.array([1.0]), covariance=np.array([[np.inf]])
+            )
+
+    def test_linear_combination_value_and_variance(self):
+        values = np.array([0.2, 0.4])
+        weights = np.array([0.25, 0.75])
+        covariance = np.array([[0.04, 0.0], [0.0, 0.01]])
+        model = DeltaMethodModel.linear_combination(values, weights, covariance)
+        assert model.value == pytest.approx(0.35)
+        expected_variance = 0.25**2 * 0.04 + 0.75**2 * 0.01
+        assert model.variance == pytest.approx(expected_variance)
+
+    def test_linear_combination_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            DeltaMethodModel.linear_combination(
+                np.array([0.1, 0.2]), np.array([1.0]), np.eye(2)
+            )
+
+    def test_monte_carlo_agreement_for_linear_function(self, rng):
+        """For a genuinely linear function the delta method is exact; compare
+        the predicted deviation with a Monte-Carlo estimate."""
+        weights = np.array([0.3, 0.7])
+        covariance = np.array([[0.02, 0.005], [0.005, 0.03]])
+        means = np.array([0.2, 0.6])
+        model = DeltaMethodModel.linear_combination(means, weights, covariance)
+        samples = rng.multivariate_normal(means, covariance, size=40000) @ weights
+        assert model.value == pytest.approx(float(samples.mean()), abs=0.01)
+        assert model.deviation == pytest.approx(float(samples.std()), rel=0.05)

@@ -1,0 +1,205 @@
+"""Unit tests for the evaluation harness (coverage, sweeps, reporting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.response_matrix import ResponseMatrix
+from repro.evaluation.coverage import (
+    CoverageResult,
+    binary_coverage,
+    dataset_coverage,
+    kary_coverage,
+    kary_dataset_coverage,
+)
+from repro.evaluation.reporting import format_experiment, format_table, series_to_rows
+from repro.evaluation.sweeps import Series, SweepResult, run_sweep
+from repro.evaluation.experiments import (
+    ExperimentResult,
+    figure1_old_vs_new,
+    figure2b_density,
+)
+from repro.exceptions import ConfigurationError, InsufficientDataError
+
+
+class TestCoverageResult:
+    def test_accuracy_computation(self):
+        result = CoverageResult(n_intervals=10, n_covering=8, mean_size=0.2, mean_absolute_error=0.05)
+        assert result.accuracy == pytest.approx(0.8)
+
+    def test_empty_observations(self):
+        result = CoverageResult.from_observations([], [], [])
+        assert result.n_intervals == 0
+        assert np.isnan(result.accuracy)
+
+    def test_from_observations(self):
+        result = CoverageResult.from_observations(
+            [True, False, True], [0.1, 0.2, 0.3], [0.01, 0.02, 0.03]
+        )
+        assert result.n_covering == 2
+        assert result.mean_size == pytest.approx(0.2)
+        assert result.mean_absolute_error == pytest.approx(0.02)
+
+
+class TestBinaryCoverage:
+    def test_coverage_near_nominal(self, rng):
+        result = binary_coverage(
+            n_workers=5, n_tasks=100, confidence=0.8, rng=rng,
+            density=0.8, n_repetitions=30,
+        )
+        assert result.n_intervals > 0
+        assert 0.6 < result.accuracy <= 1.0
+        assert 0.0 < result.mean_size < 0.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            binary_coverage(5, 100, 0.8, rng, n_repetitions=0)
+
+    def test_higher_confidence_wider_intervals(self, rng):
+        low = binary_coverage(5, 100, 0.5, rng, n_repetitions=15)
+        high = binary_coverage(5, 100, 0.95, rng, n_repetitions=15)
+        assert high.mean_size > low.mean_size
+
+
+class TestKaryCoverage:
+    def test_basic_run(self, rng):
+        result = kary_coverage(
+            arity=2, n_tasks=150, confidence=0.8, rng=rng, n_repetitions=5
+        )
+        assert result.n_intervals == 5 * 3 * 4  # reps x workers x matrix cells
+        assert 0.5 < result.accuracy <= 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            kary_coverage(2, 100, 0.8, rng, n_repetitions=0)
+
+
+class TestDatasetCoverage:
+    def test_requires_gold(self):
+        matrix = ResponseMatrix(3, 5)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            dataset_coverage(matrix, confidence=0.8)
+
+    def test_runs_on_ic_standin(self):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("ic")
+        result = dataset_coverage(matrix, confidence=0.8)
+        assert result.n_intervals > 5
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_spammer_filtering_changes_population(self):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("ic")
+        unfiltered = dataset_coverage(matrix, confidence=0.8)
+        filtered = dataset_coverage(matrix, confidence=0.8, remove_spammers=True)
+        assert filtered.n_intervals <= unfiltered.n_intervals
+
+
+class TestKaryDatasetCoverage:
+    def test_requires_gold(self, rng):
+        matrix = ResponseMatrix(3, 5, arity=3)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            kary_dataset_coverage(matrix, 0.8, min_common_tasks=1, n_triples=3, rng=rng)
+
+    def test_runs_on_ws_standin(self, rng):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("ws")
+        result = kary_dataset_coverage(
+            matrix, confidence=0.8, min_common_tasks=10, n_triples=5, rng=rng
+        )
+        assert result.n_intervals > 0
+
+    def test_impossible_threshold_raises(self, rng):
+        from repro.data import load_dataset
+
+        matrix = load_dataset("ws")
+        with pytest.raises(InsufficientDataError):
+            kary_dataset_coverage(
+                matrix, confidence=0.8, min_common_tasks=10**6, n_triples=5, rng=rng
+            )
+
+
+class TestSweeps:
+    def test_series_accessors(self):
+        series = Series(label="a")
+        series.add(0.1, 1.0)
+        series.add(0.2, 2.0)
+        assert series.xs == [0.1, 0.2]
+        assert series.ys == [1.0, 2.0]
+        assert series.y_at(0.2) == 2.0
+        with pytest.raises(ConfigurationError):
+            series.y_at(0.3)
+
+    def test_sweep_result_add_point(self):
+        sweep = SweepResult(name="s", x_label="x", y_label="y")
+        sweep.add_point("a", 1.0, 2.0)
+        sweep.add_point("a", 2.0, 3.0)
+        sweep.add_point("b", 1.0, 4.0)
+        assert sweep.labels == ["a", "b"]
+        assert sweep.series["a"].y_at(2.0) == 3.0
+
+    def test_run_sweep(self):
+        result = run_sweep(
+            "demo", "x", "y", [1.0, 2.0], ["s1", "s2"],
+            evaluate=lambda label, x: x * (2.0 if label == "s2" else 1.0),
+        )
+        assert result.series["s2"].y_at(2.0) == 4.0
+
+
+class TestReporting:
+    def _sweep(self):
+        sweep = SweepResult(name="demo", x_label="confidence", y_label="size")
+        sweep.add_point("alpha", 0.5, 0.12345)
+        sweep.add_point("alpha", 0.9, 0.2)
+        sweep.add_point("beta", 0.5, 0.3)
+        return sweep
+
+    def test_series_to_rows_union_of_x(self):
+        header, rows = series_to_rows(self._sweep())
+        assert header == ["confidence", "alpha", "beta"]
+        assert rows[0][0] == "0.5"
+        # beta has no point at 0.9 -> dash
+        assert rows[1][2] == "-"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [["1", "2"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "long header" in lines[0]
+
+    def test_format_experiment_includes_notes_and_parameters(self):
+        result = ExperimentResult(
+            figure="figX",
+            title="demo title",
+            sweep=self._sweep(),
+            notes="a note",
+            parameters={"n": 3},
+        )
+        text = format_experiment(result)
+        assert "figX" in text and "demo title" in text
+        assert "n=3" in text and "a note" in text
+
+
+class TestExperimentFunctions:
+    def test_figure1_structure(self):
+        result = figure1_old_vs_new(
+            n_tasks=60, worker_counts=(3,), confidence_grid=(0.5,), n_repetitions=3
+        )
+        assert result.figure == "fig1"
+        assert set(result.sweep.labels) == {
+            "new technique, 3 workers", "old technique, 3 workers"
+        }
+        assert result.series["new technique, 3 workers"][0][0] == 0.5
+
+    def test_figure2b_structure(self):
+        result = figure2b_density(
+            configurations=((3, 60),), densities=(0.7, 0.9), n_repetitions=3
+        )
+        assert result.figure == "fig2b"
+        assert len(result.series["3 workers, 60 tasks"]) == 2

@@ -1,0 +1,184 @@
+"""Unit tests for the incremental evaluator, KOS message passing, and the
+bootstrap comparison baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bootstrap import BootstrapEstimator, bootstrap_intervals
+from repro.baselines.karger_oh_shah import karger_oh_shah
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.m_worker import evaluate_worker
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.types import EstimateStatus
+
+
+class TestIncrementalEvaluator:
+    def _streamed(self, rng, n_workers=5, n_tasks=120):
+        population = BinaryWorkerPopulation.from_paper_palette(n_workers, rng)
+        matrix = population.generate(n_tasks, rng, densities=0.85)
+        return matrix, population.error_rates
+
+    def test_matches_batch_estimator_after_full_stream(self, rng):
+        matrix, _ = self._streamed(rng)
+        incremental = IncrementalEvaluator(
+            n_workers=matrix.n_workers, n_tasks=matrix.n_tasks, confidence=0.9
+        )
+        incremental.add_responses(matrix.iter_responses())
+        streamed = incremental.estimate(2)
+        batch = evaluate_worker(matrix, 2, confidence=0.9)
+        assert streamed.interval.mean == pytest.approx(batch.interval.mean)
+        assert streamed.interval.size == pytest.approx(batch.interval.size)
+
+    def test_cache_survives_unrelated_updates(self, rng):
+        matrix, _ = self._streamed(rng)
+        incremental = IncrementalEvaluator(matrix.n_workers, matrix.n_tasks + 1)
+        incremental.add_responses(matrix.iter_responses())
+        incremental.estimate_all()
+        assert not incremental.dirty_workers
+        # A response on a brand-new task touched by nobody else only dirties
+        # the responding worker.
+        incremental.add_response(0, matrix.n_tasks, 1)
+        assert incremental.dirty_workers == {0}
+
+    def test_update_invalidates_co_attempting_workers(self, rng):
+        matrix, _ = self._streamed(rng)
+        incremental = IncrementalEvaluator(matrix.n_workers, matrix.n_tasks)
+        incremental.add_responses(matrix.iter_responses())
+        incremental.estimate_all()
+        task = 0
+        co_attempting = set(matrix.workers_of(task))
+        incremental.add_response(1, task, 0)
+        assert incremental.dirty_workers == co_attempting | {1}
+
+    def test_estimates_improve_as_data_arrives(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        early_matrix = population.generate(30, rng)
+        late_matrix = population.generate(300, rng)
+        incremental = IncrementalEvaluator(3, 330, confidence=0.9)
+        incremental.add_responses(early_matrix.iter_responses())
+        early_size = incremental.estimate(0).interval.size
+        incremental.add_responses(
+            (worker, task + 30, label) for worker, task, label in late_matrix.iter_responses()
+        )
+        late_size = incremental.estimate(0).interval.size
+        assert late_size < early_size
+
+    def test_extend_tasks(self, rng):
+        incremental = IncrementalEvaluator(3, 5)
+        incremental.extend_tasks(5)
+        incremental.add_response(0, 9, 1)
+        assert incremental.matrix.n_tasks == 10
+        with pytest.raises(ConfigurationError):
+            incremental.extend_tasks(0)
+
+    def test_estimate_requires_data(self):
+        incremental = IncrementalEvaluator(3, 5)
+        with pytest.raises(InsufficientDataError):
+            incremental.estimate(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalEvaluator(2, 10)
+
+    def test_n_responses_counter(self, rng):
+        incremental = IncrementalEvaluator(3, 10)
+        added = incremental.add_responses([(0, 0, 1), (1, 0, 1), (2, 0, 0)])
+        assert added == 3
+        assert incremental.n_responses == 3
+
+
+class TestKargerOhShah:
+    def test_recovers_labels_on_easy_instance(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.15, 0.2, 0.1, 0.25]))
+        matrix = population.generate(200, rng, densities=0.8)
+        result = karger_oh_shah(matrix)
+        correct = sum(
+            1
+            for task, gold in matrix.gold_labels.items()
+            if task in result.labels and result.labels[task] == gold
+        )
+        assert correct / len(result.labels) > 0.9
+
+    def test_worker_scores_rank_quality(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.05, 0.05, 0.05, 0.45]))
+        matrix = population.generate(300, rng)
+        result = karger_oh_shah(matrix)
+        good_scores = [result.worker_scores[w] for w in (0, 1, 2)]
+        assert min(good_scores) > result.worker_scores[3]
+
+    def test_all_workers_receive_scores(self, rng):
+        population = BinaryWorkerPopulation.from_paper_palette(5, rng)
+        matrix = population.generate(60, rng, densities=0.6)
+        result = karger_oh_shah(matrix)
+        assert set(result.worker_scores) == set(range(5))
+
+    def test_deterministic_without_rng(self, simulated_binary):
+        matrix, _ = simulated_binary
+        first = karger_oh_shah(matrix)
+        second = karger_oh_shah(matrix)
+        assert first.labels == second.labels
+
+    def test_validation(self, simulated_kary):
+        kary_matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            karger_oh_shah(kary_matrix)
+        empty = ResponseMatrix(3, 3)
+        with pytest.raises(InsufficientDataError):
+            karger_oh_shah(empty)
+        matrix = ResponseMatrix(3, 3)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(ConfigurationError):
+            karger_oh_shah(matrix, n_iterations=0)
+
+
+class TestBootstrapBaseline:
+    def test_intervals_cover_truth_reasonably(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3, 0.2]))
+        hits = total = 0
+        for seed in range(6):
+            matrix = population.generate(100, rng)
+            estimates = bootstrap_intervals(matrix, confidence=0.8, n_resamples=60, seed=seed)
+            for worker, estimate in estimates.items():
+                if estimate.status is EstimateStatus.DEGENERATE:
+                    continue
+                total += 1
+                hits += estimate.interval.contains(population.error_rates[worker])
+        assert total > 0
+        assert hits / total > 0.6
+
+    def test_interval_contains_point_estimate(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimates = bootstrap_intervals(matrix, confidence=0.9, n_resamples=40)
+        for estimate in estimates.values():
+            assert estimate.interval.lower <= estimate.interval.mean <= estimate.interval.upper
+
+    def test_single_worker_evaluation(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimator = BootstrapEstimator(confidence=0.8, n_resamples=30)
+        estimate = estimator.evaluate_worker(matrix, 1)
+        assert estimate.worker == 1
+
+    def test_deterministic_for_fixed_seed(self, simulated_binary):
+        matrix, _ = simulated_binary
+        first = bootstrap_intervals(matrix, 0.8, n_resamples=30, seed=7)
+        second = bootstrap_intervals(matrix, 0.8, n_resamples=30, seed=7)
+        assert first[0].interval.lower == second[0].interval.lower
+
+    def test_validation(self, simulated_binary, simulated_kary):
+        binary_matrix, _ = simulated_binary
+        kary_matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            BootstrapEstimator(confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            BootstrapEstimator(n_resamples=2)
+        with pytest.raises(ConfigurationError):
+            BootstrapEstimator(n_resamples=30).evaluate_all(kary_matrix)
+        tiny = ResponseMatrix(2, 5)
+        tiny.add_response(0, 0, 1)
+        tiny.add_response(1, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            BootstrapEstimator(n_resamples=30).evaluate_all(tiny)

@@ -1,0 +1,241 @@
+"""Unit tests for the k-ary estimator (Algorithm A3, Lemmas 6-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kary import (
+    KaryEstimator,
+    count_covariance,
+    evaluate_kary_triple,
+    normalize_rows,
+    prob_estimate,
+    response_frequency_matrices,
+)
+from repro.core.kary import implied_selectivity
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.simulation.kary import PAPER_CONFUSION_MATRICES
+from repro.types import EstimateStatus
+
+
+def population_counts(
+    confusions: list[np.ndarray], selectivity: np.ndarray, n_tasks: float
+) -> np.ndarray:
+    """Exact expected count tensor for three fully-overlapping workers."""
+    k = confusions[0].shape[0]
+    counts = np.zeros((k + 1, k + 1, k + 1))
+    for truth in range(k):
+        for a in range(k):
+            for b in range(k):
+                for c in range(k):
+                    counts[a + 1, b + 1, c + 1] += (
+                        n_tasks
+                        * selectivity[truth]
+                        * confusions[0][truth, a]
+                        * confusions[1][truth, b]
+                        * confusions[2][truth, c]
+                    )
+    return counts
+
+
+class TestResponseFrequencyMatrices:
+    def test_regular_counts_give_joint_probabilities(self):
+        confusions = [PAPER_CONFUSION_MATRICES[2][i] for i in range(3)]
+        selectivity = np.array([0.5, 0.5])
+        counts = population_counts(confusions, selectivity, 1000.0)
+        r_12, r_23, r_31 = response_frequency_matrices(counts)
+        # Each matrix holds a joint distribution over the pair's responses.
+        for matrix in (r_12, r_23, r_31):
+            assert matrix.shape == (2, 2)
+            assert matrix.sum() == pytest.approx(1.0)
+        # Lemma 6: R_12 = P1^T S_D P2.
+        expected = confusions[0].T @ np.diag(selectivity) @ confusions[1]
+        assert np.allclose(r_12, expected, atol=1e-10)
+        expected_23 = confusions[1].T @ np.diag(selectivity) @ confusions[2]
+        assert np.allclose(r_23, expected_23, atol=1e-10)
+        expected_31 = confusions[2].T @ np.diag(selectivity) @ confusions[0]
+        assert np.allclose(r_31, expected_31, atol=1e-10)
+
+    def test_counts_with_missing_worker_use_pair_denominator(self):
+        counts = np.zeros((3, 3, 3))
+        # 10 tasks answered by all three (agreeing on label 0).
+        counts[1, 1, 1] = 10
+        # 10 tasks answered by workers 1 and 2 only, with worker 2 answering 1.
+        counts[1, 2, 0] = 10
+        r_12, _, _ = response_frequency_matrices(counts)
+        assert r_12[0, 0] == pytest.approx(0.5)
+        assert r_12[0, 1] == pytest.approx(0.5)
+
+    def test_missing_pair_overlap_raises(self):
+        counts = np.zeros((3, 3, 3))
+        counts[1, 1, 0] = 5  # only the (1,2) pair ever co-occurs
+        with pytest.raises(InsufficientDataError):
+            response_frequency_matrices(counts)
+
+
+class TestProbEstimate:
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_recovers_confusion_matrices_from_population_counts(self, arity):
+        """On exact (noise-free) counts, ProbEstimate recovers S^1/2 P_i."""
+        confusions = [PAPER_CONFUSION_MATRICES[arity][i] for i in range(3)]
+        selectivity = np.full(arity, 1.0 / arity)
+        counts = population_counts(confusions, selectivity, 100000.0)
+        v_estimates = prob_estimate(counts)
+        for estimate, truth in zip(v_estimates, confusions):
+            recovered = normalize_rows(estimate)
+            assert np.allclose(recovered, truth, atol=0.02)
+
+    def test_recovers_nonuniform_selectivity(self):
+        confusions = [PAPER_CONFUSION_MATRICES[2][i] for i in range(3)]
+        selectivity = np.array([0.7, 0.3])
+        counts = population_counts(confusions, selectivity, 100000.0)
+        v_1, _, _ = prob_estimate(counts)
+        assert np.allclose(implied_selectivity(v_1), selectivity, atol=0.03)
+
+    def test_rejects_non_cubic_tensor(self):
+        with pytest.raises(ConfigurationError):
+            prob_estimate(np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            prob_estimate(np.zeros((3, 3, 4)))
+
+    def test_rejects_arity_below_two(self):
+        with pytest.raises(ConfigurationError):
+            prob_estimate(np.zeros((2, 2, 2)))
+
+    def test_requires_threeway_overlap(self):
+        counts = np.zeros((3, 3, 3))
+        counts[1, 1, 0] = 20
+        counts[0, 1, 1] = 20
+        counts[1, 0, 1] = 20
+        with pytest.raises(InsufficientDataError):
+            prob_estimate(counts)
+
+    def test_normalize_rows_handles_zero_rows(self):
+        matrix = np.array([[0.0, 0.0], [0.3, 0.1]])
+        normalized = normalize_rows(matrix)
+        assert normalized[0] == pytest.approx([0.5, 0.5])
+        assert normalized[1] == pytest.approx([0.75, 0.25])
+
+
+class TestCountCovariance:
+    def setup_method(self):
+        self.counts = np.zeros((3, 3, 3))
+        self.counts[1, 1, 1] = 30.0
+        self.counts[1, 2, 1] = 10.0
+        self.counts[2, 2, 2] = 20.0
+        self.counts[1, 1, 0] = 8.0
+        self.counts[2, 1, 0] = 2.0
+
+    def test_different_attempt_patterns_uncorrelated(self):
+        assert count_covariance(self.counts, (1, 1, 1), (1, 1, 0)) == 0.0
+
+    def test_same_cell_binomial_variance(self):
+        n = 60.0  # tasks attempted by all three workers
+        value = 30.0
+        expected = value * (n - value) / n
+        assert count_covariance(self.counts, (1, 1, 1), (1, 1, 1)) == pytest.approx(expected)
+
+    def test_different_cells_same_pattern_negative(self):
+        n = 60.0
+        expected = -30.0 * 10.0 / n
+        assert count_covariance(self.counts, (1, 1, 1), (1, 2, 1)) == pytest.approx(expected)
+
+    def test_pair_only_pattern_uses_pair_total(self):
+        n = 10.0  # tasks attempted by workers 1 and 2 only
+        expected = 8.0 * (n - 8.0) / n
+        assert count_covariance(self.counts, (1, 1, 0), (1, 1, 0)) == pytest.approx(expected)
+
+    def test_all_zero_pattern_is_zero(self):
+        assert count_covariance(self.counts, (0, 0, 0), (0, 0, 0)) == 0.0
+
+    def test_empty_pattern_total_is_zero_covariance(self):
+        counts = np.zeros((3, 3, 3))
+        assert count_covariance(counts, (1, 1, 1), (1, 1, 1)) == 0.0
+
+
+class TestKaryEstimator:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            KaryEstimator(confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            KaryEstimator(epsilon=0.0)
+
+    def test_output_structure(self, simulated_kary):
+        matrix, _ = simulated_kary
+        estimates = evaluate_kary_triple(matrix, confidence=0.8)
+        assert len(estimates) == 3
+        for estimate in estimates:
+            assert estimate.arity == 3
+            assert set(estimate.entries) == {
+                (a, b) for a in range(3) for b in range(3)
+            }
+            for interval in (estimate.interval(a, b) for a in range(3) for b in range(3)):
+                assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_point_estimates_close_to_truth(self, rng):
+        from repro.simulation.kary import KaryWorkerPopulation
+
+        confusions = [PAPER_CONFUSION_MATRICES[2][i].copy() for i in range(3)]
+        population = KaryWorkerPopulation(confusion_matrices=confusions)
+        matrix = population.generate(4000, rng)
+        estimates = evaluate_kary_triple(matrix, confidence=0.8)
+        for estimate, truth in zip(estimates, confusions):
+            points = np.array(estimate.point_matrix())
+            assert np.allclose(points, truth, atol=0.08)
+
+    def test_requires_explicit_triple_for_more_workers(self, rng):
+        from repro.simulation.kary import KaryWorkerPopulation
+
+        population = KaryWorkerPopulation(
+            confusion_matrices=[PAPER_CONFUSION_MATRICES[2][0]] * 4
+        )
+        matrix = population.generate(100, rng)
+        with pytest.raises(ConfigurationError):
+            evaluate_kary_triple(matrix, confidence=0.8)
+        estimates = evaluate_kary_triple(matrix, confidence=0.8, workers=(0, 2, 3))
+        assert {estimate.worker for estimate in estimates} == {0, 2, 3}
+
+    def test_duplicate_workers_rejected(self, simulated_kary):
+        matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            evaluate_kary_triple(matrix, confidence=0.8, workers=(0, 1, 1))
+
+    def test_degenerate_data_returns_flagged_estimates(self):
+        matrix = ResponseMatrix(3, 6, arity=2)
+        # No task is answered by more than one worker.
+        matrix.add_response(0, 0, 0)
+        matrix.add_response(1, 1, 1)
+        matrix.add_response(2, 2, 0)
+        estimates = KaryEstimator(confidence=0.8).evaluate(matrix)
+        assert all(estimate.status is EstimateStatus.DEGENERATE for estimate in estimates)
+        assert all(
+            estimate.interval(0, 0).size >= 0.9 for estimate in estimates
+        )
+
+    def test_evaluate_counts_arity_mismatch_rejected(self):
+        counts = np.zeros((3, 3, 3))
+        with pytest.raises(ConfigurationError):
+            KaryEstimator().evaluate_counts(counts, arity=4)
+
+    def test_binary_data_works_through_kary_path(self, rng):
+        from repro.simulation.kary import KaryWorkerPopulation
+
+        population = KaryWorkerPopulation(
+            confusion_matrices=[PAPER_CONFUSION_MATRICES[2][i] for i in range(3)]
+        )
+        matrix = population.generate(500, rng, densities=0.7)
+        estimates = evaluate_kary_triple(matrix, confidence=0.9)
+        diag_means = [estimates[0].interval(a, a).mean for a in range(2)]
+        assert all(mean > 0.5 for mean in diag_means)
+
+    def test_unnormalized_mode_reports_v_matrices(self, simulated_kary):
+        matrix, _ = simulated_kary
+        estimator = KaryEstimator(confidence=0.8, normalize=False)
+        estimates = estimator.evaluate(matrix)
+        # Without normalization the rows estimate S^1/2 P, whose entries are
+        # bounded by sqrt(S_a) < 1, so row sums are below 1.
+        first = estimates[0]
+        row_sum = sum(first.interval(0, b).mean for b in range(3))
+        assert row_sum < 1.0

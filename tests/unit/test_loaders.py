@@ -1,0 +1,80 @@
+"""Unit tests for ResponseMatrix serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import (
+    load_response_matrix_csv,
+    load_response_matrix_json,
+    save_response_matrix_csv,
+    save_response_matrix_json,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestCsv:
+    def test_round_trip_with_gold(self, small_binary_matrix, tmp_path):
+        responses = tmp_path / "responses.csv"
+        gold = tmp_path / "gold.csv"
+        save_response_matrix_csv(small_binary_matrix, responses, gold)
+        loaded = load_response_matrix_csv(
+            responses, gold, n_workers=3, n_tasks=8, arity=2
+        )
+        assert loaded == small_binary_matrix
+
+    def test_round_trip_without_gold(self, non_regular_matrix, tmp_path):
+        responses = tmp_path / "responses.csv"
+        save_response_matrix_csv(non_regular_matrix, responses)
+        loaded = load_response_matrix_csv(responses, n_workers=4, n_tasks=10)
+        assert loaded.n_responses == non_regular_matrix.n_responses
+        assert not loaded.has_gold
+
+    def test_missing_columns_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(DataValidationError):
+            load_response_matrix_csv(bad)
+
+    def test_gold_missing_columns_rejected(self, small_binary_matrix, tmp_path):
+        responses = tmp_path / "responses.csv"
+        save_response_matrix_csv(small_binary_matrix, responses)
+        bad_gold = tmp_path / "gold.csv"
+        bad_gold.write_text("task\n0\n")
+        with pytest.raises(DataValidationError):
+            load_response_matrix_csv(responses, bad_gold)
+
+    def test_dimensions_inferred_when_omitted(self, small_binary_matrix, tmp_path):
+        responses = tmp_path / "responses.csv"
+        save_response_matrix_csv(small_binary_matrix, responses)
+        loaded = load_response_matrix_csv(responses)
+        assert loaded.n_workers == 3
+        assert loaded.n_tasks == 8
+
+
+class TestJson:
+    def test_round_trip(self, small_binary_matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        save_response_matrix_json(small_binary_matrix, path)
+        loaded = load_response_matrix_json(path)
+        assert loaded == small_binary_matrix
+
+    def test_round_trip_kary_non_regular(self, tmp_path, simulated_kary):
+        matrix, _ = simulated_kary
+        path = tmp_path / "kary.json"
+        save_response_matrix_json(matrix, path)
+        loaded = load_response_matrix_json(path)
+        assert loaded == matrix
+        assert loaded.arity == 3
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DataValidationError):
+            load_response_matrix_json(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "incomplete.json"
+        path.write_text('{"n_workers": 2, "n_tasks": 2}')
+        with pytest.raises(DataValidationError):
+            load_response_matrix_json(path)

@@ -1,0 +1,139 @@
+"""Unit tests for the m-worker binary estimator (Algorithm A2, Lemma 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.m_worker import MWorkerEstimator, evaluate_all_workers, evaluate_worker
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.simulation.density import per_worker_density_ramp
+from repro.types import EstimateStatus
+
+
+class TestConfiguration:
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            MWorkerEstimator(confidence=0.0)
+        with pytest.raises(ConfigurationError):
+            MWorkerEstimator(confidence=1.0)
+
+    def test_rejects_bad_min_overlap(self):
+        with pytest.raises(ConfigurationError):
+            MWorkerEstimator(min_overlap=0)
+
+    def test_rejects_kary_data(self, simulated_kary):
+        matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            MWorkerEstimator(confidence=0.9).evaluate_worker(matrix, 0)
+
+    def test_rejects_too_few_workers(self):
+        matrix = ResponseMatrix(2, 10)
+        matrix.add_response(0, 0, 1)
+        matrix.add_response(1, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            MWorkerEstimator(confidence=0.9).evaluate_worker(matrix, 0)
+
+
+class TestEvaluation:
+    def test_one_estimate_per_worker(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimates = evaluate_all_workers(matrix, confidence=0.9)
+        assert [e.worker for e in estimates] == list(range(matrix.n_workers))
+
+    def test_interval_bounds_are_probabilities(self, simulated_binary):
+        matrix, _ = simulated_binary
+        for estimate in evaluate_all_workers(matrix, confidence=0.8):
+            assert 0.0 <= estimate.interval.lower <= estimate.interval.upper <= 1.0
+
+    def test_triple_count_for_m_workers(self, simulated_binary):
+        matrix, _ = simulated_binary  # 5 workers -> 2 triples per evaluation
+        estimate = evaluate_worker(matrix, 0, confidence=0.9)
+        assert len(estimate.triples) == 2
+        assert len(estimate.weights) == len(estimate.triples)
+
+    def test_weights_sum_to_one(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimate = evaluate_worker(matrix, 2, confidence=0.9)
+        assert sum(estimate.weights) == pytest.approx(1.0)
+
+    def test_three_workers_single_triple(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        matrix = population.generate(150, rng)
+        estimate = evaluate_worker(matrix, 0, confidence=0.9)
+        assert len(estimate.triples) == 1
+        assert estimate.weights == (1.0,)
+
+    def test_point_estimates_near_truth_on_large_data(self, rng):
+        rates = np.array([0.1, 0.2, 0.3, 0.15, 0.25, 0.1, 0.2])
+        population = BinaryWorkerPopulation(error_rates=rates)
+        matrix = population.generate(3000, rng, densities=0.9)
+        estimates = evaluate_all_workers(matrix, confidence=0.9)
+        for estimate in estimates:
+            assert estimate.interval.mean == pytest.approx(
+                rates[estimate.worker], abs=0.05
+            )
+
+    def test_more_workers_tighter_intervals(self, rng):
+        sizes = {}
+        for n_workers in (3, 9):
+            population = BinaryWorkerPopulation(error_rates=np.full(n_workers, 0.2))
+            matrix = population.generate(200, rng)
+            estimates = evaluate_all_workers(matrix, confidence=0.9)
+            sizes[n_workers] = float(np.mean([e.interval.size for e in estimates]))
+        assert sizes[9] < sizes[3]
+
+    def test_optimized_weights_not_worse_than_uniform(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.full(7, 0.2))
+        densities = per_worker_density_ramp(7)
+        matrix = population.generate(120, rng, densities=densities)
+        optimized = evaluate_all_workers(matrix, confidence=0.8, optimize_weights=True)
+        uniform = evaluate_all_workers(matrix, confidence=0.8, optimize_weights=False)
+        mean_optimized = np.mean([e.interval.size for e in optimized])
+        mean_uniform = np.mean([e.interval.size for e in uniform])
+        assert mean_optimized <= mean_uniform * 1.05
+
+    def test_random_pairing_strategy_runs(self, simulated_binary, rng):
+        matrix, _ = simulated_binary
+        estimator = MWorkerEstimator(confidence=0.9, pairing_strategy="random", rng=rng)
+        estimates = estimator.evaluate_all(matrix)
+        assert len(estimates) == matrix.n_workers
+
+    def test_worker_with_no_usable_partners_is_degenerate(self):
+        # Worker 0 shares tasks with nobody; the others overlap heavily.
+        matrix = ResponseMatrix(4, 12)
+        for task in range(0, 4):
+            matrix.add_response(0, task, 0)
+        for worker in (1, 2, 3):
+            for task in range(4, 12):
+                matrix.add_response(worker, task, task % 2)
+        estimate = evaluate_worker(matrix, 0, confidence=0.9)
+        assert estimate.status is EstimateStatus.DEGENERATE
+        assert estimate.interval.lower == 0.0
+        assert estimate.interval.upper == 1.0
+
+    def test_status_propagates_clamping(self, rng):
+        # A random-answering worker drags agreement rates towards 1/2.
+        population = BinaryWorkerPopulation(error_rates=np.array([0.05, 0.05, 0.05, 0.499]))
+        matrix = population.generate(80, rng)
+        estimates = evaluate_all_workers(matrix, confidence=0.9)
+        assert any(
+            estimate.status in (EstimateStatus.CLAMPED, EstimateStatus.OK)
+            for estimate in estimates
+        )
+
+    def test_coverage_reasonable_on_moderate_simulation(self, rng):
+        """End-to-end statistical sanity: ~80% of 80%-intervals cover the truth."""
+        hits = 0
+        total = 0
+        for _ in range(40):
+            population = BinaryWorkerPopulation.from_paper_palette(5, rng)
+            matrix = population.generate(120, rng, densities=0.8)
+            estimates = evaluate_all_workers(matrix, confidence=0.8)
+            for estimate in estimates:
+                total += 1
+                if estimate.interval.contains(population.error_rates[estimate.worker]):
+                    hits += 1
+        assert hits / total > 0.65

@@ -1,0 +1,138 @@
+"""Unit tests for the dataset stand-ins and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import real_datasets
+from repro.data.registry import DATASET_REGISTRY, dataset_names, load_dataset
+from repro.exceptions import ConfigurationError
+
+
+class TestImageComparison:
+    def test_dimensions_match_paper(self):
+        matrix = real_datasets.image_comparison(make_non_regular=False)
+        assert matrix.n_workers == 19
+        assert matrix.n_tasks == 48
+        assert matrix.is_regular
+        assert matrix.arity == 2
+
+    def test_thinning_removes_about_twenty_percent(self):
+        thinned = real_datasets.image_comparison(make_non_regular=True)
+        assert 0.7 < thinned.density < 0.9
+        assert not thinned.is_regular
+
+    def test_deterministic_for_fixed_seed(self):
+        assert real_datasets.image_comparison(seed=3) == real_datasets.image_comparison(seed=3)
+        assert real_datasets.image_comparison(seed=3) != real_datasets.image_comparison(seed=4)
+
+    def test_gold_labels_present(self):
+        matrix = real_datasets.image_comparison()
+        assert len(matrix.gold_labels) == 48
+
+
+class TestSparseBinaryDatasets:
+    def test_rte_shape(self):
+        matrix = real_datasets.rte_entailment()
+        assert matrix.n_workers == 164
+        assert matrix.n_tasks == 800
+        assert matrix.arity == 2
+        assert matrix.density < 0.25
+
+    def test_tem_shape(self):
+        matrix = real_datasets.temporal_ordering()
+        assert matrix.n_workers == 76
+        assert matrix.n_tasks == 462
+        assert matrix.density < 0.4
+
+    def test_heterogeneous_worker_activity(self):
+        matrix = real_datasets.rte_entailment()
+        counts = [matrix.n_tasks_of(worker) for worker in range(matrix.n_workers)]
+        assert max(counts) > 4 * min(counts)
+
+    def test_contains_some_bad_workers(self):
+        matrix = real_datasets.temporal_ordering()
+        error_rates = [
+            matrix.empirical_error_rate(worker)
+            for worker in range(matrix.n_workers)
+            if matrix.n_tasks_of(worker) >= 20
+        ]
+        assert max(error_rates) > 0.3
+        assert min(error_rates) < 0.15
+
+
+class TestKaryDatasets:
+    def test_mooc_reduced_to_ternary(self):
+        matrix = real_datasets.mooc_peer_grading()
+        assert matrix.arity == 3
+        labels = {label for _, _, label in matrix.iter_responses()}
+        assert labels.issubset({0, 1, 2})
+
+    def test_mooc_unreduced_is_six_ary(self):
+        matrix = real_datasets.mooc_peer_grading(reduce_to_ternary=False)
+        assert matrix.arity == 6
+
+    def test_wsd_reduced_to_binary(self):
+        matrix = real_datasets.word_sense_disambiguation()
+        assert matrix.arity == 2
+
+    def test_wsd_unreduced_has_rare_class(self):
+        matrix = real_datasets.word_sense_disambiguation(reduce_to_binary=False)
+        assert matrix.arity == 3
+        gold_counts = {label: 0 for label in range(3)}
+        for label in matrix.gold_labels.values():
+            gold_counts[label] += 1
+        assert gold_counts[2] < 0.1 * matrix.n_tasks
+
+    def test_word_similarity_reduced_to_binary(self):
+        matrix = real_datasets.word_similarity()
+        assert matrix.arity == 2
+        assert matrix.n_workers == 10
+
+    def test_word_similarity_unreduced(self):
+        matrix = real_datasets.word_similarity(reduce_to_binary=False)
+        assert matrix.arity == 11
+
+    def test_triple_overlap_supports_kary_thresholds(self):
+        from repro.evaluation.experiments import KARY_DATASET_THRESHOLDS
+
+        for name in ("mooc", "wsd", "ws"):
+            matrix = load_dataset(name)
+            threshold = KARY_DATASET_THRESHOLDS[name]
+            workers = sorted(
+                range(matrix.n_workers), key=lambda w: -matrix.n_tasks_of(w)
+            )[:8]
+            found = any(
+                matrix.n_common_tasks(a, b, c) >= threshold
+                for index_a, a in enumerate(workers)
+                for index_b, b in enumerate(workers[index_a + 1:], index_a + 1)
+                for c in workers[index_b + 1:]
+            )
+            assert found, f"no usable triple in dataset {name}"
+
+
+class TestRegistry:
+    def test_all_expected_datasets_registered(self):
+        assert set(dataset_names()) == {"ic", "rte", "tem", "mooc", "wsd", "ws"}
+
+    def test_load_by_name_case_insensitive(self):
+        assert load_dataset("IC").n_workers == 19
+
+    def test_load_with_seed_override(self):
+        default = load_dataset("tem")
+        other = load_dataset("tem", seed=99)
+        assert default != other
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("imagenet")
+
+    def test_specs_have_descriptions_and_figures(self):
+        for spec in DATASET_REGISTRY.values():
+            assert spec.description
+            assert spec.used_in
+            assert spec.arity in (2, 3)
+
+    def test_registry_arity_matches_loaded_data(self):
+        for name, spec in DATASET_REGISTRY.items():
+            assert load_dataset(name).arity == spec.arity

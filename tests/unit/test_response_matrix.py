@@ -1,0 +1,291 @@
+"""Unit tests for the ResponseMatrix data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.response_matrix import UNANSWERED, ResponseMatrix
+from repro.exceptions import DataValidationError, InsufficientDataError
+
+
+class TestConstruction:
+    def test_basic_dimensions(self):
+        matrix = ResponseMatrix(n_workers=4, n_tasks=10, arity=3)
+        assert matrix.n_workers == 4
+        assert matrix.n_tasks == 10
+        assert matrix.arity == 3
+        assert matrix.n_responses == 0
+        assert matrix.density == 0.0
+
+    @pytest.mark.parametrize("n_workers,n_tasks,arity", [(0, 5, 2), (3, 0, 2), (3, 5, 1)])
+    def test_rejects_bad_dimensions(self, n_workers, n_tasks, arity):
+        with pytest.raises(DataValidationError):
+            ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+
+    def test_from_dense_round_trip(self):
+        dense = np.array([[0, 1, UNANSWERED], [1, UNANSWERED, 0]])
+        matrix = ResponseMatrix.from_dense(dense)
+        assert matrix.n_workers == 2
+        assert matrix.n_tasks == 3
+        assert matrix.response(0, 0) == 0
+        assert matrix.response(0, 2) is None
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_from_dense_infers_arity(self):
+        dense = np.array([[0, 2], [1, 2]])
+        assert ResponseMatrix.from_dense(dense).arity == 3
+
+    def test_from_dense_rejects_non_2d(self):
+        with pytest.raises(DataValidationError):
+            ResponseMatrix.from_dense(np.zeros((2, 2, 2), dtype=int))
+
+    def test_from_records(self):
+        matrix = ResponseMatrix.from_records([(0, 0, 1), (1, 2, 0)])
+        assert matrix.n_workers == 2
+        assert matrix.n_tasks == 3
+        assert matrix.response(1, 2) == 0
+
+    def test_from_records_with_gold(self):
+        matrix = ResponseMatrix.from_records([(0, 0, 1)], n_tasks=2, gold={0: 1, 1: 0})
+        assert matrix.gold_label(0) == 1
+        assert matrix.gold_label(1) == 0
+
+    def test_from_records_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            ResponseMatrix.from_records([])
+
+    def test_copy_is_independent(self, small_binary_matrix):
+        clone = small_binary_matrix.copy()
+        clone.add_response(0, 0, 1)
+        assert small_binary_matrix.response(0, 0) == 0
+        assert clone.response(0, 0) == 1
+        assert clone.gold_labels == small_binary_matrix.gold_labels
+
+
+class TestMutationAndLookup:
+    def test_add_and_overwrite_response(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.add_response(0, 1, 1)
+        assert matrix.response(0, 1) == 1
+        matrix.add_response(0, 1, 0)
+        assert matrix.response(0, 1) == 0
+        assert matrix.n_responses == 1
+
+    def test_remove_response(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.add_response(0, 1, 1)
+        matrix.remove_response(0, 1)
+        assert matrix.response(0, 1) is None
+        assert not matrix.has_response(0, 1)
+
+    def test_remove_absent_response_is_noop(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.remove_response(0, 1)
+        assert matrix.n_responses == 0
+
+    @pytest.mark.parametrize("worker,task,label", [(-1, 0, 0), (2, 0, 0), (0, 5, 0), (0, 0, 2)])
+    def test_add_response_validation(self, worker, task, label):
+        matrix = ResponseMatrix(2, 3, arity=2)
+        with pytest.raises(DataValidationError):
+            matrix.add_response(worker, task, label)
+
+    def test_worker_and_task_views(self, small_binary_matrix):
+        assert small_binary_matrix.worker_responses(0) == {
+            task: label for task, label in enumerate([0, 1, 0, 1, 0, 1, 0, 1])
+        }
+        assert small_binary_matrix.task_responses(0) == {0: 0, 1: 0, 2: 1}
+        assert small_binary_matrix.tasks_of(1) == set(range(8))
+        assert small_binary_matrix.workers_of(3) == {0, 1, 2}
+        assert small_binary_matrix.n_tasks_of(2) == 8
+
+    def test_iter_responses_counts(self, small_binary_matrix):
+        records = list(small_binary_matrix.iter_responses())
+        assert len(records) == 24
+        assert all(len(record) == 3 for record in records)
+
+    def test_gold_labels_sequence_and_mapping(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.set_gold_labels([0, 1, 0])
+        assert matrix.gold_label(1) == 1
+        matrix.set_gold_labels({2: 1})
+        assert matrix.gold_label(2) == 1
+        assert matrix.has_gold
+
+    def test_gold_sequence_wrong_length(self):
+        matrix = ResponseMatrix(2, 3)
+        with pytest.raises(DataValidationError):
+            matrix.set_gold_labels([0, 1])
+
+    def test_regularity_and_density(self, small_binary_matrix):
+        assert small_binary_matrix.is_regular
+        assert small_binary_matrix.density == 1.0
+        small_binary_matrix.remove_response(0, 0)
+        assert not small_binary_matrix.is_regular
+
+    def test_is_binary(self):
+        assert ResponseMatrix(2, 2, arity=2).is_binary
+        assert not ResponseMatrix(2, 2, arity=3).is_binary
+
+    def test_equality(self, small_binary_matrix):
+        assert small_binary_matrix == small_binary_matrix.copy()
+        other = small_binary_matrix.copy()
+        other.add_response(0, 0, 1)
+        assert small_binary_matrix != other
+        assert small_binary_matrix != "not a matrix"
+
+
+class TestDerivedStatistics:
+    def test_common_tasks(self, non_regular_matrix):
+        assert non_regular_matrix.common_tasks(0, 1) == set(range(2, 8))
+        assert non_regular_matrix.n_common_tasks(0, 1, 3) == len(set(range(1, 8)) & set(range(2, 8)))
+
+    def test_common_tasks_requires_worker(self, non_regular_matrix):
+        with pytest.raises(DataValidationError):
+            non_regular_matrix.common_tasks()
+
+    def test_pair_statistics_counts(self, small_binary_matrix):
+        stats = small_binary_matrix.pair_statistics(0, 1)
+        assert stats.common_tasks == 8
+        assert stats.agreements == 7
+        assert stats.agreement_rate == pytest.approx(7 / 8)
+
+    def test_pair_statistics_rejects_same_worker(self, small_binary_matrix):
+        with pytest.raises(DataValidationError):
+            small_binary_matrix.pair_statistics(1, 1)
+
+    def test_agreement_rate_no_overlap(self):
+        matrix = ResponseMatrix(2, 4)
+        matrix.add_response(0, 0, 1)
+        matrix.add_response(1, 1, 1)
+        with pytest.raises(InsufficientDataError):
+            matrix.agreement_rate(0, 1)
+
+    def test_response_count_tensor_shape_and_totals(self, small_binary_matrix):
+        counts = small_binary_matrix.response_count_tensor((0, 1, 2))
+        assert counts.shape == (3, 3, 3)
+        assert counts.sum() == 8  # all workers answered all 8 tasks
+        assert counts[0].sum() == 0  # worker 0 answered everything
+
+    def test_response_count_tensor_with_gaps(self, non_regular_matrix):
+        counts = non_regular_matrix.response_count_tensor((0, 1, 2))
+        # tasks 8, 9 were not attempted by worker 0 -> index 0 along first axis
+        assert counts[0, :, :].sum() == 2
+
+    def test_response_count_tensor_validation(self, small_binary_matrix):
+        with pytest.raises(DataValidationError):
+            small_binary_matrix.response_count_tensor((0, 1))
+        with pytest.raises(DataValidationError):
+            small_binary_matrix.response_count_tensor((0, 1, 1))
+
+    def test_disagreement_with_majority(self, small_binary_matrix):
+        # Worker 2 disagrees with the others' majority on tasks 0, 3 and 7;
+        # on task 6 the other two workers tie, which counts as agreement.
+        assert small_binary_matrix.disagreement_with_majority(2) == pytest.approx(3 / 8)
+        # Worker 0 (perfect) is outvoted by the other two on task 6 only.
+        assert small_binary_matrix.disagreement_with_majority(0) == pytest.approx(1 / 8)
+
+    def test_disagreement_requires_responses(self):
+        matrix = ResponseMatrix(3, 4)
+        matrix.add_response(1, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            matrix.disagreement_with_majority(0)
+
+    def test_disagreement_requires_other_workers(self):
+        matrix = ResponseMatrix(3, 4)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            matrix.disagreement_with_majority(0)
+
+    def test_empirical_error_rate(self, small_binary_matrix):
+        assert small_binary_matrix.empirical_error_rate(0) == 0.0
+        assert small_binary_matrix.empirical_error_rate(1) == pytest.approx(1 / 8)
+        assert small_binary_matrix.empirical_error_rate(2) == pytest.approx(4 / 8)
+
+    def test_empirical_error_rate_needs_gold(self):
+        matrix = ResponseMatrix(2, 3)
+        matrix.add_response(0, 0, 1)
+        with pytest.raises(InsufficientDataError):
+            matrix.empirical_error_rate(0)
+
+    def test_empirical_confusion_matrix(self, small_binary_matrix):
+        confusion = small_binary_matrix.empirical_confusion_matrix(1)
+        assert confusion.shape == (2, 2)
+        # Worker 1 answered label 1 once when gold was 0 (task 6).
+        assert confusion[0, 1] == pytest.approx(1 / 4)
+        assert confusion[1, 1] == pytest.approx(1.0)
+
+    def test_empirical_confusion_matrix_uniform_for_missing_rows(self):
+        matrix = ResponseMatrix(1, 4, arity=3)
+        matrix.add_response(0, 0, 0)
+        matrix.set_gold_label(0, 0)
+        confusion = matrix.empirical_confusion_matrix(0)
+        assert confusion[1] == pytest.approx(np.full(3, 1 / 3))
+
+
+class TestTransformations:
+    def test_subset_workers_reindexes(self, non_regular_matrix):
+        subset = non_regular_matrix.subset_workers([2, 0])
+        assert subset.n_workers == 2
+        assert subset.worker_responses(0) == non_regular_matrix.worker_responses(2)
+        assert subset.worker_responses(1) == non_regular_matrix.worker_responses(0)
+        assert subset.gold_labels == non_regular_matrix.gold_labels
+
+    def test_subset_workers_validation(self, non_regular_matrix):
+        with pytest.raises(DataValidationError):
+            non_regular_matrix.subset_workers([])
+        with pytest.raises(DataValidationError):
+            non_regular_matrix.subset_workers([99])
+
+    def test_subset_tasks_reindexes_and_keeps_gold(self, small_binary_matrix):
+        subset = small_binary_matrix.subset_tasks([3, 5])
+        assert subset.n_tasks == 2
+        assert subset.response(0, 0) == small_binary_matrix.response(0, 3)
+        assert subset.gold_label(1) == small_binary_matrix.gold_label(5)
+
+    def test_thin_removes_roughly_expected_fraction(self, rng):
+        matrix = ResponseMatrix(5, 200)
+        for worker in range(5):
+            for task in range(200):
+                matrix.add_response(worker, task, 0)
+        thinned = matrix.thin(0.8, rng)
+        assert 0.7 < thinned.density < 0.9
+        assert thinned.n_workers == 5 and thinned.n_tasks == 200
+
+    def test_thin_keep_all(self, small_binary_matrix, rng):
+        assert small_binary_matrix.thin(1.0, rng).n_responses == 24
+
+    def test_thin_validation(self, small_binary_matrix, rng):
+        with pytest.raises(DataValidationError):
+            small_binary_matrix.thin(0.0, rng)
+
+    def test_reduce_arity_maps_labels_and_gold(self):
+        matrix = ResponseMatrix(1, 3, arity=4)
+        matrix.add_response(0, 0, 0)
+        matrix.add_response(0, 1, 2)
+        matrix.add_response(0, 2, 3)
+        matrix.set_gold_labels([0, 2, 3])
+        reduced = matrix.reduce_arity({0: 0, 1: 0, 2: 1, 3: 1}, new_arity=2)
+        assert reduced.arity == 2
+        assert reduced.response(0, 1) == 1
+        assert reduced.gold_label(2) == 1
+
+    def test_reduce_arity_requires_mapping(self, small_binary_matrix):
+        with pytest.raises(DataValidationError):
+            small_binary_matrix.reduce_arity(None)
+
+    def test_reduce_arity_rejects_out_of_range(self):
+        matrix = ResponseMatrix(1, 1, arity=3)
+        matrix.add_response(0, 0, 2)
+        with pytest.raises(DataValidationError):
+            matrix.reduce_arity({0: 0, 1: 1, 2: 5}, new_arity=2)
+
+    def test_reduce_arity_rejects_unmapped_label(self):
+        matrix = ResponseMatrix(1, 1, arity=3)
+        matrix.add_response(0, 0, 2)
+        with pytest.raises(DataValidationError):
+            matrix.reduce_arity({0: 0, 1: 1}, new_arity=2)
+
+    def test_repr_contains_dimensions(self, small_binary_matrix):
+        text = repr(small_binary_matrix)
+        assert "n_workers=3" in text and "n_tasks=8" in text

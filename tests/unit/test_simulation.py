@@ -1,0 +1,222 @@
+"""Unit tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation import (
+    PAPER_CONFUSION_MATRICES,
+    PAPER_ERROR_RATES,
+    BinaryWorkerPopulation,
+    KaryWorkerPopulation,
+    attempt_mask,
+    paper_binary_scenario,
+    paper_kary_scenario,
+    per_worker_density_ramp,
+    random_confusion_matrix,
+    sample_confusion_matrices,
+    sample_error_rates,
+    simulate_binary_responses,
+    simulate_kary_responses,
+    uniform_density,
+    weight_optimization_scenario,
+)
+from repro.simulation.scenarios import SimulationScenario
+
+
+class TestDensity:
+    def test_uniform_density(self):
+        densities = uniform_density(4, 0.7)
+        assert np.allclose(densities, 0.7)
+        assert densities.shape == (4,)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -0.1])
+    def test_uniform_density_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            uniform_density(3, bad)
+
+    def test_per_worker_density_ramp_matches_paper_formula(self):
+        m = 7
+        densities = per_worker_density_ramp(m)
+        expected = [(0.5 * i + (m - i)) / m for i in range(1, m + 1)]
+        assert np.allclose(densities, expected)
+        assert densities[0] > densities[-1]
+        assert densities[-1] == pytest.approx(0.5)
+
+    def test_attempt_mask_shape_and_density(self, rng):
+        mask = attempt_mask(5, 400, 0.8, rng)
+        assert mask.shape == (5, 400)
+        assert 0.7 < mask.mean() < 0.9
+
+    def test_attempt_mask_guarantees_pairwise_overlap(self, rng):
+        mask = attempt_mask(6, 30, 0.4, rng, ensure_pairwise_overlap=True)
+        overlaps = mask.astype(int) @ mask.astype(int).T
+        off_diagonal = overlaps[~np.eye(6, dtype=bool)]
+        assert off_diagonal.min() >= 2
+
+    def test_attempt_mask_per_worker_densities(self, rng):
+        densities = np.array([1.0, 0.2])
+        mask = attempt_mask(2, 500, densities, rng, ensure_pairwise_overlap=False)
+        assert mask[0].mean() == pytest.approx(1.0)
+        assert mask[1].mean() == pytest.approx(0.2, abs=0.08)
+
+    def test_attempt_mask_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            attempt_mask(0, 10, 0.5, rng)
+        with pytest.raises(ConfigurationError):
+            attempt_mask(3, 10, np.array([0.5, 0.5]), rng)
+
+
+class TestBinarySimulation:
+    def test_sample_error_rates_from_paper_palette(self, rng):
+        rates = sample_error_rates(500, rng)
+        assert set(np.unique(rates)).issubset(set(PAPER_ERROR_RATES))
+
+    def test_sample_error_rates_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_error_rates(0, rng)
+        with pytest.raises(ConfigurationError):
+            sample_error_rates(3, rng, palette=[1.2])
+
+    def test_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinaryWorkerPopulation(error_rates=np.array([1.5]))
+        with pytest.raises(ConfigurationError):
+            BinaryWorkerPopulation(error_rates=np.array([0.1]), task_positive_prior=0.0)
+
+    def test_generate_shapes_and_gold(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        matrix = population.generate(50, rng, densities=1.0)
+        assert matrix.n_workers == 3
+        assert matrix.n_tasks == 50
+        assert matrix.is_regular
+        assert matrix.has_gold
+        assert len(matrix.gold_labels) == 50
+
+    def test_generate_respects_error_rates(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.0, 0.3, 0.3]))
+        matrix = population.generate(2000, rng)
+        assert matrix.empirical_error_rate(0) == 0.0
+        assert matrix.empirical_error_rate(1) == pytest.approx(0.3, abs=0.05)
+
+    def test_generate_density(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1] * 4))
+        matrix = population.generate(300, rng, densities=0.6)
+        assert 0.5 < matrix.density < 0.7
+
+    def test_simulate_binary_responses_helper(self, rng):
+        matrix, rates = simulate_binary_responses(5, 80, rng, density=0.9)
+        assert matrix.n_workers == 5
+        assert rates.shape == (5,)
+
+    def test_generate_validation(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.1, 0.1]))
+        with pytest.raises(ConfigurationError):
+            population.generate(0, rng)
+
+
+class TestKarySimulation:
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_paper_matrices_are_row_stochastic(self, arity):
+        for matrix in PAPER_CONFUSION_MATRICES[arity]:
+            assert matrix.shape == (arity, arity)
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+            assert np.all(matrix >= 0.0)
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_paper_matrices_diagonally_dominant(self, arity):
+        for matrix in PAPER_CONFUSION_MATRICES[arity]:
+            for row in range(arity):
+                assert matrix[row, row] == np.max(matrix[row])
+
+    def test_random_confusion_matrix_valid(self, rng):
+        matrix = random_confusion_matrix(5, rng)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        for row in range(5):
+            assert matrix[row, row] >= 0.6
+
+    def test_random_confusion_matrix_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_confusion_matrix(1, rng)
+        with pytest.raises(ConfigurationError):
+            random_confusion_matrix(3, rng, diagonal_low=0.3)
+
+    def test_sample_confusion_matrices_uses_paper_palette(self, rng):
+        matrices = sample_confusion_matrices(10, 3, rng)
+        palette = PAPER_CONFUSION_MATRICES[3]
+        for matrix in matrices:
+            assert any(np.allclose(matrix, candidate) for candidate in palette)
+
+    def test_sample_confusion_matrices_generates_for_unknown_arity(self, rng):
+        matrices = sample_confusion_matrices(4, 5, rng)
+        assert all(m.shape == (5, 5) for m in matrices)
+
+    def test_population_generate(self, rng):
+        population = KaryWorkerPopulation(
+            confusion_matrices=list(PAPER_CONFUSION_MATRICES[3])
+        )
+        matrix = population.generate(100, rng, densities=0.9)
+        assert matrix.arity == 3
+        assert matrix.n_workers == 3
+        assert matrix.has_gold
+
+    def test_population_selectivity_validation(self):
+        with pytest.raises(ConfigurationError):
+            KaryWorkerPopulation(
+                confusion_matrices=list(PAPER_CONFUSION_MATRICES[2]),
+                selectivity=np.array([0.7, 0.7]),
+            )
+
+    def test_population_mixed_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KaryWorkerPopulation(
+                confusion_matrices=[
+                    PAPER_CONFUSION_MATRICES[2][0],
+                    PAPER_CONFUSION_MATRICES[3][0],
+                ]
+            )
+
+    def test_simulate_kary_responses_helper(self, rng):
+        matrix, confusions = simulate_kary_responses(3, 60, 4, rng, density=0.8)
+        assert matrix.arity == 4
+        assert len(confusions) == 3
+
+    def test_kary_responses_follow_confusion_matrix(self, rng):
+        # A worker who always answers label 0 regardless of the truth.
+        degenerate = np.array([[1.0, 0.0], [1.0, 0.0]])
+        identity = np.array([[1.0, 0.0], [0.0, 1.0]])
+        population = KaryWorkerPopulation(
+            confusion_matrices=[degenerate, identity, identity]
+        )
+        matrix = population.generate(200, rng)
+        assert set(matrix.worker_responses(0).values()) == {0}
+
+
+class TestScenarios:
+    def test_paper_binary_scenario_sample(self, rng):
+        scenario = paper_binary_scenario(5, 60, density=0.8)
+        matrix, truth = scenario.sample(rng)
+        assert matrix.n_workers == 5
+        assert truth.shape == (5,)
+
+    def test_paper_kary_scenario_sample(self, rng):
+        scenario = paper_kary_scenario(3, 40)
+        matrix, truth = scenario.sample(rng)
+        assert matrix.arity == 3
+        assert len(truth) == 3
+
+    def test_weight_optimization_scenario_density_ramp(self):
+        scenario = weight_optimization_scenario(n_workers=7)
+        assert scenario.effective_densities[0] > scenario.effective_densities[-1]
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationScenario(name="bad", n_workers=2, n_tasks=10)
+        with pytest.raises(ConfigurationError):
+            SimulationScenario(name="bad", n_workers=3, n_tasks=0)
+        with pytest.raises(ConfigurationError):
+            SimulationScenario(
+                name="bad", n_workers=3, n_tasks=10, densities=np.array([0.5, 0.5])
+            )

@@ -1,0 +1,170 @@
+"""Unit tests for task-label inference from worker-quality estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import evaluate_kary_workers, evaluate_workers
+from repro.core.task_inference import (
+    infer_binary_labels,
+    infer_kary_labels,
+    label_accuracy,
+)
+from repro.baselines.majority_vote import majority_vote_labels
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.simulation.kary import KaryWorkerPopulation, PAPER_CONFUSION_MATRICES
+
+
+class TestBinaryInference:
+    def test_accurate_workers_outvote_inaccurate_majority(self):
+        """One excellent worker with two poor workers: the weighted vote should
+        follow the excellent worker where the poor ones disagree with it."""
+        matrix = ResponseMatrix(3, 4)
+        truth = [1, 0, 1, 0]
+        for task, label in enumerate(truth):
+            matrix.add_response(0, task, label)          # perfect worker
+            matrix.add_response(1, task, 1 - label)      # terrible worker
+            matrix.add_response(2, task, 1 - label)      # terrible worker
+        matrix.set_gold_labels(truth)
+        estimates = {0: 0.02, 1: 0.45, 2: 0.45}
+        labels = infer_binary_labels(matrix, estimates)
+        # The two bad workers together still outweigh... unless weights differ:
+        # log(0.98/0.02) = 3.9 vs 2 * log(0.55/0.45) = 0.4, so worker 0 wins.
+        assert labels == {task: label for task, label in enumerate(truth)}
+
+    def test_equal_weights_reduce_to_majority(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.2, 0.2, 0.2]))
+        matrix = population.generate(100, rng)
+        weighted = infer_binary_labels(matrix, {0: 0.2, 1: 0.2, 2: 0.2})
+        majority = majority_vote_labels(matrix)
+        disagreements = sum(1 for task in weighted if weighted[task] != majority[task])
+        assert disagreements == 0
+
+    def test_accepts_worker_error_estimates(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimates = evaluate_workers(matrix, confidence=0.9)
+        labels = infer_binary_labels(matrix, estimates)
+        assert label_accuracy(matrix, labels) > 0.85
+
+    def test_conservative_mode_uses_upper_bound(self, simulated_binary):
+        matrix, _ = simulated_binary
+        estimates = evaluate_workers(matrix, confidence=0.9)
+        plain = infer_binary_labels(matrix, estimates, conservative=False)
+        conservative = infer_binary_labels(matrix, estimates, conservative=True)
+        assert set(plain) == set(conservative)
+
+    def test_workers_without_estimates_are_skipped(self, simulated_binary):
+        matrix, _ = simulated_binary
+        labels = infer_binary_labels(matrix, {0: 0.1})
+        # Only tasks answered by worker 0 can be labelled.
+        assert set(labels).issubset(matrix.tasks_of(0))
+
+    def test_prior_breaks_ties(self):
+        matrix = ResponseMatrix(3, 1)
+        matrix.add_response(0, 0, 1)
+        matrix.add_response(1, 0, 0)
+        labels_positive = infer_binary_labels(matrix, {0: 0.2, 1: 0.2}, positive_prior=0.9)
+        labels_negative = infer_binary_labels(matrix, {0: 0.2, 1: 0.2}, positive_prior=0.1)
+        assert labels_positive[0] == 1
+        assert labels_negative[0] == 0
+
+    def test_validation(self, simulated_binary, simulated_kary):
+        binary_matrix, _ = simulated_binary
+        kary_matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            infer_binary_labels(kary_matrix, {0: 0.1})
+        with pytest.raises(ConfigurationError):
+            infer_binary_labels(binary_matrix, {0: 0.1}, positive_prior=0.0)
+
+
+class TestKaryInference:
+    def test_recovers_labels_with_true_confusions(self, rng):
+        confusions = [PAPER_CONFUSION_MATRICES[3][i].copy() for i in range(3)]
+        population = KaryWorkerPopulation(confusion_matrices=confusions)
+        matrix = population.generate(300, rng)
+        labels = infer_kary_labels(
+            matrix, {worker: confusions[worker] for worker in range(3)}
+        )
+        assert label_accuracy(matrix, labels) > 0.85
+
+    def test_biased_worker_is_corrected(self):
+        """A worker who always answers 0 is uninformative; an accurate worker
+        plus the bias model should still recover the truth."""
+        always_zero = np.array([[0.99, 0.01], [0.99, 0.01]])
+        accurate = np.array([[0.95, 0.05], [0.05, 0.95]])
+        matrix = ResponseMatrix(2, 4, arity=2)
+        truth = [0, 1, 1, 0]
+        for task, label in enumerate(truth):
+            matrix.add_response(0, task, 0)
+            matrix.add_response(1, task, label)
+        matrix.set_gold_labels(truth)
+        labels = infer_kary_labels(matrix, {0: always_zero, 1: accurate})
+        assert labels == dict(enumerate(truth))
+
+    def test_accepts_kary_worker_estimates(self, simulated_kary):
+        matrix, _ = simulated_kary
+        estimates = evaluate_kary_workers(matrix, confidence=0.8)
+        labels = infer_kary_labels(matrix, estimates)
+        assert label_accuracy(matrix, labels) > 0.7
+
+    def test_conservative_mode_runs(self, simulated_kary):
+        matrix, _ = simulated_kary
+        estimates = evaluate_kary_workers(matrix, confidence=0.8)
+        labels = infer_kary_labels(matrix, estimates, conservative=True)
+        assert labels
+
+    def test_selectivity_prior_shifts_decisions(self):
+        matrix = ResponseMatrix(1, 1, arity=2)
+        matrix.add_response(0, 0, 1)
+        noisy = np.array([[0.6, 0.4], [0.4, 0.6]])
+        skewed = infer_kary_labels(matrix, {0: noisy}, selectivity=[0.95, 0.05])
+        assert skewed[0] == 0
+
+    def test_validation(self, simulated_kary):
+        matrix, _ = simulated_kary
+        with pytest.raises(DataValidationError):
+            infer_kary_labels(matrix, {0: np.eye(2)})
+        with pytest.raises(ConfigurationError):
+            infer_kary_labels(matrix, {0: np.eye(3)}, selectivity=[1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            infer_kary_labels(matrix, {0: np.eye(3)}, selectivity=[0.0, 0.0, 0.0])
+
+
+class TestLabelAccuracy:
+    def test_counts_only_overlapping_tasks(self, small_binary_matrix):
+        labels = {0: 0, 1: 1, 2: 1}
+        assert label_accuracy(small_binary_matrix, labels) == pytest.approx(2 / 3)
+
+    def test_requires_gold(self):
+        matrix = ResponseMatrix(2, 2)
+        with pytest.raises(DataValidationError):
+            label_accuracy(matrix, {0: 1})
+
+    def test_requires_overlap(self, small_binary_matrix):
+        with pytest.raises(DataValidationError):
+            label_accuracy(small_binary_matrix, {99: 1} if False else {})
+
+
+class TestInferenceImprovesOnMajority:
+    def test_weighted_vote_at_least_as_good_as_majority(self, rng):
+        """With heterogeneous workers, quality-weighted voting should match or
+        beat plain majority voting on average."""
+        weighted_wins = 0
+        ties = 0
+        rounds = 10
+        for _ in range(rounds):
+            population = BinaryWorkerPopulation(
+                error_rates=np.array([0.05, 0.1, 0.35, 0.4, 0.45])
+            )
+            matrix = population.generate(150, rng, densities=0.9)
+            estimates = evaluate_workers(matrix, confidence=0.9)
+            weighted = label_accuracy(matrix, infer_binary_labels(matrix, estimates))
+            majority = label_accuracy(matrix, majority_vote_labels(matrix))
+            if weighted > majority:
+                weighted_wins += 1
+            elif weighted == majority:
+                ties += 1
+        assert weighted_wins + ties >= rounds // 2

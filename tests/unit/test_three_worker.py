@@ -1,0 +1,246 @@
+"""Unit tests for the 3-worker binary estimator (Algorithm A1, Lemmas 1-3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.agreement import compute_agreement_statistics
+from repro.core.three_worker import (
+    MIN_AGREEMENT_MARGIN,
+    agreement_covariance_matrix,
+    clamp_agreement,
+    error_rate_from_agreements,
+    error_rate_gradient,
+    evaluate_three_workers,
+    evaluate_worker_in_triple,
+    smoothed_variance_rate,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    DegenerateEstimateError,
+    InsufficientDataError,
+)
+from repro.simulation.binary import BinaryWorkerPopulation
+from repro.types import EstimateStatus
+
+
+def expected_agreement(p_i: float, p_j: float) -> float:
+    """q_ij = p_i p_j + (1 - p_i)(1 - p_j)."""
+    return p_i * p_j + (1.0 - p_i) * (1.0 - p_j)
+
+
+class TestErrorRateFormula:
+    def test_recovers_error_rates_from_exact_agreements(self):
+        """Eq. (1) inverts the agreement model exactly on noiseless inputs."""
+        p = (0.1, 0.2, 0.3)
+        q_12 = expected_agreement(p[0], p[1])
+        q_13 = expected_agreement(p[0], p[2])
+        q_23 = expected_agreement(p[1], p[2])
+        assert error_rate_from_agreements(q_12, q_13, q_23) == pytest.approx(p[0])
+        assert error_rate_from_agreements(q_12, q_23, q_13) == pytest.approx(p[1])
+        assert error_rate_from_agreements(q_13, q_23, q_12) == pytest.approx(p[2])
+
+    def test_perfect_agreement_gives_zero_error(self):
+        assert error_rate_from_agreements(1.0, 1.0, 1.0) == pytest.approx(0.0)
+
+    def test_rejects_agreement_at_half(self):
+        with pytest.raises(DegenerateEstimateError):
+            error_rate_from_agreements(0.5, 0.9, 0.9)
+
+    def test_monotone_decreasing_in_own_agreements(self):
+        base = error_rate_from_agreements(0.8, 0.8, 0.9)
+        higher = error_rate_from_agreements(0.85, 0.8, 0.9)
+        assert higher < base
+
+
+class TestGradient:
+    @pytest.mark.parametrize(
+        "q",
+        [(0.8, 0.75, 0.9), (0.9, 0.9, 0.95), (0.6, 0.7, 0.65), (0.82, 0.64, 0.71)],
+    )
+    def test_gradient_matches_numerical_derivative(self, q):
+        gradient = error_rate_gradient(*q)
+        epsilon = 1e-6
+        for index in range(3):
+            bumped_up = list(q)
+            bumped_down = list(q)
+            bumped_up[index] += epsilon
+            bumped_down[index] -= epsilon
+            numeric = (
+                error_rate_from_agreements(*bumped_up)
+                - error_rate_from_agreements(*bumped_down)
+            ) / (2 * epsilon)
+            assert gradient[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_signs_match_lemma2(self):
+        gradient = error_rate_gradient(0.8, 0.85, 0.9)
+        assert gradient[0] < 0
+        assert gradient[1] < 0
+        assert gradient[2] > 0
+
+    def test_rejects_degenerate_rates(self):
+        with pytest.raises(DegenerateEstimateError):
+            error_rate_gradient(0.5, 0.8, 0.8)
+
+
+class TestClampingAndSmoothing:
+    def test_clamp_below_half(self):
+        value, clamped = clamp_agreement(0.42)
+        assert clamped
+        assert value == pytest.approx(0.5 + MIN_AGREEMENT_MARGIN)
+
+    def test_clamp_above_one(self):
+        value, clamped = clamp_agreement(1.2)
+        assert clamped
+        assert value == 1.0
+
+    def test_no_clamp_in_valid_range(self):
+        value, clamped = clamp_agreement(0.8)
+        assert not clamped and value == 0.8
+
+    def test_smoothed_variance_rate_pulls_away_from_boundary(self):
+        assert 0.0 < smoothed_variance_rate(1.0, 4) < 1.0
+        assert smoothed_variance_rate(1.0, 4) == pytest.approx(5 / 6)
+
+    def test_smoothed_variance_rate_negligible_for_large_counts(self):
+        assert smoothed_variance_rate(0.8, 10000) == pytest.approx(0.8, abs=1e-3)
+
+    def test_smoothed_variance_rate_validation(self):
+        with pytest.raises(InsufficientDataError):
+            smoothed_variance_rate(0.8, 0)
+
+
+class TestCovarianceMatrix:
+    def _inputs(self, n=100, c_triple=None):
+        p = {0: 0.1, 1: 0.2, 2: 0.3}
+        q = {
+            (0, 1): expected_agreement(0.1, 0.2),
+            (0, 2): expected_agreement(0.1, 0.3),
+            (1, 2): expected_agreement(0.2, 0.3),
+        }
+        c_pair = {(0, 1): n, (0, 2): n, (1, 2): n}
+        return q, c_pair, c_triple if c_triple is not None else n, p
+
+    def test_diagonal_is_binomial_variance(self):
+        q, c_pair, c_triple, p = self._inputs(n=200)
+        covariance = agreement_covariance_matrix(q, c_pair, c_triple, p, (0, 1, 2))
+        q_smoothed = smoothed_variance_rate(q[(0, 1)], 200)
+        assert covariance[0, 0] == pytest.approx(q_smoothed * (1 - q_smoothed) / 200)
+
+    def test_off_diagonal_matches_lemma1_regular(self):
+        n = 100
+        q, c_pair, c_triple, p = self._inputs(n=n)
+        covariance = agreement_covariance_matrix(q, c_pair, c_triple, p, (0, 1, 2))
+        # Cov(Q_01, Q_02): shared worker 0, other pair (1, 2).
+        expected = p[0] * (1 - p[0]) * (2 * q[(1, 2)] - 1) / n
+        assert covariance[0, 1] == pytest.approx(expected)
+        # Cov(Q_01, Q_12): shared worker 1, other pair (0, 2).
+        expected = p[1] * (1 - p[1]) * (2 * q[(0, 2)] - 1) / n
+        assert covariance[0, 2] == pytest.approx(expected)
+
+    def test_lemma3_scales_with_triple_overlap(self):
+        q, c_pair, _, p = self._inputs(n=100)
+        full = agreement_covariance_matrix(q, c_pair, 100, p, (0, 1, 2))
+        half = agreement_covariance_matrix(q, c_pair, 50, p, (0, 1, 2))
+        assert half[0, 1] == pytest.approx(full[0, 1] / 2)
+        # Diagonal terms do not depend on the triple overlap.
+        assert half[0, 0] == pytest.approx(full[0, 0])
+
+    def test_matrix_is_symmetric(self):
+        q, c_pair, c_triple, p = self._inputs()
+        covariance = agreement_covariance_matrix(q, c_pair, c_triple, p, (0, 1, 2))
+        assert np.allclose(covariance, covariance.T)
+
+    def test_zero_common_tasks_rejected(self):
+        q, c_pair, c_triple, p = self._inputs()
+        c_pair[(0, 1)] = 0
+        with pytest.raises(InsufficientDataError):
+            agreement_covariance_matrix(q, c_pair, c_triple, p, (0, 1, 2))
+
+
+class TestEvaluateThreeWorkers:
+    def test_returns_one_estimate_per_worker(self, simulated_binary):
+        matrix, _ = simulated_binary
+        results = evaluate_three_workers(matrix, confidence=0.9, workers=(0, 1, 2))
+        assert [r.worker for r in results] == [0, 1, 2]
+        for result in results:
+            assert 0.0 <= result.interval.lower <= result.interval.upper <= 1.0
+
+    def test_defaults_to_all_three_workers(self, small_binary_matrix):
+        results = evaluate_three_workers(small_binary_matrix, confidence=0.8)
+        assert len(results) == 3
+
+    def test_interval_width_shrinks_with_more_tasks(self, rng):
+        population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
+        small = population.generate(60, rng)
+        large = population.generate(2000, rng)
+        size_small = np.mean(
+            [r.interval.size for r in evaluate_three_workers(small, 0.9)]
+        )
+        size_large = np.mean(
+            [r.interval.size for r in evaluate_three_workers(large, 0.9)]
+        )
+        assert size_large < size_small
+
+    def test_point_estimates_close_to_truth_on_large_data(self, rng):
+        rates = np.array([0.1, 0.2, 0.3])
+        population = BinaryWorkerPopulation(error_rates=rates)
+        matrix = population.generate(5000, rng)
+        results = evaluate_three_workers(matrix, confidence=0.9)
+        for result in results:
+            assert result.interval.mean == pytest.approx(rates[result.worker], abs=0.04)
+
+    def test_non_binary_rejected(self, simulated_kary):
+        matrix, _ = simulated_kary
+        with pytest.raises(ConfigurationError):
+            evaluate_three_workers(matrix, confidence=0.9)
+
+    def test_requires_explicit_triple_for_larger_matrices(self, non_regular_matrix):
+        with pytest.raises(ConfigurationError):
+            evaluate_three_workers(non_regular_matrix, confidence=0.9)
+
+    def test_duplicate_workers_rejected(self, non_regular_matrix):
+        with pytest.raises(ConfigurationError):
+            evaluate_three_workers(non_regular_matrix, confidence=0.9, workers=(0, 1, 1))
+
+    def test_clamped_status_for_antagonistic_worker(self, rng):
+        """A worker answering at random drives agreements to ~1/2 and the
+        estimate is flagged as clamped rather than raising."""
+        population = BinaryWorkerPopulation(error_rates=np.array([0.05, 0.05, 0.499]))
+        matrix = population.generate(60, rng)
+        results = evaluate_three_workers(matrix, confidence=0.9)
+        assert all(isinstance(r.status, EstimateStatus) for r in results)
+
+
+class TestEvaluateWorkerInTriple:
+    def test_returns_derivatives_for_both_partners(self, simulated_binary):
+        matrix, _ = simulated_binary
+        stats = compute_agreement_statistics(matrix)
+        result = evaluate_worker_in_triple(stats, 0, (1, 2))
+        assert set(result.derivatives if hasattr(result, "derivatives") else result.derivative_by_partner) == {1, 2}
+        assert result.deviation > 0.0
+        assert math.isfinite(result.error_rate)
+
+    def test_identical_workers_rejected(self, simulated_binary):
+        matrix, _ = simulated_binary
+        stats = compute_agreement_statistics(matrix)
+        with pytest.raises(ConfigurationError):
+            evaluate_worker_in_triple(stats, 0, (0, 1))
+
+    def test_no_overlap_raises(self):
+        from repro.data.response_matrix import ResponseMatrix
+
+        matrix = ResponseMatrix(3, 6)
+        # Workers 0 and 1 never overlap.
+        for task in range(3):
+            matrix.add_response(0, task, 0)
+            matrix.add_response(2, task, 0)
+        for task in range(3, 6):
+            matrix.add_response(1, task, 0)
+            matrix.add_response(2, task, 0)
+        stats = compute_agreement_statistics(matrix)
+        with pytest.raises(InsufficientDataError):
+            evaluate_worker_in_triple(stats, 2, (0, 1))

@@ -1,0 +1,179 @@
+"""Unit tests for the core value types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.types import (
+    ConfidenceInterval,
+    EstimateStatus,
+    KaryWorkerEstimate,
+    ResponseProbabilityEstimate,
+    TripleEstimate,
+    WorkerErrorEstimate,
+)
+
+
+def make_interval(mean=0.2, lower=0.1, upper=0.3, confidence=0.9, deviation=0.05):
+    return ConfidenceInterval(
+        mean=mean, lower=lower, upper=upper, confidence=confidence, deviation=deviation
+    )
+
+
+class TestConfidenceInterval:
+    def test_size_is_width(self):
+        interval = make_interval(lower=0.1, upper=0.35)
+        assert math.isclose(interval.size, 0.25)
+
+    def test_half_width(self):
+        interval = make_interval(lower=0.1, upper=0.3)
+        assert math.isclose(interval.half_width, 0.1)
+
+    def test_contains_inside(self):
+        assert make_interval().contains(0.15)
+
+    def test_contains_boundaries(self):
+        interval = make_interval(lower=0.1, upper=0.3)
+        assert interval.contains(0.1)
+        assert interval.contains(0.3)
+
+    def test_contains_outside(self):
+        assert not make_interval(lower=0.1, upper=0.3).contains(0.35)
+
+    def test_rejects_confidence_zero(self):
+        with pytest.raises(ValueError):
+            make_interval(confidence=0.0)
+
+    def test_rejects_confidence_one(self):
+        with pytest.raises(ValueError):
+            make_interval(confidence=1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            make_interval(lower=0.5, upper=0.2)
+
+    def test_clipped_clamps_bounds(self):
+        interval = ConfidenceInterval(
+            mean=-0.1, lower=-0.4, upper=1.4, confidence=0.9, deviation=0.3
+        )
+        clipped = interval.clipped()
+        assert clipped.lower == 0.0
+        assert clipped.upper == 1.0
+        assert clipped.mean == 0.0
+
+    def test_clipped_preserves_confidence_and_deviation(self):
+        interval = make_interval()
+        clipped = interval.clipped()
+        assert clipped.confidence == interval.confidence
+        assert clipped.deviation == interval.deviation
+
+    def test_clipped_custom_range(self):
+        interval = make_interval(lower=0.1, upper=0.3)
+        clipped = interval.clipped(lo=0.15, hi=0.25)
+        assert clipped.lower == 0.15
+        assert clipped.upper == 0.25
+
+    def test_str_mentions_bounds(self):
+        text = str(make_interval())
+        assert "0.1" in text and "0.3" in text
+
+
+class TestWorkerErrorEstimate:
+    def test_error_rate_is_interval_mean(self):
+        estimate = WorkerErrorEstimate(worker=1, interval=make_interval(), n_tasks=20)
+        assert estimate.error_rate == 0.2
+
+    def test_contains_truth(self):
+        estimate = WorkerErrorEstimate(worker=1, interval=make_interval(), n_tasks=20)
+        assert estimate.contains_truth(0.25)
+        assert not estimate.contains_truth(0.5)
+
+    def test_default_status_ok(self):
+        estimate = WorkerErrorEstimate(worker=0, interval=make_interval(), n_tasks=5)
+        assert estimate.status is EstimateStatus.OK
+
+    def test_triples_default_empty(self):
+        estimate = WorkerErrorEstimate(worker=0, interval=make_interval(), n_tasks=5)
+        assert len(estimate.triples) == 0
+        assert len(estimate.weights) == 0
+
+
+class TestTripleEstimate:
+    def test_fields_round_trip(self):
+        triple = TripleEstimate(
+            worker=0,
+            partners=(1, 2),
+            error_rate=0.12,
+            deviation=0.03,
+            derivatives={1: -0.5, 2: -0.4},
+        )
+        assert triple.partners == (1, 2)
+        assert triple.derivatives[1] == -0.5
+        assert triple.status is EstimateStatus.OK
+
+
+def make_kary_estimate(arity=2, diag=0.8):
+    entries = {}
+    for a in range(arity):
+        for b in range(arity):
+            value = diag if a == b else (1.0 - diag) / (arity - 1)
+            entries[(a, b)] = ResponseProbabilityEstimate(
+                worker=0,
+                true_label=a,
+                response_label=b,
+                interval=ConfidenceInterval(
+                    mean=value,
+                    lower=max(0.0, value - 0.1),
+                    upper=min(1.0, value + 0.1),
+                    confidence=0.9,
+                    deviation=0.05,
+                ),
+            )
+    return KaryWorkerEstimate(worker=0, arity=arity, entries=entries)
+
+
+class TestKaryWorkerEstimate:
+    def test_interval_lookup(self):
+        estimate = make_kary_estimate()
+        assert estimate.interval(0, 0).mean == 0.8
+        assert estimate.interval(0, 1).mean == pytest.approx(0.2)
+
+    def test_point_matrix_shape_and_rows(self):
+        estimate = make_kary_estimate(arity=3, diag=0.7)
+        matrix = estimate.point_matrix()
+        assert len(matrix) == 3 and len(matrix[0]) == 3
+        for row in matrix:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_accuracy_interval_is_diagonal(self):
+        estimate = make_kary_estimate()
+        assert estimate.accuracy_interval(1).mean == 0.8
+
+    def test_mean_error_rate_uniform(self):
+        estimate = make_kary_estimate(diag=0.8)
+        assert estimate.mean_error_rate() == pytest.approx(0.2)
+
+    def test_mean_error_rate_weighted(self):
+        estimate = make_kary_estimate(diag=0.8)
+        # All mass on label 0 -> error rate is 1 - P[0, 0].
+        assert estimate.mean_error_rate([1.0, 0.0]) == pytest.approx(0.2)
+
+    def test_mean_error_rate_normalizes_selectivity(self):
+        estimate = make_kary_estimate(diag=0.9)
+        assert estimate.mean_error_rate([2.0, 2.0]) == pytest.approx(0.1)
+
+    def test_mean_error_rate_rejects_wrong_length(self):
+        estimate = make_kary_estimate()
+        with pytest.raises(ValueError):
+            estimate.mean_error_rate([1.0, 0.0, 0.0])
+
+
+class TestEstimateStatus:
+    def test_members(self):
+        assert {status.value for status in EstimateStatus} == {
+            "ok",
+            "clamped",
+            "degenerate",
+        }

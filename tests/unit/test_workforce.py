@@ -1,0 +1,122 @@
+"""Unit tests for the workforce (hire/fire) policies and pool simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.types import ConfidenceInterval, WorkerErrorEstimate
+from repro.workforce import (
+    Decision,
+    IntervalFiringPolicy,
+    PointEstimateFiringPolicy,
+    simulate_worker_pool,
+)
+
+
+def estimate_with(mean: float, lower: float, upper: float) -> WorkerErrorEstimate:
+    interval = ConfidenceInterval(
+        mean=mean, lower=lower, upper=upper, confidence=0.9, deviation=0.05
+    )
+    return WorkerErrorEstimate(worker=0, interval=interval, n_tasks=30)
+
+
+class TestPolicies:
+    def test_point_policy_fires_on_high_mean(self):
+        policy = PointEstimateFiringPolicy(max_error_rate=0.25)
+        assert policy.decide(estimate_with(0.3, 0.2, 0.4)) is Decision.FIRE
+        assert policy.decide(estimate_with(0.2, 0.1, 0.3)) is Decision.RETAIN
+
+    def test_interval_policy_needs_proof_to_fire(self):
+        policy = IntervalFiringPolicy(max_error_rate=0.25)
+        # High point estimate but the interval still allows a good worker.
+        assert policy.decide(estimate_with(0.3, 0.15, 0.45)) is Decision.RETAIN
+        # The whole interval is above the threshold -> fire.
+        assert policy.decide(estimate_with(0.4, 0.3, 0.5)) is Decision.FIRE
+        # The whole interval is below the threshold -> cleared.
+        assert policy.decide(estimate_with(0.1, 0.05, 0.2)) is Decision.CLEARED
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            PointEstimateFiringPolicy(max_error_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            IntervalFiringPolicy(max_error_rate=1.0)
+
+    def test_interval_policy_is_more_cautious_than_point_policy(self):
+        """Whenever the interval policy fires, the point policy fires too."""
+        point = PointEstimateFiringPolicy(max_error_rate=0.25)
+        interval = IntervalFiringPolicy(max_error_rate=0.25)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            mean = rng.uniform(0.0, 0.6)
+            half = rng.uniform(0.0, 0.3)
+            estimate = estimate_with(
+                mean, max(0.0, mean - half), min(1.0, mean + half)
+            )
+            if interval.decide(estimate) is Decision.FIRE:
+                assert point.decide(estimate) is Decision.FIRE
+
+
+class TestPoolSimulation:
+    def test_result_structure(self, rng):
+        result = simulate_worker_pool(
+            IntervalFiringPolicy(max_error_rate=0.25),
+            rng,
+            n_workers=6,
+            tasks_per_round=40,
+            n_rounds=3,
+        )
+        assert len(result.final_error_rates) == 6
+        assert result.rounds_run == 3
+        assert len(result.history) == 3
+        assert 0.0 <= result.mean_final_error_rate <= 1.0
+
+    def test_firing_counts_are_consistent(self, rng):
+        result = simulate_worker_pool(
+            PointEstimateFiringPolicy(max_error_rate=0.25),
+            rng,
+            n_workers=6,
+            tasks_per_round=40,
+            n_rounds=4,
+        )
+        assert result.fired_good_workers >= 0
+        assert result.fired_bad_workers >= 0
+
+    def test_interval_policy_fires_fewer_good_workers(self):
+        fired_good = {}
+        for label, policy in (
+            ("interval", IntervalFiringPolicy(max_error_rate=0.25)),
+            ("point", PointEstimateFiringPolicy(max_error_rate=0.25)),
+        ):
+            total = 0
+            for seed in range(6):
+                rng = np.random.default_rng(100 + seed)
+                result = simulate_worker_pool(
+                    policy, rng, n_workers=8, tasks_per_round=50, n_rounds=4
+                )
+                total += result.fired_good_workers
+            fired_good[label] = total
+        assert fired_good["interval"] <= fired_good["point"]
+
+    def test_bad_workers_get_removed(self, rng):
+        result = simulate_worker_pool(
+            IntervalFiringPolicy(max_error_rate=0.25),
+            rng,
+            n_workers=9,
+            tasks_per_round=80,
+            n_rounds=6,
+            error_rate_palette=(0.05, 0.45),
+        )
+        # After several rounds the surviving pool should be mostly good.
+        assert result.mean_final_error_rate < 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_worker_pool(
+                IntervalFiringPolicy(), rng, n_workers=2, n_rounds=1
+            )
+        with pytest.raises(ConfigurationError):
+            simulate_worker_pool(
+                IntervalFiringPolicy(), rng, n_workers=5, n_rounds=0
+            )
