@@ -1,0 +1,133 @@
+"""Scaling benchmark: vectorized vs dict-of-dicts agreement statistics.
+
+Times ``MWorkerEstimator.evaluate_all`` on a non-regular binary matrix with
+both statistics backends, verifies the intervals are bit-identical, and
+reports the speedup.  The headline configuration (200 workers x 2000 tasks,
+density 0.6) is where the dict-of-dicts path's O(m^3) Lemma-4 assembly and
+O(m^2 n) set intersections dominate; the dense backend replaces both with
+matrix products.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_agreement.py          # full
+    PYTHONPATH=src python benchmarks/bench_scaling_agreement.py --smoke  # CI
+
+The results are written to ``BENCH_agreement.json`` (override with
+``--output``) so the performance trajectory can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.m_worker import MWorkerEstimator
+from repro.simulation.binary import simulate_binary_responses
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.interval.mean == b.interval.mean
+        and a.interval.lower == b.interval.lower
+        and a.interval.upper == b.interval.upper
+        and a.interval.deviation == b.interval.deviation
+        and a.weights == b.weights
+        and a.status is b.status
+    )
+
+
+def run(
+    n_workers: int,
+    n_tasks: int,
+    density: float,
+    seed: int,
+    confidence: float = 0.95,
+) -> dict:
+    """Time both backends on one matrix and check bit-identity."""
+    rng = np.random.default_rng(seed)
+    matrix, _ = simulate_binary_responses(n_workers, n_tasks, rng, density=density)
+    print(
+        f"matrix: {n_workers} workers x {n_tasks} tasks, "
+        f"{matrix.n_responses} responses (density {matrix.density:.2f})"
+    )
+
+    start = time.perf_counter()
+    dense = MWorkerEstimator(confidence=confidence, backend="dense").evaluate_all(
+        matrix
+    )
+    dense_seconds = time.perf_counter() - start
+    print(f"dense backend:  evaluate_all in {dense_seconds:8.2f}s")
+
+    start = time.perf_counter()
+    legacy = MWorkerEstimator(confidence=confidence, backend="dict").evaluate_all(
+        matrix
+    )
+    legacy_seconds = time.perf_counter() - start
+    print(f"dict  backend:  evaluate_all in {legacy_seconds:8.2f}s")
+
+    identical = all(_identical(a, b) for a, b in zip(legacy, dense))
+    speedup = legacy_seconds / dense_seconds if dense_seconds > 0 else float("inf")
+    print(f"speedup: {speedup:.1f}x   bit-identical intervals: {identical}")
+    return {
+        "n_workers": n_workers,
+        "n_tasks": n_tasks,
+        "density": density,
+        "n_responses": matrix.n_responses,
+        "seed": seed,
+        "legacy_seconds": legacy_seconds,
+        "dense_seconds": dense_seconds,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=200)
+    parser.add_argument("--tasks", type=int, default=2000)
+    parser.add_argument("--density", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small configuration for CI (overrides --workers/--tasks)",
+    )
+    parser.add_argument("--output", default="BENCH_agreement.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless the speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.workers, args.tasks = 40, 400
+
+    result = run(args.workers, args.tasks, args.density, args.seed)
+    result["python"] = platform.python_version()
+    result["smoke"] = args.smoke
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not result["bit_identical"]:
+        print("FAIL: backends disagree", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InsufficientDataError
-from repro.core.agreement import compute_agreement_statistics
+from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
 from repro.core.pairing import form_triples
 from repro.core.three_worker import clamp_agreement, error_rate_from_agreements
 from repro.data.response_matrix import ResponseMatrix
@@ -30,9 +30,19 @@ from repro.types import ConfidenceInterval, EstimateStatus, WorkerErrorEstimate
 __all__ = ["BootstrapEstimator", "bootstrap_intervals"]
 
 
-def _point_estimate(matrix: ResponseMatrix, worker: int) -> float | None:
-    """The paper's agreement-based point estimate (uniform triple average)."""
-    stats = compute_agreement_statistics(matrix)
+def _point_estimate(
+    matrix: ResponseMatrix,
+    worker: int,
+    stats: AgreementStatistics | None = None,
+) -> float | None:
+    """The paper's agreement-based point estimate (uniform triple average).
+
+    Pass a shared ``stats`` when estimating several workers of the same
+    matrix, so the agreement statistics are computed once per resample
+    rather than once per (worker, resample).
+    """
+    if stats is None:
+        stats = compute_agreement_statistics(matrix)
     candidates = [w for w in range(matrix.n_workers) if w != worker]
     triples = form_triples(stats, worker, candidates)
     estimates = []
@@ -113,8 +123,9 @@ class BootstrapEstimator:
         samples: dict[int, list[float]] = {worker: [] for worker in workers}
         for _ in range(self.n_resamples):
             resampled = _resample_tasks(matrix, rng)
+            stats = compute_agreement_statistics(resampled)
             for worker in workers:
-                estimate = _point_estimate(resampled, worker)
+                estimate = _point_estimate(resampled, worker, stats=stats)
                 if estimate is not None:
                     samples[worker].append(estimate)
 

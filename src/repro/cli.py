@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 from repro.core.estimator import WorkerEvaluator
 from repro.core.task_inference import infer_binary_labels, label_accuracy
+from repro.data.dense_backend import BACKEND_CHOICES
 from repro.data.loaders import load_response_matrix_csv
 from repro.data.registry import DATASET_REGISTRY, load_dataset
 from repro.evaluation import experiments as experiment_module
@@ -83,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate a bundled dataset stand-in instead of a CSV "
         "(the positional argument is ignored)",
     )
+    evaluate.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="agreement-statistics backend: 'dense' (vectorized NumPy), "
+        "'dict' (original Python loops) or 'auto' (default; intervals are "
+        "identical either way)",
+    )
 
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
@@ -113,7 +122,9 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     else:
         matrix = load_response_matrix_csv(args.responses, gold_path=args.gold)
     evaluator = WorkerEvaluator(
-        confidence=args.confidence, remove_spammers=args.remove_spammers
+        confidence=args.confidence,
+        remove_spammers=args.remove_spammers,
+        backend=args.backend,
     )
     if not matrix.is_binary:
         print(

@@ -10,35 +10,120 @@ The binary algorithms are driven entirely by three kinds of quantities:
 :class:`AgreementStatistics` caches these for a fixed set of workers so the
 m-worker estimator (which revisits many overlapping triples) does not
 recompute them from the raw responses each time.
+
+Two computation strategies are supported:
+
+* the original lazy **dict** path — a pair or triple is computed from the
+  sparse dict-of-dicts store (Python set intersections) the first time it is
+  requested and memoized afterwards; O(n) per pair, O(m^2 n) for a full
+  batch evaluation;
+* the vectorized **dense** path — a
+  :class:`~repro.data.dense_backend.DenseAgreementBackend` precomputes all
+  pairwise counts with NumPy matrix products and serves triples from packed
+  bitset rows; O(m^2 n) in BLAS once, O(1) per pair afterwards.
+
+Both paths produce exactly the same integer counts, so every estimator is
+bit-identical across backends.  Use :meth:`AgreementStatistics.precompute`
+(or ``compute_agreement_statistics(matrix, backend="dense")``) for the fast
+path; ``backend="auto"`` (the default) picks dense whenever the matrix is
+small enough to materialize.
+
+An optional ``observer`` receives every pair key whose statistics are read;
+the incremental evaluator uses this to record, per cached estimate, the
+exact set of statistics it depended on, so a streamed response invalidates
+precisely the estimates it can affect.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
 
 from repro.exceptions import DataValidationError, InsufficientDataError
+from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 
-__all__ = ["AgreementStatistics", "compute_agreement_statistics"]
+__all__ = [
+    "AgreementStatistics",
+    "StatisticsObserver",
+    "TripleCovarianceInputs",
+    "compute_agreement_statistics",
+    "pair_key",
+]
 
 
-def _pair_key(a: int, b: int) -> tuple[int, int]:
+def pair_key(a: int, b: int) -> tuple[int, int]:
+    """Canonical (sorted) dictionary key for an unordered worker pair.
+
+    This is the key convention used for observer notifications; consumers
+    that index dependencies by pair (the incremental evaluator) must use the
+    same helper.
+    """
     return (a, b) if a < b else (b, a)
+
+
+_pair_key = pair_key
 
 
 def _triple_key(a: int, b: int, c: int) -> tuple[int, int, int]:
     return tuple(sorted((a, b, c)))  # type: ignore[return-value]
 
 
+class StatisticsObserver(Protocol):
+    """Receiver for statistics-dependency notifications.
+
+    ``note_pair`` fires for every pair whose counts/rates are read (a triple
+    read fires it for all three of its pairs).  ``note_bulk`` fires when a
+    vectorized bulk read touches every pair and triple among
+    ``{worker} | partners`` at once.
+    """
+
+    def note_pair(self, key: tuple[int, int]) -> None: ...
+
+    def note_bulk(self, worker: int, partners: np.ndarray) -> None: ...
+
+
+@dataclass(frozen=True)
+class TripleCovarianceInputs:
+    """Bulk statistics feeding the vectorized Lemma-4 covariance assembly.
+
+    All arrays are indexed by position in the ``partners`` sequence the
+    inputs were requested for.
+
+    Attributes
+    ----------
+    common_with_worker:
+        ``c_{i, x}`` for each partner ``x`` (float64, exact integers).
+    partner_common:
+        ``c_{x, y}`` for each partner pair.
+    partner_agreements:
+        Agreement counts for each partner pair.
+    triple_counts:
+        ``c_{i, x, y}`` for each partner pair.
+    """
+
+    common_with_worker: np.ndarray
+    partner_common: np.ndarray
+    partner_agreements: np.ndarray
+    triple_counts: np.ndarray
+
+
 @dataclass
 class AgreementStatistics:
     """Cached agreement rates and co-attempt counts for one response matrix.
 
-    The cache is lazy: a pair or triple is computed the first time it is
-    requested and memoized afterwards.
+    With no ``backend`` the cache is lazy: a pair or triple is computed the
+    first time it is requested and memoized afterwards.  With a dense
+    backend, lookups read straight from the precomputed count matrices (no
+    per-pair memoization is needed, and the arrays stay authoritative when
+    the backend is delta-updated by the incremental evaluator).
     """
 
     matrix: ResponseMatrix
+    backend: DenseAgreementBackend | None = field(default=None, repr=False)
+    observer: StatisticsObserver | None = field(default=None, repr=False)
     _pair_cache: dict[tuple[int, int], tuple[int, int]] = field(
         default_factory=dict, repr=False
     )
@@ -46,11 +131,30 @@ class AgreementStatistics:
         default_factory=dict, repr=False
     )
 
+    @classmethod
+    def precompute(
+        cls,
+        matrix: ResponseMatrix,
+        backend: str | DenseAgreementBackend | None = "dense",
+    ) -> "AgreementStatistics":
+        """Build statistics with the vectorized dense fast path.
+
+        All pairwise common-task and agreement counts are obtained in one
+        shot via boolean matrix products; triple counts are served on demand
+        from packed row bitsets.  Pass ``backend="auto"`` to let matrix size
+        decide, or an existing :class:`DenseAgreementBackend` to reuse one.
+        """
+        return cls(matrix=matrix, backend=resolve_backend(matrix, backend))
+
     def _pair(self, a: int, b: int) -> tuple[int, int]:
         """(common task count, agreement count) for a pair, cached."""
         if a == b:
             raise DataValidationError("agreement requires two distinct workers")
         key = _pair_key(a, b)
+        if self.observer is not None:
+            self.observer.note_pair(key)
+        if self.backend is not None:
+            return self.backend.pair(*key)
         if key not in self._pair_cache:
             stats = self.matrix.pair_statistics(*key)
             self._pair_cache[key] = (stats.common_tasks, stats.agreements)
@@ -83,11 +187,61 @@ class AgreementStatistics:
         if len({a, b, c}) != 3:
             raise DataValidationError("triple counts require three distinct workers")
         key = _triple_key(a, b, c)
+        if self.observer is not None:
+            # A triple count can only change when one of its pairs changes,
+            # so pair-level dependencies capture triple reads too.
+            self.observer.note_pair((key[0], key[1]))
+            self.observer.note_pair((key[0], key[2]))
+            self.observer.note_pair((key[1], key[2]))
+        if self.backend is not None:
+            return self.backend.triple_common_count(*key)
         if key not in self._triple_cache:
             self._triple_cache[key] = self.matrix.n_common_tasks(*key)
         return self._triple_cache[key]
 
+    # ------------------------------------------------------------------ #
+    # Vectorized bulk reads (dense backend only)
+    # ------------------------------------------------------------------ #
 
-def compute_agreement_statistics(matrix: ResponseMatrix) -> AgreementStatistics:
-    """Build an :class:`AgreementStatistics` cache for ``matrix``."""
-    return AgreementStatistics(matrix=matrix)
+    @property
+    def has_dense_backend(self) -> bool:
+        """True when the vectorized bulk fast path is available."""
+        return self.backend is not None
+
+    def triple_covariance_inputs(
+        self, worker: int, partners: np.ndarray
+    ) -> TripleCovarianceInputs:
+        """Bulk counts for the Lemma-4 covariance over ``worker``'s partners.
+
+        One masked matrix product yields every triple count
+        ``c_{worker, x, y}``; the pair matrices are sliced from the
+        precomputed backend arrays.  Requires a dense backend.
+        """
+        if self.backend is None:
+            raise DataValidationError(
+                "triple_covariance_inputs requires a dense backend; "
+                "use AgreementStatistics.precompute"
+            )
+        if self.observer is not None:
+            self.observer.note_bulk(worker, partners)
+        common = self.backend.common_counts
+        agree = self.backend.agreement_counts
+        return TripleCovarianceInputs(
+            common_with_worker=common[worker, partners].astype(np.float64),
+            partner_common=common[np.ix_(partners, partners)].astype(np.float64),
+            partner_agreements=agree[np.ix_(partners, partners)].astype(np.float64),
+            triple_counts=self.backend.triple_count_matrix(worker, partners),
+        )
+
+
+def compute_agreement_statistics(
+    matrix: ResponseMatrix,
+    backend: str | DenseAgreementBackend | None = "auto",
+) -> AgreementStatistics:
+    """Build an :class:`AgreementStatistics` cache for ``matrix``.
+
+    ``backend`` selects the computation strategy: ``"dense"`` (vectorized
+    NumPy fast path), ``"dict"`` (original lazy set intersections), or
+    ``"auto"`` (dense whenever the matrix is small enough to materialize).
+    """
+    return AgreementStatistics(matrix=matrix, backend=resolve_backend(matrix, backend))

@@ -24,7 +24,7 @@ from repro.core.kary import KaryEstimator
 from repro.core.m_worker import MWorkerEstimator
 from repro.core.spammer_filter import DEFAULT_SPAMMER_THRESHOLD, filter_spammers
 from repro.data.response_matrix import ResponseMatrix
-from repro.types import KaryWorkerEstimate, WorkerErrorEstimate
+from repro.types import KaryWorkerEstimate, TripleEstimate, WorkerErrorEstimate
 
 __all__ = ["WorkerEvaluator", "evaluate_workers", "evaluate_kary_workers"]
 
@@ -51,6 +51,11 @@ class WorkerEvaluator:
         Step size for the numerical derivatives in the k-ary estimator.
     rng:
         Random generator, only used by the random pairing strategy.
+    backend:
+        Agreement-statistics backend: ``"dense"`` (vectorized NumPy),
+        ``"dict"`` (original dict-of-dicts loops) or ``"auto"`` (dense when
+        the matrix is small enough to materialize).  The choice affects
+        throughput only; intervals are bit-identical across backends.
     """
 
     confidence: float = 0.95
@@ -60,6 +65,7 @@ class WorkerEvaluator:
     pairing_strategy: str = "greedy"
     kary_epsilon: float = 0.01
     rng: np.random.Generator | None = field(default=None, repr=False)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -82,7 +88,9 @@ class WorkerEvaluator:
         working_matrix = matrix
         id_map = list(range(matrix.n_workers))
         if self.remove_spammers:
-            filtered = filter_spammers(matrix, threshold=self.spammer_threshold)
+            filtered = filter_spammers(
+                matrix, threshold=self.spammer_threshold, backend=self.backend
+            )
             working_matrix = filtered.filtered
             id_map = list(filtered.kept_workers)
         estimator = MWorkerEstimator(
@@ -90,16 +98,41 @@ class WorkerEvaluator:
             optimize_weights=self.optimize_weights,
             pairing_strategy=self.pairing_strategy,
             rng=self.rng,
+            backend=self.backend,
         )
         estimates = estimator.evaluate_all(working_matrix)
+        identity_map = id_map == list(range(matrix.n_workers))
+        if identity_map:
+            return {estimate.worker: estimate for estimate in estimates}
         results: dict[int, WorkerErrorEstimate] = {}
         for estimate in estimates:
             original_id = id_map[estimate.worker]
+            # Estimates computed on the filtered matrix carry filtered-space
+            # worker ids inside their per-triple records too; remap worker,
+            # partners and derivative keys so the whole result is expressed
+            # in original ids.
+            triples = tuple(
+                TripleEstimate(
+                    worker=id_map[triple.worker],
+                    partners=(
+                        id_map[triple.partners[0]],
+                        id_map[triple.partners[1]],
+                    ),
+                    error_rate=triple.error_rate,
+                    deviation=triple.deviation,
+                    derivatives={
+                        id_map[partner]: derivative
+                        for partner, derivative in triple.derivatives.items()
+                    },
+                    status=triple.status,
+                )
+                for triple in estimate.triples
+            )
             results[original_id] = WorkerErrorEstimate(
                 worker=original_id,
                 interval=estimate.interval,
                 n_tasks=estimate.n_tasks,
-                triples=estimate.triples,
+                triples=triples,
                 weights=estimate.weights,
                 status=estimate.status,
             )
@@ -112,7 +145,9 @@ class WorkerEvaluator:
     ) -> dict[int, KaryWorkerEstimate]:
         """Response-probability intervals for a triple of workers."""
         estimator = KaryEstimator(
-            confidence=self.confidence, epsilon=self.kary_epsilon
+            confidence=self.confidence,
+            epsilon=self.kary_epsilon,
+            backend=self.backend,
         )
         estimates = estimator.evaluate(matrix, workers=workers)
         return {estimate.worker: estimate for estimate in estimates}

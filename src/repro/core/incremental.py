@@ -5,26 +5,139 @@ incremental, to keep efficiently updating worker error rates as more tasks
 get done."  This module provides that mode of operation: an
 :class:`IncrementalEvaluator` accepts responses one at a time (or in
 batches), maintains the response store, and recomputes confidence intervals
-on demand — only for the workers whose data actually changed since the last
-computation, which is the efficient path when a stream of task completions
-trickles in.
+on demand — only for the workers whose estimate can actually have changed
+since the last computation, which is the efficient path when a stream of
+task completions trickles in.
 
 The estimates themselves are identical to running the batch estimator on the
 accumulated data (the class delegates to :class:`MWorkerEstimator`); the
 value added is the bookkeeping of what changed and the per-worker caching.
+
+Correct invalidation
+--------------------
+
+A response by worker ``w`` on task ``t`` changes exactly the pair statistics
+``(w, u)`` for the workers ``u`` who also answered ``t`` (and the triple
+counts of triples contained in ``{w} | answered(t)``).  Which *cached
+estimates* that invalidates is subtler than "``w`` and everyone on ``t``":
+worker ``x``'s estimate also reads the partners' mutual rate ``q_{w,u}``
+inside its Lemma-4 covariance whenever ``w`` and ``u`` are partners in
+``x``'s triples, and the greedy pairing inspects arbitrary candidate pairs.
+An earlier version of this class invalidated only ``{w} | answered(t)`` and
+therefore served stale intervals for such third-party workers.
+
+The fix: while computing an estimate, every pair statistic the computation
+reads is recorded (via the ``observer`` hook of
+:class:`~repro.core.agreement.AgreementStatistics`).  Because the estimator
+is deterministic, a cached estimate stays valid exactly as long as none of
+the statistics its computation read have changed — if every value read is
+unchanged, a fresh run would follow the identical execution path.  Streamed
+responses therefore invalidate precisely the cached estimates whose recorded
+dependencies intersect the changed pairs, restoring the "identical to
+batch" guarantee while still letting unrelated cached intervals survive.
+
+Delta-updated statistics
+------------------------
+
+The evaluator maintains a
+:class:`~repro.data.dense_backend.DenseAgreementBackend` alongside the
+response matrix (unless ``backend="dict"``): each ingested response patches
+the cached pairwise common/agreement count matrices, bitset rows and vote
+table in O(co-attempters) time, so recomputation after a burst of updates
+pays only for the affected workers' covariance assembly, never for
+rebuilding the statistics from scratch.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, InsufficientDataError
-from repro.core.agreement import compute_agreement_statistics
+from repro.core.agreement import AgreementStatistics, pair_key
 from repro.core.m_worker import MWorkerEstimator
+from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import WorkerErrorEstimate
 
 __all__ = ["IncrementalEvaluator"]
+
+
+class _DependencyTracker:
+    """Records which pair statistics each cached estimate depended on.
+
+    Fine-grained reads (``note_pair``) are indexed per pair key; vectorized
+    bulk reads (``note_bulk``), which touch every pair among the evaluated
+    worker and its partners at once, are summarized as a *support set* of
+    worker ids — a changed pair invalidates the estimate when both endpoints
+    lie in the support.  Reverse indexes make the invalidation lookup
+    O(readers of the changed pair) instead of O(cached workers).
+    """
+
+    def __init__(self) -> None:
+        self._target: int | None = None
+        self._pair_deps: dict[int, set[tuple[int, int]]] = {}
+        self._supports: dict[int, set[int]] = {}
+        self._pair_readers: dict[tuple[int, int], set[int]] = {}
+        self._support_members: dict[int, set[int]] = {}
+
+    def begin(self, worker: int) -> None:
+        """Start recording reads on behalf of ``worker``'s estimate."""
+        self.forget(worker)
+        self._target = worker
+        self._pair_deps[worker] = set()
+        self._supports[worker] = {worker}
+        self._support_members.setdefault(worker, set()).add(worker)
+
+    def finish(self) -> None:
+        self._target = None
+
+    def forget(self, worker: int) -> None:
+        """Drop ``worker``'s recorded dependencies (before re-estimating)."""
+        for key in self._pair_deps.pop(worker, ()):
+            readers = self._pair_readers.get(key)
+            if readers is not None:
+                readers.discard(worker)
+                if not readers:
+                    del self._pair_readers[key]
+        for member in self._supports.pop(worker, ()):
+            members = self._support_members.get(member)
+            if members is not None:
+                members.discard(worker)
+                if not members:
+                    del self._support_members[member]
+
+    # -- AgreementStatistics observer protocol ------------------------- #
+
+    def note_pair(self, key: tuple[int, int]) -> None:
+        if self._target is None:
+            return
+        deps = self._pair_deps[self._target]
+        if key not in deps:
+            deps.add(key)
+            self._pair_readers.setdefault(key, set()).add(self._target)
+
+    def note_bulk(self, worker: int, partners: np.ndarray) -> None:
+        if self._target is None:
+            return
+        support = self._supports[self._target]
+        for member in (worker, *(int(p) for p in partners)):
+            if member not in support:
+                support.add(member)
+                self._support_members.setdefault(member, set()).add(self._target)
+
+    # -- invalidation --------------------------------------------------- #
+
+    def readers_of(self, key: tuple[int, int]) -> set[int]:
+        """Cached workers whose estimate depended on the pair ``key``."""
+        affected = set(self._pair_readers.get(key, ()))
+        a, b = key
+        in_a = self._support_members.get(a)
+        in_b = self._support_members.get(b)
+        if in_a and in_b:
+            affected |= in_a & in_b
+        return affected
 
 
 class IncrementalEvaluator:
@@ -39,13 +152,19 @@ class IncrementalEvaluator:
         Confidence level of the produced intervals.
     optimize_weights:
         Passed through to :class:`MWorkerEstimator`.
+    backend:
+        Statistics backend: ``"dense"`` keeps delta-updated count matrices
+        (recommended), ``"dict"`` recomputes from the sparse store, ``"auto"``
+        decides by matrix size.  Results are identical either way.
 
     Notes
     -----
-    Estimates are cached per worker.  Adding a response from worker ``w`` on
-    task ``t`` invalidates the cache of ``w`` and of every other worker who
-    answered ``t`` (their agreement rates with ``w`` changed), but leaves the
-    rest untouched — on sparse streams most cached intervals survive.
+    Estimates are cached per worker.  Each cached estimate records the exact
+    pair statistics its computation read; a streamed response invalidates the
+    caches whose dependencies it touches (see the module docstring).  On
+    sparse streams most cached intervals still survive, and every interval
+    served equals what a fresh batch run over the accumulated data would
+    produce.
     """
 
     def __init__(
@@ -54,6 +173,7 @@ class IncrementalEvaluator:
         n_tasks: int,
         confidence: float = 0.95,
         optimize_weights: bool = True,
+        backend: str = "auto",
     ) -> None:
         if n_workers < 3:
             raise ConfigurationError(
@@ -62,8 +182,13 @@ class IncrementalEvaluator:
             )
         self._matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=2)
         self._estimator = MWorkerEstimator(
-            confidence=confidence, optimize_weights=optimize_weights
+            confidence=confidence, optimize_weights=optimize_weights, backend=backend
         )
+        self._backend_choice = backend
+        self._backend: DenseAgreementBackend | None = resolve_backend(
+            self._matrix, backend
+        )
+        self._tracker = _DependencyTracker()
         self._cache: dict[int, WorkerErrorEstimate] = {}
         self._dirty: set[int] = set(range(n_workers))
         self._responses_seen = 0
@@ -103,14 +228,26 @@ class IncrementalEvaluator:
         for task, label in self._matrix.gold_labels.items():
             extended.set_gold_label(task, label)
         self._matrix = extended
+        # The delta-updated arrays are shaped (m, n); rebuild for the new n.
+        self._backend = resolve_backend(extended, self._backend_choice)
 
     def add_response(self, worker: int, task: int, label: int) -> None:
-        """Ingest one response and invalidate the affected caches."""
-        affected = set(self._matrix.workers_of(task))
+        """Ingest one response and invalidate exactly the affected caches."""
+        previous = self._matrix.response(worker, task)
+        co_attempters = [
+            other for other in self._matrix.workers_of(task) if other != worker
+        ]
         self._matrix.add_response(worker, task, label)
+        if self._backend is not None:
+            self._backend.apply_response(worker, task, label, previous)
         self._responses_seen += 1
-        self._dirty.add(worker)
-        self._dirty.update(affected)
+        if previous is not None and previous == label:
+            return  # re-affirmed response: no statistic changed, caches stay
+        self._invalidate(worker)
+        for other in co_attempters:
+            changed_pair = pair_key(worker, other)
+            for reader in self._tracker.readers_of(changed_pair):
+                self._invalidate(reader)
 
     def add_responses(self, records: Iterable[tuple[int, int, int]]) -> int:
         """Ingest a batch of ``(worker, task, label)`` records; returns the count."""
@@ -120,15 +257,36 @@ class IncrementalEvaluator:
             count += 1
         return count
 
+    def _invalidate(self, worker: int) -> None:
+        self._dirty.add(worker)
+        self._tracker.forget(worker)
+
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
 
+    def _recording_statistics(self) -> AgreementStatistics:
+        return AgreementStatistics(
+            matrix=self._matrix, backend=self._backend, observer=self._tracker
+        )
+
+    def _recompute(self, worker: int, stats: AgreementStatistics) -> WorkerErrorEstimate:
+        self._tracker.begin(worker)
+        try:
+            estimate = self._estimator.evaluate_worker(
+                self._matrix, worker, stats=stats
+            )
+        finally:
+            self._tracker.finish()
+        self._cache[worker] = estimate
+        self._dirty.discard(worker)
+        return estimate
+
     def estimate(self, worker: int, force: bool = False) -> WorkerErrorEstimate:
         """Current confidence interval for one worker.
 
-        Cached results are reused unless the worker's data changed (or
-        ``force`` is set).
+        Cached results are reused unless a statistic their computation read
+        changed (or ``force`` is set).
         """
         if worker in self._cache and worker not in self._dirty and not force:
             return self._cache[worker]
@@ -136,18 +294,14 @@ class IncrementalEvaluator:
             raise InsufficientDataError(
                 f"worker {worker} has no responses yet; nothing to estimate"
             )
-        estimate = self._estimator.evaluate_worker(self._matrix, worker)
-        self._cache[worker] = estimate
-        self._dirty.discard(worker)
-        return estimate
+        return self._recompute(worker, self._recording_statistics())
 
     def estimate_all(self, force: bool = False) -> dict[int, WorkerErrorEstimate]:
         """Current intervals for every worker that has any responses.
 
-        Workers with unchanged data are served from the cache; the rest are
-        recomputed sharing one agreement-statistics cache.
+        Workers with unchanged dependencies are served from the cache; the
+        rest are recomputed sharing one agreement-statistics object.
         """
-        results: dict[int, WorkerErrorEstimate] = {}
         to_recompute = [
             worker
             for worker in range(self._matrix.n_workers)
@@ -155,13 +309,11 @@ class IncrementalEvaluator:
             and (force or worker in self._dirty or worker not in self._cache)
         ]
         if to_recompute:
-            stats = compute_agreement_statistics(self._matrix)
+            stats = self._recording_statistics()
             for worker in to_recompute:
-                self._cache[worker] = self._estimator.evaluate_worker(
-                    self._matrix, worker, stats=stats
-                )
-                self._dirty.discard(worker)
-        for worker in range(self._matrix.n_workers):
-            if worker in self._cache:
-                results[worker] = self._cache[worker]
-        return results
+                self._recompute(worker, stats)
+        return {
+            worker: self._cache[worker]
+            for worker in range(self._matrix.n_workers)
+            if worker in self._cache
+        }

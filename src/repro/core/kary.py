@@ -33,6 +33,7 @@ from repro.exceptions import (
 )
 from repro.core.delta_method import confidence_interval_from_moments
 from repro.stats.linalg import align_rows_to_diagonal
+from repro.data.dense_backend import resolve_triple_backend
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import (
     EstimateStatus,
@@ -352,11 +353,18 @@ class KaryEstimator:
     normalize:
         When True (default), intervals are reported for the row-normalized
         response probabilities ``P_i``; when False, for ``S^{1/2}_D P_i``.
+    backend:
+        Where the Algorithm A3 count tensor comes from: ``"dense"`` builds it
+        with one vectorized ``np.bincount`` over encoded label indices (see
+        :mod:`repro.data.dense_backend`), ``"dict"`` uses the original
+        per-task Python loop, ``"auto"`` picks dense for matrices small
+        enough to materialize.  The tensors are exactly equal either way.
     """
 
     confidence: float = 0.95
     epsilon: float = 0.01
     normalize: bool = True
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -389,7 +397,11 @@ class KaryEstimator:
             workers = (0, 1, 2)
         if len(set(workers)) != 3:
             raise ConfigurationError("the three workers must be distinct")
-        counts = matrix.response_count_tensor(workers)
+        dense = resolve_triple_backend(matrix, self.backend)
+        if dense is not None:
+            counts = dense.response_count_tensor(workers)
+        else:
+            counts = matrix.response_count_tensor(workers)
         return self.evaluate_counts(counts, workers=workers, arity=matrix.arity)
 
     def evaluate_counts(

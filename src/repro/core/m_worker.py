@@ -11,6 +11,17 @@ For each worker ``w_i``:
 3. the cross-triple covariances of the estimates are computed (Lemma 4), the
    minimum-variance weights are obtained (Lemma 5, or uniform weights), and
    Theorem 1 applied to the weighted combination yields the final interval.
+
+Step 3 is the batch-evaluation hot path: with ``l ~ m/2`` triples per worker
+it assembles an ``l x l`` covariance whose every entry needs a triple count
+``c_{i,j,j'}`` and a partner agreement rate, i.e. O(m^3) Lemma-4 terms over
+all workers.  When the agreement statistics carry a dense backend (see
+:mod:`repro.data.dense_backend`), the assembly is vectorized: one masked
+matrix product per worker produces every needed triple count and the whole
+term grid is evaluated with NumPy elementwise arithmetic that replicates the
+scalar code's floating-point operation order exactly, so both paths return
+bit-identical intervals.  The scalar loop is kept as the reference (and the
+fallback for the dict backend and for degenerate pairings).
 """
 
 from __future__ import annotations
@@ -96,6 +107,65 @@ def _cross_triple_covariance(
     return total
 
 
+def _vectorized_cross_covariances(
+    stats: AgreementStatistics,
+    worker: int,
+    triple_estimates: list[TripleEstimate],
+    p_worker: float,
+    clamp_margin: float,
+) -> np.ndarray | None:
+    """All Lemma-4 cross-triple covariances for one worker, in one shot.
+
+    Returns the full ``l x l`` grid of off-diagonal covariance values (the
+    diagonal entries are meaningless and must be overwritten by the caller),
+    or None when the fast path does not apply — no dense backend, or a
+    partner appearing in two triples (which the paper's pairing strategies
+    never produce, but the scalar path supports).
+
+    Every elementwise expression below mirrors the exact floating-point
+    operation order of :func:`_pair_covariance_term` /
+    :func:`_cross_triple_covariance`, so the result is bit-identical to the
+    scalar loop.
+    """
+    if not stats.has_dense_backend:
+        return None
+    n = len(triple_estimates)
+    first_partners = [t.partners[0] for t in triple_estimates]
+    second_partners = [t.partners[1] for t in triple_estimates]
+    partner_list = first_partners + second_partners
+    if len(set(partner_list)) != 2 * n:
+        return None
+    partners = np.asarray(partner_list, dtype=np.int64)
+    inputs = stats.triple_covariance_inputs(worker, partners)
+    c_triple = inputs.triple_counts
+    c_with_worker = inputs.common_with_worker
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = inputs.partner_agreements / inputs.partner_common
+    # clamp_agreement, elementwise and in the same order.
+    q = np.where(q > 1.0, 1.0, q)
+    lower = 0.5 + clamp_margin
+    q = np.where(q < lower, lower, q)
+    numerator = ((c_triple * p_worker) * (1.0 - p_worker)) * (2.0 * q - 1.0)
+    denominator = c_with_worker[:, None] * c_with_worker[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term = numerator / denominator
+    term = np.where(c_triple > 0, term, 0.0)
+
+    d_first = np.array(
+        [t.derivatives[p] for t, p in zip(triple_estimates, first_partners)]
+    )
+    d_second = np.array(
+        [t.derivatives[p] for t, p in zip(triple_estimates, second_partners)]
+    )
+    # Same term order and summation order as the scalar double loop:
+    # (first, first), (first, second), (second, first), (second, second).
+    u_1 = (d_first[:, None] * d_first[None, :]) * term[:n, :n]
+    u_2 = (d_first[:, None] * d_second[None, :]) * term[:n, n:]
+    u_3 = (d_second[:, None] * d_first[None, :]) * term[n:, :n]
+    u_4 = (d_second[:, None] * d_second[None, :]) * term[n:, n:]
+    return ((u_1 + u_2) + u_3) + u_4
+
+
 @dataclass
 class MWorkerEstimator:
     """Configurable m-worker binary estimator (Algorithm A2).
@@ -116,6 +186,11 @@ class MWorkerEstimator:
         Minimum number of common tasks required between members of a triple.
     rng:
         Only needed for the random pairing strategy.
+    backend:
+        Agreement-statistics backend: ``"dense"`` (vectorized NumPy),
+        ``"dict"`` (original lazy set intersections) or ``"auto"``.  Both
+        produce bit-identical intervals; dense is ~10-100x faster for batch
+        evaluation.  Ignored when a prebuilt ``stats`` object is supplied.
     """
 
     confidence: float = 0.95
@@ -124,6 +199,7 @@ class MWorkerEstimator:
     clamp_margin: float = MIN_AGREEMENT_MARGIN
     min_overlap: int = 1
     rng: np.random.Generator | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -155,7 +231,7 @@ class MWorkerEstimator:
                 "without a gold standard"
             )
         if stats is None:
-            stats = compute_agreement_statistics(matrix)
+            stats = compute_agreement_statistics(matrix, backend=self.backend)
         candidates = [w for w in range(matrix.n_workers) if w != worker]
         triples = form_triples(
             stats,
@@ -204,7 +280,7 @@ class MWorkerEstimator:
 
     def evaluate_all(self, matrix: ResponseMatrix) -> list[WorkerErrorEstimate]:
         """Confidence intervals for every worker in the matrix."""
-        stats = compute_agreement_statistics(matrix)
+        stats = compute_agreement_statistics(matrix, backend=self.backend)
         return [
             self.evaluate_worker(matrix, worker, stats=stats)
             for worker in range(matrix.n_workers)
@@ -227,17 +303,34 @@ class MWorkerEstimator:
         covariance = np.zeros((n, n))
         for a in range(n):
             covariance[a, a] = triple_estimates[a].deviation ** 2
-            for b in range(a + 1, n):
-                value = _cross_triple_covariance(
-                    stats,
-                    worker,
-                    triple_estimates[a],
-                    triple_estimates[b],
-                    p_plugin,
-                    self.clamp_margin,
-                )
-                covariance[a, b] = value
-                covariance[b, a] = value
+        cross = (
+            _vectorized_cross_covariances(
+                stats, worker, triple_estimates, p_plugin, self.clamp_margin
+            )
+            if n >= 2
+            else None
+        )
+        if cross is not None:
+            # Mirror the upper triangle (as the scalar loop does) rather than
+            # taking both halves of the grid: the two halves can differ in
+            # the last ulp because the four Lemma-4 terms sum in a different
+            # order on each side.
+            upper = np.triu_indices(n, k=1)
+            covariance[upper] = cross[upper]
+            covariance[(upper[1], upper[0])] = cross[upper]
+        else:
+            for a in range(n):
+                for b in range(a + 1, n):
+                    value = _cross_triple_covariance(
+                        stats,
+                        worker,
+                        triple_estimates[a],
+                        triple_estimates[b],
+                        p_plugin,
+                        self.clamp_margin,
+                    )
+                    covariance[a, b] = value
+                    covariance[b, a] = value
         if self.optimize_weights:
             weights = optimal_weights(covariance)
         else:
@@ -273,6 +366,7 @@ def evaluate_worker(
     optimize_weights: bool = True,
     pairing_strategy: str = "greedy",
     rng: np.random.Generator | None = None,
+    backend: str = "auto",
 ) -> WorkerErrorEstimate:
     """One-call wrapper around :class:`MWorkerEstimator` for a single worker."""
     estimator = MWorkerEstimator(
@@ -280,6 +374,7 @@ def evaluate_worker(
         optimize_weights=optimize_weights,
         pairing_strategy=pairing_strategy,
         rng=rng,
+        backend=backend,
     )
     return estimator.evaluate_worker(matrix, worker)
 
@@ -290,6 +385,7 @@ def evaluate_all_workers(
     optimize_weights: bool = True,
     pairing_strategy: str = "greedy",
     rng: np.random.Generator | None = None,
+    backend: str = "auto",
 ) -> list[WorkerErrorEstimate]:
     """One-call wrapper around :class:`MWorkerEstimator` for all workers."""
     estimator = MWorkerEstimator(
@@ -297,5 +393,6 @@ def evaluate_all_workers(
         optimize_weights=optimize_weights,
         pairing_strategy=pairing_strategy,
         rng=rng,
+        backend=backend,
     )
     return estimator.evaluate_all(matrix)

@@ -7,6 +7,12 @@ rate by their disagreement with the majority vote, and drop workers whose
 approximate error rate exceeds a threshold (0.4 in the paper) before running
 the confidence-interval machinery.  Figure 4 shows the resulting accuracy
 improvement.
+
+The disagreement proxy is computed either with the original per-task Python
+loops (O(responses * workers-per-task) per worker) or, when a dense backend
+is selected, from a per-task vote table built once for all workers (see
+:meth:`~repro.data.dense_backend.DenseAgreementBackend.majority_disagreement_rates`).
+Both produce identical rates.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 
 __all__ = ["SpammerFilterResult", "filter_spammers"]
@@ -57,6 +64,7 @@ def filter_spammers(
     matrix: ResponseMatrix,
     threshold: float = DEFAULT_SPAMMER_THRESHOLD,
     min_remaining: int = 3,
+    backend: str | DenseAgreementBackend | None = "auto",
 ) -> SpammerFilterResult:
     """Remove near-spammer workers before confidence-interval estimation.
 
@@ -69,6 +77,11 @@ def filter_spammers(
     min_remaining:
         Never prune below this many workers (the estimators need at least 3);
         if pruning would go below, the least-bad offenders are kept.
+    backend:
+        ``"dense"`` computes all disagreement proxies from one vectorized
+        vote table, ``"dict"`` uses the original per-worker loops, ``"auto"``
+        decides by matrix size.  The proxies (and hence the filtering
+        decision) are identical either way.
 
     Returns
     -------
@@ -83,12 +96,16 @@ def filter_spammers(
         raise ConfigurationError(
             f"min_remaining must be at least 3, got {min_remaining}"
         )
+    dense = resolve_backend(matrix, backend)
     proxies: dict[int, float | None] = {}
-    for worker in range(matrix.n_workers):
-        try:
-            proxies[worker] = matrix.disagreement_with_majority(worker)
-        except InsufficientDataError:
-            proxies[worker] = None
+    if dense is not None:
+        proxies = dict(enumerate(dense.majority_disagreement_rates()))
+    else:
+        for worker in range(matrix.n_workers):
+            try:
+                proxies[worker] = matrix.disagreement_with_majority(worker)
+            except InsufficientDataError:
+                proxies[worker] = None
 
     flagged = [
         worker

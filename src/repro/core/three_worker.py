@@ -29,10 +29,16 @@ from repro.exceptions import (
     DegenerateEstimateError,
     InsufficientDataError,
 )
-from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
+from repro.core.agreement import AgreementStatistics
 from repro.core.delta_method import DeltaMethodModel
+from repro.data.dense_backend import resolve_triple_backend
 from repro.data.response_matrix import ResponseMatrix
-from repro.types import ConfidenceInterval, EstimateStatus, WorkerErrorEstimate
+from repro.types import (
+    ConfidenceInterval,
+    EstimateStatus,
+    TripleEstimate,
+    WorkerErrorEstimate,
+)
 
 __all__ = [
     "MIN_AGREEMENT_MARGIN",
@@ -292,6 +298,7 @@ def evaluate_three_workers(
     confidence: float,
     workers: tuple[int, int, int] | None = None,
     clamp_margin: float = MIN_AGREEMENT_MARGIN,
+    backend: str = "auto",
 ) -> list[WorkerErrorEstimate]:
     """Algorithm A1: confidence intervals for all three workers of a triple.
 
@@ -310,6 +317,9 @@ def evaluate_three_workers(
     clamp_margin:
         How far above 1/2 agreement rates are forced to stay (numerical
         guard around the Eq. (1) singularity).
+    backend:
+        Agreement-statistics backend (``"auto"``, ``"dense"`` or ``"dict"``);
+        the choice does not affect the produced intervals.
     """
     if not matrix.is_binary:
         raise ConfigurationError(
@@ -324,7 +334,11 @@ def evaluate_three_workers(
         workers = (0, 1, 2)
     if len(set(workers)) != 3:
         raise ConfigurationError("the three workers must be distinct")
-    stats = compute_agreement_statistics(matrix)
+    # Triple-scoped query: under "auto", skip building a full dense backend
+    # for large matrices just to read three workers' statistics.
+    stats = AgreementStatistics(
+        matrix=matrix, backend=resolve_triple_backend(matrix, backend)
+    )
     results = []
     for worker in workers:
         partners = tuple(w for w in workers if w != worker)
@@ -332,14 +346,23 @@ def evaluate_three_workers(
             stats, worker, (partners[0], partners[1]), clamp_margin=clamp_margin
         )
         interval = triple_result.interval(confidence)
+        # The 3-worker case has exactly one (implicit) triple; materialize it
+        # so ``triples`` and ``weights`` stay aligned, as the
+        # WorkerErrorEstimate invariant requires.
+        implicit_triple = TripleEstimate(
+            worker=worker,
+            partners=triple_result.partners,
+            error_rate=triple_result.error_rate,
+            deviation=triple_result.deviation,
+            derivatives=dict(triple_result.derivative_by_partner),
+            status=triple_result.status,
+        )
         results.append(
             WorkerErrorEstimate(
                 worker=worker,
                 interval=interval,
                 n_tasks=matrix.n_tasks_of(worker),
-                triples=(
-                    # A single implicit triple for the 3-worker case.
-                ),
+                triples=(implicit_triple,),
                 weights=(1.0,),
                 status=triple_result.status,
             )

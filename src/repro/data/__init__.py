@@ -3,9 +3,17 @@
 The single interchange type is :class:`~repro.data.response_matrix.ResponseMatrix`,
 a sparse worker-by-task response store supporting binary and k-ary labels,
 optional gold labels, and the co-attempt queries (``c_ij``, ``c_ijk``) the
-paper's algorithms are built on.
+paper's algorithms are built on.  The same queries are served two orders of
+magnitude faster by :class:`~repro.data.dense_backend.DenseAgreementBackend`,
+a vectorized NumPy mirror of the sparse store that every estimator can opt
+into via its ``backend`` knob.
 """
 
+from repro.data.dense_backend import (
+    BACKEND_CHOICES,
+    DenseAgreementBackend,
+    resolve_backend,
+)
 from repro.data.response_matrix import UNANSWERED, ResponseMatrix
 from repro.data.loaders import (
     load_response_matrix_csv,
@@ -18,7 +26,10 @@ from repro.data.registry import DATASET_REGISTRY, dataset_names, load_dataset
 
 __all__ = [
     "UNANSWERED",
+    "BACKEND_CHOICES",
+    "DenseAgreementBackend",
     "ResponseMatrix",
+    "resolve_backend",
     "load_response_matrix_csv",
     "load_response_matrix_json",
     "save_response_matrix_csv",

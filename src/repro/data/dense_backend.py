@@ -1,0 +1,392 @@
+"""Vectorized NumPy backend for agreement statistics.
+
+The estimators in this library are driven by a small set of counting
+quantities over a :class:`~repro.data.response_matrix.ResponseMatrix`:
+
+* ``c_ij`` — pairwise common-task counts,
+* pairwise agreement counts,
+* ``c_ijk`` — triple common-task counts,
+* the ``(k+1)^3`` response count tensor of Algorithm A3, and
+* the majority-disagreement proxy of the spammer filter.
+
+The reference implementation computes these from the dict-of-dicts sparse
+layout with Python set intersections, which makes batch evaluation
+(``MWorkerEstimator.evaluate_all``) O(m^2 * n) in pure Python.  This module
+provides :class:`DenseAgreementBackend`, which represents the responses as
+per-worker indicator/label arrays and obtains the same *exact integer*
+counts with NumPy:
+
+* **all** pairwise common-task counts in one boolean matrix product
+  ``A @ A.T`` (O(m^2 n) flops, but in BLAS), and agreement counts as a sum
+  of one such product per label value;
+* triple counts ``c_ijk`` on demand from cached per-worker row *bitsets*
+  (``np.packbits`` rows; a triple costs one AND + popcount over ``n/8``
+  bytes), or batched for a whole partner set via a masked matrix product;
+* the Algorithm A3 count tensor via a single ``np.bincount`` over encoded
+  label indices;
+* the spammer filter's majority-disagreement rates from a per-task vote
+  table, all workers at once.
+
+Because every quantity is an exact integer count (all sums stay far below
+2^53, so float64 matrix products are exact), estimators produce
+**bit-identical** results whichever backend computes the statistics; the
+property tests in ``tests/unit/test_dense_backend.py`` enforce this.
+
+Memory cost is O(m*n) bytes for the indicator/label arrays plus O(m^2) for
+the cached pair-count matrices; :func:`resolve_backend` therefore falls back
+to the dict-of-dicts path for matrices above ``AUTO_DENSE_CELL_LIMIT`` cells.
+
+The backend also supports O(row) *delta updates* (:meth:`apply_response`),
+which the incremental evaluator uses to keep the cached count matrices in
+sync with a response stream without rebuilding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.data.response_matrix import UNANSWERED, ResponseMatrix
+
+__all__ = [
+    "AUTO_DENSE_CELL_LIMIT",
+    "AUTO_DENSE_WORKER_LIMIT",
+    "BACKEND_CHOICES",
+    "DenseAgreementBackend",
+    "resolve_backend",
+    "resolve_triple_backend",
+]
+
+#: ``backend="auto"`` uses the dense backend only while the worker-by-task
+#: grid stays below this many cells (the indicator/label arrays are O(m*n)).
+AUTO_DENSE_CELL_LIMIT: int = 50_000_000
+
+#: ``backend="auto"`` also requires this many workers or fewer: the pair-count
+#: caches are O(m^2) int64 matrices, so worker-heavy matrices would allocate
+#: gigabytes even when m*n is modest.
+AUTO_DENSE_WORKER_LIMIT: int = 4096
+
+#: Valid values for the ``backend=`` knobs exposed across the library.
+BACKEND_CHOICES: tuple[str, ...] = ("auto", "dense", "dict")
+
+#: Popcount lookup table for the packed bitset rows.
+_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+class DenseAgreementBackend:
+    """Vectorized agreement-statistics provider for one response matrix.
+
+    The backend keeps two dense arrays — a boolean attempt matrix ``A`` of
+    shape ``(m, n)`` and an integer label matrix ``L`` (with
+    :data:`~repro.data.response_matrix.UNANSWERED` in unattempted cells) —
+    plus lazily-built derived caches:
+
+    * ``common_counts``: the full ``(m, m)`` matrix of ``c_ij`` (one matmul);
+    * ``agreement_counts``: the ``(m, m)`` pairwise agreement counts (one
+      matmul per label value);
+    * packed bitset rows for popcount-based triple counts;
+    * the ``(n, arity)`` per-task vote table for the spammer filter.
+
+    All counts are exact integers; see the module docstring for why the
+    float64 matrix products cannot lose precision.
+    """
+
+    def __init__(self, matrix: ResponseMatrix) -> None:
+        self._n_workers = matrix.n_workers
+        self._n_tasks = matrix.n_tasks
+        self._arity = matrix.arity
+        m, n = self._n_workers, self._n_tasks
+        self._attempts = np.zeros((m, n), dtype=bool)
+        self._labels = np.full((m, n), UNANSWERED, dtype=np.int16)
+        for worker in range(m):
+            responses = matrix.worker_responses(worker)
+            if not responses:
+                continue
+            tasks = np.fromiter(responses.keys(), dtype=np.int64, count=len(responses))
+            labels = np.fromiter(responses.values(), dtype=np.int64, count=len(responses))
+            self._attempts[worker, tasks] = True
+            self._labels[worker, tasks] = labels
+        # Lazily-built derived caches (kept in sync by apply_response).
+        self._common: np.ndarray | None = None
+        self._agree: np.ndarray | None = None
+        self._packed: np.ndarray | None = None
+        self._task_votes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction / shape
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_matrix(cls, matrix: ResponseMatrix) -> "DenseAgreementBackend":
+        """Build a backend snapshot of ``matrix``."""
+        return cls(matrix)
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def n_tasks(self) -> int:
+        return self._n_tasks
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    # ------------------------------------------------------------------ #
+    # Lazy derived caches
+    # ------------------------------------------------------------------ #
+
+    @property
+    def common_counts(self) -> np.ndarray:
+        """The full ``(m, m)`` matrix of pairwise common-task counts ``c_ij``."""
+        if self._common is None:
+            attempts = self._attempts.astype(np.float64)
+            self._common = np.rint(attempts @ attempts.T).astype(np.int64)
+        return self._common
+
+    @property
+    def agreement_counts(self) -> np.ndarray:
+        """The full ``(m, m)`` matrix of pairwise agreement counts."""
+        if self._agree is None:
+            agree = np.zeros((self._n_workers, self._n_workers), dtype=np.int64)
+            for label in range(self._arity):
+                indicator = (self._labels == label).astype(np.float64)
+                agree += np.rint(indicator @ indicator.T).astype(np.int64)
+            self._agree = agree
+        return self._agree
+
+    @property
+    def _packed_rows(self) -> np.ndarray:
+        if self._packed is None:
+            self._packed = np.packbits(self._attempts, axis=1)
+        return self._packed
+
+    @property
+    def task_votes(self) -> np.ndarray:
+        """Per-task label vote counts, shape ``(n_tasks, arity)``."""
+        if self._task_votes is None:
+            votes = np.zeros((self._n_tasks, self._arity), dtype=np.int64)
+            workers, tasks = np.nonzero(self._attempts)
+            np.add.at(votes, (tasks, self._labels[workers, tasks].astype(np.int64)), 1)
+            self._task_votes = votes
+        return self._task_votes
+
+    # ------------------------------------------------------------------ #
+    # Pair / triple statistics
+    # ------------------------------------------------------------------ #
+
+    def _validate_workers(self, *workers: int) -> None:
+        for worker in workers:
+            if not (0 <= worker < self._n_workers):
+                raise DataValidationError(
+                    f"worker id {worker} out of range [0, {self._n_workers})"
+                )
+
+    def pair(self, worker_a: int, worker_b: int) -> tuple[int, int]:
+        """``(c_ab, agreement count)`` for one pair of workers."""
+        self._validate_workers(worker_a, worker_b)
+        return (
+            int(self.common_counts[worker_a, worker_b]),
+            int(self.agreement_counts[worker_a, worker_b]),
+        )
+
+    def triple_common_count(self, worker_a: int, worker_b: int, worker_c: int) -> int:
+        """``c_abc`` via one AND + popcount over the packed bitset rows."""
+        self._validate_workers(worker_a, worker_b, worker_c)
+        packed = self._packed_rows
+        joint = packed[worker_a] & packed[worker_b] & packed[worker_c]
+        return int(_POPCOUNT[joint].sum())
+
+    def triple_count_matrix(
+        self, worker: int, partners: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """All ``c_{worker, x, y}`` for ``x, y`` in ``partners``, in one matmul.
+
+        Returns a ``(len(partners), len(partners))`` float64 array of exact
+        integer counts; entry ``[s, t]`` is the number of tasks attempted by
+        ``worker``, ``partners[s]`` and ``partners[t]`` alike.
+        """
+        partner_index = np.asarray(partners, dtype=np.int64)
+        self._validate_workers(worker)
+        if partner_index.size and (
+            partner_index.min() < 0 or partner_index.max() >= self._n_workers
+        ):
+            raise DataValidationError("partner id out of range")
+        masked = (self._attempts[partner_index] & self._attempts[worker]).astype(
+            np.float64
+        )
+        return masked @ masked.T
+
+    # ------------------------------------------------------------------ #
+    # Algorithm A3 count tensor
+    # ------------------------------------------------------------------ #
+
+    def response_count_tensor(
+        self, workers: tuple[int, int, int] | list[int]
+    ) -> np.ndarray:
+        """The ``(k+1)^3`` Counts tensor of Algorithm A3, via one bincount.
+
+        Exactly matches :meth:`ResponseMatrix.response_count_tensor`: index 0
+        in any coordinate means "did not attempt" and tasks attempted by none
+        of the three workers are not counted.
+        """
+        if len(workers) != 3:
+            raise DataValidationError(
+                f"response_count_tensor expects exactly 3 workers, got {len(workers)}"
+            )
+        w1, w2, w3 = workers
+        self._validate_workers(w1, w2, w3)
+        if len({w1, w2, w3}) != 3:
+            raise DataValidationError("the three workers must be distinct")
+        k = self._arity
+        side = k + 1
+        indices = []
+        for worker in (w1, w2, w3):
+            shifted = self._labels[worker].astype(np.int64) + 1
+            indices.append(np.where(self._attempts[worker], shifted, 0))
+        flat = (indices[0] * side + indices[1]) * side + indices[2]
+        counts = np.bincount(flat, minlength=side**3).astype(float)
+        counts = counts.reshape(side, side, side)
+        counts[0, 0, 0] = 0.0
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Spammer-filter proxy
+    # ------------------------------------------------------------------ #
+
+    def majority_disagreement_rates(self) -> list[float | None]:
+        """Majority-disagreement proxy for every worker, vectorized.
+
+        Mirrors :meth:`ResponseMatrix.disagreement_with_majority` exactly
+        (own vote excluded, ties count as agreement) but computes the vote
+        table once for all workers.  Workers that cannot be scored — no
+        responses, or no task shared with anyone — map to ``None`` instead of
+        raising.
+        """
+        votes = self.task_votes
+        rates: list[float | None] = []
+        for worker in range(self._n_workers):
+            tasks = np.nonzero(self._attempts[worker])[0]
+            if tasks.size == 0:
+                rates.append(None)
+                continue
+            own = self._labels[worker, tasks].astype(np.int64)
+            others = votes[tasks].copy()
+            others[np.arange(tasks.size), own] -= 1
+            judged = others.sum(axis=1) > 0
+            n_judged = int(judged.sum())
+            if n_judged == 0:
+                rates.append(None)
+                continue
+            own_count = others[np.arange(tasks.size), own]
+            best = others.max(axis=1)
+            disagreements = int(((own_count < best) & judged).sum())
+            rates.append(disagreements / n_judged)
+        return rates
+
+    # ------------------------------------------------------------------ #
+    # Delta updates (incremental evaluation)
+    # ------------------------------------------------------------------ #
+
+    def apply_response(
+        self, worker: int, task: int, label: int, previous_label: int | None = None
+    ) -> None:
+        """O(m) delta update after one ``(worker, task, label)`` ingestion.
+
+        ``previous_label`` must be the worker's prior response on ``task``
+        (``None`` when this is a fresh response).  Every built cache —
+        common/agreement count matrices, bitset rows, vote table — is patched
+        in place instead of being recomputed, which is what makes streaming
+        ingestion O(co-attempters) per response rather than O(m^2 n).
+        """
+        if not (0 <= worker < self._n_workers):
+            raise DataValidationError(f"worker id {worker} out of range")
+        if not (0 <= task < self._n_tasks):
+            raise DataValidationError(f"task id {task} out of range")
+        if not (0 <= label < self._arity):
+            raise DataValidationError(f"label {label} out of range")
+        if previous_label is not None and int(previous_label) == int(label):
+            return
+        co_attempters = np.nonzero(self._attempts[:, task])[0]
+        co_attempters = co_attempters[co_attempters != worker]
+        their_labels = self._labels[co_attempters, task].astype(np.int64)
+
+        if previous_label is None:
+            self._attempts[worker, task] = True
+            if self._common is not None:
+                self._common[worker, co_attempters] += 1
+                self._common[co_attempters, worker] += 1
+                self._common[worker, worker] += 1
+            if self._packed is not None:
+                self._packed[worker, task >> 3] |= np.uint8(0x80 >> (task & 7))
+            if self._agree is not None:
+                self._agree[worker, worker] += 1
+        elif self._agree is not None:
+            stale = (their_labels == int(previous_label)).astype(np.int64)
+            self._agree[worker, co_attempters] -= stale
+            self._agree[co_attempters, worker] -= stale
+        if self._agree is not None:
+            fresh = (their_labels == int(label)).astype(np.int64)
+            self._agree[worker, co_attempters] += fresh
+            self._agree[co_attempters, worker] += fresh
+        if self._task_votes is not None:
+            if previous_label is not None:
+                self._task_votes[task, int(previous_label)] -= 1
+            self._task_votes[task, int(label)] += 1
+        self._labels[worker, task] = label
+
+
+def resolve_backend(
+    matrix: ResponseMatrix,
+    backend: str | DenseAgreementBackend | None = "auto",
+) -> DenseAgreementBackend | None:
+    """Resolve a backend knob into a concrete backend (or None for dict).
+
+    Parameters
+    ----------
+    matrix:
+        The response data the backend will serve.
+    backend:
+        ``"dense"`` forces the vectorized backend, ``"dict"`` the original
+        dict-of-dicts path, ``"auto"`` (and None) picks dense whenever the
+        worker-by-task grid fits :data:`AUTO_DENSE_CELL_LIMIT`.  An existing
+        :class:`DenseAgreementBackend` instance is passed through unchanged
+        (the incremental evaluator reuses its delta-updated backend this way).
+    """
+    if isinstance(backend, DenseAgreementBackend):
+        return backend
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKEND_CHOICES:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
+        )
+    if backend == "dict":
+        return None
+    if backend == "auto" and (
+        matrix.n_workers * matrix.n_tasks > AUTO_DENSE_CELL_LIMIT
+        or matrix.n_workers > AUTO_DENSE_WORKER_LIMIT
+    ):
+        return None
+    return DenseAgreementBackend.from_matrix(matrix)
+
+
+def resolve_triple_backend(
+    matrix: ResponseMatrix,
+    backend: str | DenseAgreementBackend | None = "auto",
+) -> DenseAgreementBackend | None:
+    """Backend resolution for queries scoped to a single worker triple.
+
+    Building the dense backend costs O(m*n) (plus O(m^2 n) on the first pair
+    read), which is pure waste when the caller — ``evaluate_three_workers``,
+    ``KaryEstimator.evaluate`` — only ever reads three workers.  Under
+    ``"auto"`` the dense path is therefore used only when the matrix itself
+    is triple-sized (the common Algorithm A1/A3 shape, where the build is
+    trivially cheap); an explicit ``"dense"`` request is still honoured.
+    """
+    if backend in ("auto", None) and matrix.n_workers > 16:
+        return None
+    return resolve_backend(matrix, backend)

@@ -18,6 +18,11 @@ Mechanical-Turk-style data where workers touch a small fraction of tasks)
 and offers the derived quantities the paper's algorithms need: pairwise
 common-task counts ``c_ij``, triple common-task counts ``c_ijk``, pairwise
 agreement counts, and the 3-worker response count tensor of Algorithm A3.
+
+The derived-count queries here are the simple O(n)-per-pair reference
+implementations; for batch workloads the estimators obtain the same exact
+counts from the vectorized :mod:`repro.data.dense_backend` instead (see the
+``backend`` knob on the estimator classes).
 """
 
 from __future__ import annotations

@@ -149,8 +149,8 @@ class WorkerErrorEstimate:
     n_tasks:
         Number of tasks the worker attempted in the data used.
     triples:
-        The per-triple estimates that were aggregated (empty for the plain
-        3-worker algorithm where there is exactly one implicit triple).
+        The per-triple estimates that were aggregated (the plain 3-worker
+        algorithm reports its single implicit triple here).
     weights:
         The linear weights used to combine the triple estimates (Lemma 5 or
         uniform), aligned with ``triples``.
@@ -164,6 +164,13 @@ class WorkerErrorEstimate:
     triples: Sequence[TripleEstimate] = field(default_factory=tuple)
     weights: Sequence[float] = field(default_factory=tuple)
     status: EstimateStatus = EstimateStatus.OK
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.triples):
+            raise ValueError(
+                f"weights (length {len(self.weights)}) must align with triples "
+                f"(length {len(self.triples)}); one weight per aggregated triple"
+            )
 
     @property
     def error_rate(self) -> float:

@@ -9,7 +9,7 @@ import pytest
 from repro.baselines.bootstrap import BootstrapEstimator, bootstrap_intervals
 from repro.baselines.karger_oh_shah import karger_oh_shah
 from repro.core.incremental import IncrementalEvaluator
-from repro.core.m_worker import evaluate_worker
+from repro.core.m_worker import MWorkerEstimator, evaluate_worker
 from repro.data.response_matrix import ResponseMatrix
 from repro.exceptions import ConfigurationError, InsufficientDataError
 from repro.simulation.binary import BinaryWorkerPopulation
@@ -51,8 +51,61 @@ class TestIncrementalEvaluator:
         incremental.estimate_all()
         task = 0
         co_attempting = set(matrix.workers_of(task))
-        incremental.add_response(1, task, 0)
-        assert incremental.dirty_workers == co_attempting | {1}
+        previous = matrix.response(1, task)
+        flipped = 1 - previous if previous is not None else 1
+        incremental.add_response(1, task, flipped)
+        # The update changes the agreement statistics of worker 1 with every
+        # co-attempter, so at least those workers must be invalidated.  Third
+        # parties whose triples used a changed partner rate q_{1,u} are
+        # legitimately invalidated too (that under-invalidation was a bug).
+        assert co_attempting | {1} <= incremental.dirty_workers
+
+    def test_reaffirmed_response_keeps_caches(self, rng):
+        """Re-adding an identical response changes no statistic, so every
+        cached estimate (including the responder's) stays valid."""
+        matrix, _ = self._streamed(rng)
+        incremental = IncrementalEvaluator(matrix.n_workers, matrix.n_tasks)
+        incremental.add_responses(matrix.iter_responses())
+        incremental.estimate_all()
+        task = 0
+        previous = matrix.response(1, task)
+        assert previous is not None
+        incremental.add_response(1, task, previous)
+        assert incremental.dirty_workers == set()
+
+    @pytest.mark.parametrize("backend", ["dense", "dict"])
+    def test_streamed_estimates_match_fresh_batch_run(self, rng, backend):
+        """Regression: streaming updates after an estimate_all() must not
+        leave stale intervals anywhere.  An earlier version invalidated only
+        the updating worker and its co-attempters, so a third worker whose
+        Lemma-4 covariance used the changed partners' mutual rate q_{w,u}
+        kept a stale cached interval."""
+        matrix, _ = self._streamed(rng, n_workers=8, n_tasks=60)
+        records = list(matrix.iter_responses())
+        warm = records[: len(records) // 2]
+        stream = records[len(records) // 2 :]
+        incremental = IncrementalEvaluator(
+            matrix.n_workers, matrix.n_tasks, confidence=0.9, backend=backend
+        )
+        incremental.add_responses(warm)
+        incremental.estimate_all()  # populate the cache mid-stream
+        for step, (worker, task, label) in enumerate(stream):
+            incremental.add_response(worker, task, label)
+            if step % 17 == 0:
+                incremental.estimate_all()  # interleave queries with the stream
+        streamed = incremental.estimate_all()
+        batch = MWorkerEstimator(confidence=0.9, backend=backend).evaluate_all(
+            incremental.matrix
+        )
+        assert set(streamed) == set(range(matrix.n_workers))
+        for worker, estimate in streamed.items():
+            expected = batch[worker]
+            assert estimate.interval.mean == expected.interval.mean
+            assert estimate.interval.lower == expected.interval.lower
+            assert estimate.interval.upper == expected.interval.upper
+            assert estimate.interval.deviation == expected.interval.deviation
+            assert estimate.weights == expected.weights
+            assert estimate.status is expected.status
 
     def test_estimates_improve_as_data_arrives(self, rng):
         population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
