@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'dict' (original Python loops) or 'auto' (default; intervals are "
         "identical either way)",
     )
+    evaluate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="evaluate workers across this many processes over shared-memory "
+        "statistics (default 1 = in-process; results are identical; falls "
+        "back to serial for tiny matrices or the dict backend)",
+    )
 
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
@@ -121,10 +129,14 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         return 2
     else:
         matrix = load_response_matrix_csv(args.responses, gold_path=args.gold)
+    if args.shards < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
+        return 2
     evaluator = WorkerEvaluator(
         confidence=args.confidence,
         remove_spammers=args.remove_spammers,
         backend=args.backend,
+        shards=args.shards,
     )
     if not matrix.is_binary:
         print(

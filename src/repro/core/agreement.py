@@ -49,6 +49,7 @@ __all__ = [
     "AgreementStatistics",
     "StatisticsObserver",
     "TripleCovarianceInputs",
+    "TripleStageInputs",
     "compute_agreement_statistics",
     "pair_key",
 ]
@@ -110,6 +111,36 @@ class TripleCovarianceInputs:
     triple_counts: np.ndarray
 
 
+@dataclass(frozen=True)
+class TripleStageInputs:
+    """Bulk statistics feeding the batched per-triple evaluation stage.
+
+    All arrays are aligned with the requested triple list: index ``t``
+    describes the triple ``(worker, partners_a[t], partners_b[t])``.  Counts
+    are float64 arrays holding exact integers (see the dense-backend module
+    docstring for why the conversion is lossless).
+
+    Attributes
+    ----------
+    common_wa, agree_wa:
+        ``c_{i,a}`` and agreement counts for the worker/first-partner pairs.
+    common_wb, agree_wb:
+        The same for the worker/second-partner pairs.
+    common_ab, agree_ab:
+        The same for the partner/partner pairs.
+    triple_counts:
+        ``c_{i,a,b}`` per triple.
+    """
+
+    common_wa: np.ndarray
+    agree_wa: np.ndarray
+    common_wb: np.ndarray
+    agree_wb: np.ndarray
+    common_ab: np.ndarray
+    agree_ab: np.ndarray
+    triple_counts: np.ndarray
+
+
 @dataclass
 class AgreementStatistics:
     """Cached agreement rates and co-attempt counts for one response matrix.
@@ -121,7 +152,11 @@ class AgreementStatistics:
     the backend is delta-updated by the incremental evaluator).
     """
 
-    matrix: ResponseMatrix
+    #: May be None only when a dense backend is supplied: every statistics
+    #: read is then served from the backend arrays and the sparse store is
+    #: never touched (shard worker processes rely on this to avoid
+    #: shipping the response matrix).
+    matrix: ResponseMatrix | None
     backend: DenseAgreementBackend | None = field(default=None, repr=False)
     observer: StatisticsObserver | None = field(default=None, repr=False)
     _pair_cache: dict[tuple[int, int], tuple[int, int]] = field(
@@ -209,13 +244,16 @@ class AgreementStatistics:
         return self.backend is not None
 
     def triple_covariance_inputs(
-        self, worker: int, partners: np.ndarray
+        self, worker: int, partners: np.ndarray, fast_counts: bool = False
     ) -> TripleCovarianceInputs:
         """Bulk counts for the Lemma-4 covariance over ``worker``'s partners.
 
         One masked matrix product yields every triple count
         ``c_{worker, x, y}``; the pair matrices are sliced from the
         precomputed backend arrays.  Requires a dense backend.
+        ``fast_counts`` opts into the float32 exact-count product for the
+        triple grid (identical values; see
+        :meth:`DenseAgreementBackend.triple_count_matrix`).
         """
         if self.backend is None:
             raise DataValidationError(
@@ -230,7 +268,106 @@ class AgreementStatistics:
             common_with_worker=common[worker, partners].astype(np.float64),
             partner_common=common[np.ix_(partners, partners)].astype(np.float64),
             partner_agreements=agree[np.ix_(partners, partners)].astype(np.float64),
-            triple_counts=self.backend.triple_count_matrix(worker, partners),
+            triple_counts=self.backend.triple_count_matrix(
+                worker, partners, fast=fast_counts
+            ),
+        )
+
+    def lemma4_inputs(
+        self, worker: int, partners: np.ndarray, clamp_margin: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Pre-clamped bulk inputs for the Lemma-4 assembly, or None.
+
+        Returns ``(common_with_worker, partner_2q_minus_1, triple_counts)``
+        — the Lemma-4 term grid only ever consumes the partner rates through
+        ``2 q - 1``, so that matrix is gathered pre-computed from the
+        backend's batch-level cache.  ``None`` when the fast form is
+        unavailable (no dense backend, or an observer needs per-read
+        dependency records) — callers then fall back to
+        :meth:`triple_covariance_inputs`.  Values are identical either way.
+        """
+        if self.backend is None or self.observer is not None:
+            return None
+        _, two_q_minus_1, _ = self.backend.clamped_rate_data(clamp_margin)
+        return (
+            self.backend.common_counts_f64[worker, partners],
+            two_q_minus_1[np.ix_(partners, partners)],
+            self.backend.triple_count_matrix(worker, partners, fast=True),
+        )
+
+    def triple_stage_inputs_fast(
+        self,
+        worker: int | np.ndarray,
+        partners_a: np.ndarray,
+        partners_b: np.ndarray,
+        clamp_margin: float,
+    ) -> tuple[np.ndarray, ...] | None:
+        """Pre-clamped per-triple vectors for the batched triple stage.
+
+        Returns ``(c_1, c_2, c_3, q_1, q_2, q_3, t_1, t_2, t_3, cl_1, cl_2,
+        cl_3, c_t)`` — common counts, clamped rates, ``2q - 1`` terms and
+        clamp flags for the worker/first-partner, worker/second-partner and
+        partner/partner pairs, plus triple counts — gathered from the
+        backend's batch-level caches.  ``worker`` may be a scalar id or an
+        array aligned with the partner arrays (the cross-worker batch).
+        ``None`` when unavailable (no dense backend, or an observer needs
+        per-read records); callers fall back to
+        :meth:`triple_stage_inputs` and compute the same values inline.
+        """
+        if self.backend is None or self.observer is not None:
+            return None
+        rates, two_q, flags = self.backend.clamped_rate_data(clamp_margin)
+        common = self.backend.common_counts_f64
+        return (
+            common[worker, partners_a],
+            common[worker, partners_b],
+            common[partners_a, partners_b],
+            rates[worker, partners_a],
+            rates[worker, partners_b],
+            rates[partners_a, partners_b],
+            two_q[worker, partners_a],
+            two_q[worker, partners_b],
+            two_q[partners_a, partners_b],
+            flags[worker, partners_a],
+            flags[worker, partners_b],
+            flags[partners_a, partners_b],
+            self.backend.triple_common_counts(
+                worker, partners_a, partners_b
+            ).astype(np.float64),
+        )
+
+    def triple_stage_inputs(
+        self, worker: int, partners_a: np.ndarray, partners_b: np.ndarray
+    ) -> TripleStageInputs:
+        """Bulk counts for evaluating ``worker`` inside a batch of triples.
+
+        Pair counts are sliced straight from the backend's precomputed
+        matrices and the triple counts come from one vectorized
+        bitset-popcount pass.  Requires a dense backend.  The observer is
+        notified with the union of touched workers (a superset of the pairs
+        the scalar loop would record — conservative, never stale).
+        """
+        if self.backend is None:
+            raise DataValidationError(
+                "triple_stage_inputs requires a dense backend; "
+                "use AgreementStatistics.precompute"
+            )
+        if self.observer is not None:
+            self.observer.note_bulk(
+                worker, np.concatenate([partners_a, partners_b])
+            )
+        common = self.backend.common_counts
+        agree = self.backend.agreement_counts
+        return TripleStageInputs(
+            common_wa=common[worker, partners_a].astype(np.float64),
+            agree_wa=agree[worker, partners_a].astype(np.float64),
+            common_wb=common[worker, partners_b].astype(np.float64),
+            agree_wb=agree[worker, partners_b].astype(np.float64),
+            common_ab=common[partners_a, partners_b].astype(np.float64),
+            agree_ab=agree[partners_a, partners_b].astype(np.float64),
+            triple_counts=self.backend.triple_common_counts(
+                worker, partners_a, partners_b
+            ).astype(np.float64),
         )
 
 

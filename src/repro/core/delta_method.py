@@ -24,7 +24,29 @@ from repro.exceptions import ConfigurationError
 from repro.stats.normal import two_sided_z
 from repro.types import ConfidenceInterval
 
-__all__ = ["DeltaMethodModel", "confidence_interval_from_moments"]
+__all__ = [
+    "DeltaMethodModel",
+    "confidence_interval_from_moments",
+    "batched_deviations_3",
+]
+
+
+def batched_deviations_3(
+    gradients: np.ndarray, covariances: np.ndarray
+) -> np.ndarray:
+    """Theorem-1 deviations for a stack of 3-input delta-method systems.
+
+    ``gradients`` has shape ``(l, 3)`` and ``covariances`` ``(l, 3, 3)``; the
+    result is ``sqrt(max(g_t^T C_t g_t, 0))`` per row.  The quadratic form is
+    accumulated in the pinned order of
+    :func:`repro.stats.linalg.quadratic_form_3`, and the flooring/sqrt mirror
+    the scalar ``max(raw, 0.0)`` / ``math.sqrt`` steps, so each element is
+    bit-identical to evaluating the scalar path on that slice.
+    """
+    from repro.stats.linalg import batched_quadratic_form_3
+
+    raw = batched_quadratic_form_3(gradients, covariances)
+    return np.sqrt(np.maximum(raw, 0.0))
 
 
 def confidence_interval_from_moments(

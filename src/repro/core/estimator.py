@@ -56,6 +56,11 @@ class WorkerEvaluator:
         ``"dict"`` (original dict-of-dicts loops) or ``"auto"`` (dense when
         the matrix is small enough to materialize).  The choice affects
         throughput only; intervals are bit-identical across backends.
+    shards:
+        Partition binary batch evaluation across this many processes over
+        shared-memory statistics arrays (see
+        :class:`~repro.core.m_worker.MWorkerEstimator` for the determinism
+        contract and serial-fallback guard).  ``1`` stays in-process.
     """
 
     confidence: float = 0.95
@@ -66,6 +71,7 @@ class WorkerEvaluator:
     kary_epsilon: float = 0.01
     rng: np.random.Generator | None = field(default=None, repr=False)
     backend: str = "auto"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -99,6 +105,7 @@ class WorkerEvaluator:
             pairing_strategy=self.pairing_strategy,
             rng=self.rng,
             backend=self.backend,
+            shards=self.shards,
         )
         estimates = estimator.evaluate_all(working_matrix)
         identity_map = id_map == list(range(matrix.n_workers))

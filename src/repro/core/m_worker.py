@@ -20,13 +20,19 @@ all workers.  When the agreement statistics carry a dense backend (see
 matrix product per worker produces every needed triple count and the whole
 term grid is evaluated with NumPy elementwise arithmetic that replicates the
 scalar code's floating-point operation order exactly, so both paths return
-bit-identical intervals.  The scalar loop is kept as the reference (and the
-fallback for the dict backend and for degenerate pairings).
+bit-identical intervals.  Step 2 is batched the same way
+(:func:`~repro.core.three_worker.evaluate_triples_batched` evaluates all of
+a worker's triples in one vectorized pass), and ``evaluate_all`` can
+additionally be sharded across processes over shared-memory statistics
+arrays (``shards=``; see :class:`MWorkerEstimator` for the determinism
+contract).  The scalar loops are kept as the reference (and the fallback
+for the dict backend and for degenerate pairings).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -37,6 +43,7 @@ from repro.core.pairing import form_triples
 from repro.core.three_worker import (
     MIN_AGREEMENT_MARGIN,
     clamp_agreement,
+    evaluate_triples_batched_arrays,
     evaluate_worker_in_triple,
     smoothed_variance_rate,
 )
@@ -50,6 +57,30 @@ from repro.types import (
 )
 
 __all__ = ["MWorkerEstimator", "evaluate_worker", "evaluate_all_workers"]
+
+
+#: Upper bound on triples per batched-stage invocation (memory chunking of
+#: the cross-worker batch; worker-aligned chunks may overshoot by one
+#: worker's triples).
+_BATCH_STAGE_CHUNK_TRIPLES: int = 2**18
+
+
+@lru_cache(maxsize=128)
+def _upper_triangle_indices_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.triu_indices(n, k=1)
+
+
+def _upper_triangle_indices(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """``np.triu_indices(n, k=1)``, memoized for small ``n`` only.
+
+    Batch evaluation reuses a few sizes thousands of times, but each cached
+    entry holds two ``n(n-1)/2`` int64 arrays — memoizing large sizes would
+    retain far more memory than it saves (and once per shard process), so
+    those fall through to a fresh computation.
+    """
+    if n > 256:
+        return np.triu_indices(n, k=1)
+    return _upper_triangle_indices_cached(n)
 
 
 def _pair_covariance_term(
@@ -113,6 +144,7 @@ def _vectorized_cross_covariances(
     triple_estimates: list[TripleEstimate],
     p_worker: float,
     clamp_margin: float,
+    fast_counts: bool = False,
 ) -> np.ndarray | None:
     """All Lemma-4 cross-triple covariances for one worker, in one shot.
 
@@ -136,16 +168,23 @@ def _vectorized_cross_covariances(
     if len(set(partner_list)) != 2 * n:
         return None
     partners = np.asarray(partner_list, dtype=np.int64)
-    inputs = stats.triple_covariance_inputs(worker, partners)
-    c_triple = inputs.triple_counts
-    c_with_worker = inputs.common_with_worker
-    with np.errstate(divide="ignore", invalid="ignore"):
-        q = inputs.partner_agreements / inputs.partner_common
-    # clamp_agreement, elementwise and in the same order.
-    q = np.where(q > 1.0, 1.0, q)
-    lower = 0.5 + clamp_margin
-    q = np.where(q < lower, lower, q)
-    numerator = ((c_triple * p_worker) * (1.0 - p_worker)) * (2.0 * q - 1.0)
+    fast_inputs = (
+        stats.lemma4_inputs(worker, partners, clamp_margin) if fast_counts else None
+    )
+    if fast_inputs is not None:
+        c_with_worker, two_q_minus_1, c_triple = fast_inputs
+    else:
+        inputs = stats.triple_covariance_inputs(worker, partners)
+        c_triple = inputs.triple_counts
+        c_with_worker = inputs.common_with_worker
+        with np.errstate(divide="ignore", invalid="ignore"):
+            q = inputs.partner_agreements / inputs.partner_common
+        # clamp_agreement, elementwise and in the same order.
+        q = np.where(q > 1.0, 1.0, q)
+        lower = 0.5 + clamp_margin
+        q = np.where(q < lower, lower, q)
+        two_q_minus_1 = 2.0 * q - 1.0
+    numerator = ((c_triple * p_worker) * (1.0 - p_worker)) * two_q_minus_1
     denominator = c_with_worker[:, None] * c_with_worker[None, :]
     with np.errstate(divide="ignore", invalid="ignore"):
         term = numerator / denominator
@@ -191,6 +230,38 @@ class MWorkerEstimator:
         ``"dict"`` (original lazy set intersections) or ``"auto"``.  Both
         produce bit-identical intervals; dense is ~10-100x faster for batch
         evaluation.  Ignored when a prebuilt ``stats`` object is supplied.
+    batch_triples:
+        Evaluate all of a worker's triples in one vectorized pass (Step 2 of
+        Algorithm A2) instead of the sequential per-triple loop.  Requires
+        the dense backend (silently ignored otherwise) and produces
+        bit-identical results; the knob exists so benchmarks and the
+        differential test suite can pin down each path.
+    shards:
+        Partition :meth:`evaluate_all` across this many worker processes.
+        The read-only statistics arrays are exported once via
+        ``multiprocessing.shared_memory`` and each shard evaluates a
+        contiguous worker range.  ``1`` (the default) stays in-process.
+
+    Shard/merge determinism contract
+    --------------------------------
+    Sharded evaluation is bit-identical to serial evaluation by
+    construction, and the cross-backend differential suite enforces it:
+
+    * every statistic a shard reads comes from the *same* frozen arrays the
+      serial path reads (the parent builds the dense backend's attempt,
+      label and pair-count matrices once and shares them read-only);
+    * each worker's estimate depends only on those arrays and the estimator
+      configuration — never on which shard computed it, on shard count, or
+      on evaluation order across workers;
+    * workers are partitioned into contiguous index ranges, each shard
+      returns its estimates in worker order, and the parent concatenates
+      the shard results in shard order, which *is* worker order ``0..m-1``.
+
+    The sharded path falls back to serial whenever the contract cannot hold
+    or sharding cannot help: no dense backend, fewer workers than shards, a
+    single shard's worth of work, or a custom ``rng`` (the random pairing
+    strategy consumes the generator sequentially across workers, which a
+    process pool cannot replicate).
     """
 
     confidence: float = 0.95
@@ -200,6 +271,8 @@ class MWorkerEstimator:
     min_overlap: int = 1
     rng: np.random.Generator | None = None
     backend: str = "auto"
+    batch_triples: bool = True
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -209,6 +282,10 @@ class MWorkerEstimator:
         if self.min_overlap < 1:
             raise ConfigurationError(
                 f"min_overlap must be at least 1, got {self.min_overlap}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be at least 1, got {self.shards}"
             )
 
     # ------------------------------------------------------------------ #
@@ -240,34 +317,103 @@ class MWorkerEstimator:
             strategy=self.pairing_strategy,
             rng=self.rng,
             min_overlap=self.min_overlap,
+            accelerate=self.batch_triples,
         )
         if not triples:
             return self._degenerate_estimate(matrix, worker)
 
+        pairs = [(partner_a, partner_b) for _, partner_a, partner_b in triples]
+        if self.batch_triples and stats.has_dense_backend:
+            # Batched Step 2: all triples in one vectorized pass; unusable
+            # slots are the triples the scalar loop would have skipped with
+            # InsufficientDataError.
+            arrays = evaluate_triples_batched_arrays(
+                stats, worker, pairs, clamp_margin=self.clamp_margin
+            )
+            triple_estimates, worst_status = self._triples_from_arrays(
+                stats, worker, pairs, arrays
+            )
+        else:
+            triple_estimates = []
+            worst_status = EstimateStatus.OK
+            for pair in pairs:
+                try:
+                    result = evaluate_worker_in_triple(
+                        stats, worker, pair, clamp_margin=self.clamp_margin
+                    )
+                except InsufficientDataError:
+                    continue
+                triple_estimates.append(
+                    TripleEstimate(
+                        worker=worker,
+                        partners=pair,
+                        error_rate=result.error_rate,
+                        deviation=result.deviation,
+                        derivatives=result.derivative_by_partner,
+                        status=result.status,
+                    )
+                )
+                if result.status is EstimateStatus.CLAMPED:
+                    worst_status = EstimateStatus.CLAMPED
+        return self._finalize_worker(
+            matrix, stats, worker, triple_estimates, worst_status
+        )
+
+    def _triples_from_arrays(
+        self,
+        stats: AgreementStatistics,
+        worker: int,
+        pairs: list[tuple[int, int]],
+        arrays,
+    ) -> tuple[list[TripleEstimate], EstimateStatus]:
+        """Materialize TripleEstimate records from batched stage arrays."""
         triple_estimates: list[TripleEstimate] = []
         worst_status = EstimateStatus.OK
-        for _, partner_a, partner_b in triples:
-            try:
+        estimates = arrays.estimates.tolist()
+        deviations = arrays.deviations.tolist()
+        d_a = arrays.d_partner_a.tolist()
+        d_b = arrays.d_partner_b.tolist()
+        clamped = arrays.clamped.tolist()
+        needs_scalar = arrays.needs_scalar.tolist()
+        for t in np.flatnonzero(arrays.usable).tolist():
+            pair = pairs[t]
+            if needs_scalar[t]:
                 result = evaluate_worker_in_triple(
-                    stats, worker, (partner_a, partner_b), clamp_margin=self.clamp_margin
+                    stats, worker, pair, clamp_margin=self.clamp_margin
                 )
-            except InsufficientDataError:
-                continue
+                error_rate, deviation = result.error_rate, result.deviation
+                derivatives = result.derivative_by_partner
+                status = result.status
+            else:
+                error_rate = estimates[t]
+                deviation = deviations[t]
+                derivatives = {pair[0]: d_a[t], pair[1]: d_b[t]}
+                status = EstimateStatus.CLAMPED if clamped[t] else EstimateStatus.OK
             triple_estimates.append(
                 TripleEstimate(
                     worker=worker,
-                    partners=(partner_a, partner_b),
-                    error_rate=result.error_rate,
-                    deviation=result.deviation,
-                    derivatives=result.derivative_by_partner,
-                    status=result.status,
+                    partners=pair,
+                    error_rate=error_rate,
+                    deviation=deviation,
+                    derivatives=derivatives,
+                    status=status,
                 )
             )
-            if result.status is EstimateStatus.CLAMPED:
+            if status is EstimateStatus.CLAMPED:
                 worst_status = EstimateStatus.CLAMPED
+        return triple_estimates, worst_status
+
+    def _finalize_worker(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        worker: int,
+        triple_estimates: list[TripleEstimate],
+        worst_status: EstimateStatus,
+    ) -> WorkerErrorEstimate:
+        """Step 3 plus result packaging, shared by all execution paths."""
         if not triple_estimates:
             return self._degenerate_estimate(matrix, worker)
-
         interval, weights = self._aggregate(stats, worker, triple_estimates)
         return WorkerErrorEstimate(
             worker=worker,
@@ -279,12 +425,133 @@ class MWorkerEstimator:
         )
 
     def evaluate_all(self, matrix: ResponseMatrix) -> list[WorkerErrorEstimate]:
-        """Confidence intervals for every worker in the matrix."""
+        """Confidence intervals for every worker in the matrix.
+
+        With ``shards > 1`` the worker loop is partitioned across a process
+        pool over shared-memory statistics arrays; see the class docstring
+        for the determinism contract and the serial-fallback guard.
+        """
         stats = compute_agreement_statistics(matrix, backend=self.backend)
+        if self._shardable(matrix, stats):
+            from repro.core.sharded import evaluate_all_sharded
+
+            return evaluate_all_sharded(self, matrix, stats)
+        if (
+            self.batch_triples
+            and stats.has_dense_backend
+            and stats.observer is None
+            and matrix.is_binary
+            and matrix.n_workers >= 3
+        ):
+            return self._evaluate_all_batched(matrix, stats)
         return [
             self.evaluate_worker(matrix, worker, stats=stats)
             for worker in range(matrix.n_workers)
         ]
+
+    def _evaluate_all_batched(
+        self, matrix: ResponseMatrix, stats: AgreementStatistics
+    ) -> list[WorkerErrorEstimate]:
+        """The cross-worker batch: every worker's triples in one stage pass.
+
+        Pairing runs per worker (exactly as the serial loop does, including
+        ``rng`` consumption order for the random strategy), then all formed
+        triples are concatenated and evaluated in a single invocation of the
+        batched triple stage; the per-worker Lemma-4 aggregation consumes
+        contiguous row windows of the result.  Bit-identical to calling
+        :meth:`evaluate_worker` per worker — elementwise arithmetic on a
+        concatenation is elementwise arithmetic on each window.
+        """
+        n_workers = matrix.n_workers
+        per_worker_pairs: list[list[tuple[int, int]]] = []
+        for worker in range(n_workers):
+            candidates = [w for w in range(n_workers) if w != worker]
+            triples = form_triples(
+                stats,
+                worker,
+                candidates,
+                strategy=self.pairing_strategy,
+                rng=self.rng,
+                min_overlap=self.min_overlap,
+                accelerate=True,
+            )
+            per_worker_pairs.append([(a, b) for _, a, b in triples])
+        results: list[WorkerErrorEstimate] = []
+        # Stage chunking: concatenating *all* workers' triples would peak at
+        # O(m^2) transient memory on worker-heavy matrices; processing
+        # worker-aligned chunks of bounded triple count keeps the identical
+        # elementwise results (and the worker-major error ordering) while
+        # bounding the spike.  2^18 triples is a few-hundred-MB ceiling.
+        chunk_workers: list[int] = []
+        chunk_size = 0
+        for worker in range(n_workers):
+            chunk_workers.append(worker)
+            chunk_size += len(per_worker_pairs[worker])
+            if chunk_size >= _BATCH_STAGE_CHUNK_TRIPLES and worker < n_workers - 1:
+                self._evaluate_worker_chunk(
+                    matrix, stats, chunk_workers, per_worker_pairs, results
+                )
+                chunk_workers, chunk_size = [], 0
+        if chunk_workers:
+            self._evaluate_worker_chunk(
+                matrix, stats, chunk_workers, per_worker_pairs, results
+            )
+        return results
+
+    def _evaluate_worker_chunk(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        chunk_workers: list[int],
+        per_worker_pairs: list[list[tuple[int, int]]],
+        results: list[WorkerErrorEstimate],
+    ) -> None:
+        """Run the batched stage for one worker-aligned chunk, appending to
+        ``results`` in worker order."""
+        counts = [len(per_worker_pairs[worker]) for worker in chunk_workers]
+        flat_pairs = [
+            pair for worker in chunk_workers for pair in per_worker_pairs[worker]
+        ]
+        arrays = None
+        if flat_pairs:
+            worker_ids = np.repeat(
+                np.asarray(chunk_workers, dtype=np.int64), counts
+            )
+            arrays = evaluate_triples_batched_arrays(
+                stats, worker_ids, flat_pairs, clamp_margin=self.clamp_margin
+            )
+        offset = 0
+        for worker in chunk_workers:
+            pairs = per_worker_pairs[worker]
+            if not pairs:
+                results.append(self._degenerate_estimate(matrix, worker))
+                continue
+            window = arrays.slice(offset, offset + len(pairs))
+            offset += len(pairs)
+            triple_estimates, worst_status = self._triples_from_arrays(
+                stats, worker, pairs, window
+            )
+            results.append(
+                self._finalize_worker(
+                    matrix, stats, worker, triple_estimates, worst_status
+                )
+            )
+
+    def _shardable(self, matrix: ResponseMatrix, stats: AgreementStatistics) -> bool:
+        """Whether the sharded path applies (else fall back to serial).
+
+        Guards: a single shard, no dense backend (the shared-memory export
+        needs the dense arrays), fewer workers than shards (tiny matrices
+        must not deadlock in a near-empty pool or drop workers), and a
+        custom ``rng`` (sequential generator consumption cannot be
+        replicated across processes).
+        """
+        return (
+            self.shards > 1
+            and stats.has_dense_backend
+            and matrix.n_workers >= self.shards
+            and self.rng is None
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -299,13 +566,20 @@ class MWorkerEstimator:
         values = np.array([t.error_rate for t in triple_estimates])
         # Plug-in error rate of the evaluated worker for Lemma 4's C(i, j, j');
         # the simple average of the triple estimates is a consistent plug-in.
-        p_plugin = float(np.clip(np.mean(values), 0.0, 0.5))
+        # (Scalar min/max: np.clip on a 0-d value costs ~0.2ms per call.)
+        p_plugin = min(max(float(np.mean(values)), 0.0), 0.5)
         covariance = np.zeros((n, n))
-        for a in range(n):
-            covariance[a, a] = triple_estimates[a].deviation ** 2
+        np.fill_diagonal(
+            covariance, [t.deviation**2 for t in triple_estimates]
+        )
         cross = (
             _vectorized_cross_covariances(
-                stats, worker, triple_estimates, p_plugin, self.clamp_margin
+                stats,
+                worker,
+                triple_estimates,
+                p_plugin,
+                self.clamp_margin,
+                fast_counts=self.batch_triples,
             )
             if n >= 2
             else None
@@ -315,7 +589,7 @@ class MWorkerEstimator:
             # taking both halves of the grid: the two halves can differ in
             # the last ulp because the four Lemma-4 terms sum in a different
             # order on each side.
-            upper = np.triu_indices(n, k=1)
+            upper = _upper_triangle_indices(n)
             covariance[upper] = cross[upper]
             covariance[(upper[1], upper[0])] = cross[upper]
         else:
@@ -386,6 +660,7 @@ def evaluate_all_workers(
     pairing_strategy: str = "greedy",
     rng: np.random.Generator | None = None,
     backend: str = "auto",
+    shards: int = 1,
 ) -> list[WorkerErrorEstimate]:
     """One-call wrapper around :class:`MWorkerEstimator` for all workers."""
     estimator = MWorkerEstimator(
@@ -394,5 +669,6 @@ def evaluate_all_workers(
         pairing_strategy=pairing_strategy,
         rng=rng,
         backend=backend,
+        shards=shards,
     )
     return estimator.evaluate_all(matrix)

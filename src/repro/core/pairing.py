@@ -16,7 +16,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.core.agreement import AgreementStatistics
 
-__all__ = ["form_triples", "greedy_pairs", "random_pairs"]
+__all__ = ["form_triples", "greedy_pairs", "greedy_pairs_dense", "random_pairs"]
 
 
 def greedy_pairs(
@@ -58,6 +58,51 @@ def greedy_pairs(
     return pairs
 
 
+def greedy_pairs_dense(
+    common_counts: np.ndarray,
+    target: int,
+    candidates: list[int],
+    min_overlap: int = 1,
+    common_list: list[list[int]] | None = None,
+) -> list[tuple[int, int]]:
+    """:func:`greedy_pairs` reading straight from the dense count matrix.
+
+    Produces exactly the same pairs as the reference implementation (the
+    stable descending sort and the first-valid-partner scan are replicated
+    step for step) but replaces the ~m^2 Python-level statistics calls per
+    evaluated worker with array reads, which makes pairing disappear from
+    the batch-evaluation profile.  Callers that record statistics
+    dependencies (the incremental evaluator's observer) must use the
+    reference implementation, which notifies per pair read.
+    """
+    if target in candidates:
+        raise ConfigurationError("the evaluated worker cannot be its own partner")
+    candidate_index = np.asarray(candidates, dtype=np.int64)
+    with_target = common_counts[target, candidate_index]
+    keep = with_target >= min_overlap
+    candidate_index = candidate_index[keep]
+    # Stable argsort on negated counts == Python's stable sort by -count.
+    order = np.argsort(-with_target[keep], kind="stable")
+    remaining = [int(candidate) for candidate in candidate_index[order]]
+    rows = common_list if common_list is not None else common_counts
+    pairs: list[tuple[int, int]] = []
+    while len(remaining) >= 2:
+        first = remaining[0]
+        row = rows[first]
+        partner_index = None
+        for index in range(1, len(remaining)):
+            if row[remaining[index]] >= min_overlap:
+                partner_index = index
+                break
+        if partner_index is None:
+            remaining.pop(0)
+            continue
+        partner = remaining.pop(partner_index)
+        remaining.pop(0)
+        pairs.append((first, partner))
+    return pairs
+
+
 def random_pairs(
     stats: AgreementStatistics,
     target: int,
@@ -91,6 +136,7 @@ def form_triples(
     strategy: str = "greedy",
     rng: np.random.Generator | None = None,
     min_overlap: int = 1,
+    accelerate: bool = False,
 ) -> list[tuple[int, int, int]]:
     """Form the triples used to evaluate ``target`` (Step 1 of Algorithm A2).
 
@@ -109,13 +155,26 @@ def form_triples(
     min_overlap:
         Minimum number of common tasks required between every pair inside a
         triple.
+    accelerate:
+        Permit :func:`greedy_pairs_dense` when the statistics carry a dense
+        backend and no observer (identical pairs, array reads instead of
+        per-pair calls).  Ignored for the random strategy.
 
     Returns
     -------
     list of triples ``(target, partner_a, partner_b)``.
     """
     if strategy == "greedy":
-        pairs = greedy_pairs(stats, target, candidates, min_overlap=min_overlap)
+        if accelerate and stats.has_dense_backend and stats.observer is None:
+            pairs = greedy_pairs_dense(
+                stats.backend.common_counts,
+                target,
+                candidates,
+                min_overlap=min_overlap,
+                common_list=stats.backend.common_counts_list,
+            )
+        else:
+            pairs = greedy_pairs(stats, target, candidates, min_overlap=min_overlap)
     elif strategy == "random":
         if rng is None:
             raise ConfigurationError("the random pairing strategy requires an rng")

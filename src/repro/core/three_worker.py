@@ -30,8 +30,9 @@ from repro.exceptions import (
     InsufficientDataError,
 )
 from repro.core.agreement import AgreementStatistics
-from repro.core.delta_method import DeltaMethodModel
+from repro.core.delta_method import DeltaMethodModel, batched_deviations_3
 from repro.data.dense_backend import resolve_triple_backend
+from repro.stats.linalg import quadratic_form_3
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import (
     ConfidenceInterval,
@@ -48,7 +49,11 @@ __all__ = [
     "error_rate_gradient",
     "agreement_covariance_matrix",
     "ThreeWorkerResult",
+    "BatchedTripleArrays",
     "evaluate_three_workers",
+    "evaluate_worker_in_triple",
+    "evaluate_triples_batched",
+    "evaluate_triples_batched_arrays",
 ]
 
 #: Minimum allowed distance of an agreement rate above 1/2.  Eq. (1) has a
@@ -119,9 +124,13 @@ def error_rate_gradient(q_ij: float, q_ik: float, q_jk: float) -> np.ndarray:
     a = q_ij - 0.5
     b = q_ik - 0.5
     c = q_jk - 0.5
+    # c**3 is spelled as explicit multiplications: libm pow(c, 3) and NumPy's
+    # vectorized cube can disagree in the last ulp, whereas a * a sequence of
+    # IEEE multiplies is identical scalar or batched.
+    c_cubed = (c * c) * c
     d_ij = -math.sqrt(b / (8.0 * a * c))
     d_ik = -math.sqrt(a / (8.0 * b * c))
-    d_jk = math.sqrt(a * b / (8.0 * c**3))
+    d_jk = math.sqrt(a * b / (8.0 * c_cubed))
     return np.array([d_ij, d_ik, d_jk])
 
 
@@ -279,18 +288,298 @@ def evaluate_worker_in_triple(
     estimate = error_rate_from_agreements(q_ij, q_ik, q_jk)
     gradient = error_rate_gradient(q_ij, q_ik, q_jk)
     covariance = agreement_covariance_matrix(q, c_pair, c_triple, error_rates, workers)
-    model = DeltaMethodModel(value=estimate, gradient=gradient, covariance=covariance)
+    # Theorem 1 with the pinned-order quadratic form (not BLAS g @ C @ g) so
+    # the batched stage can replay the identical operation sequence.
+    deviation = math.sqrt(max(quadratic_form_3(gradient, covariance), 0.0))
 
     status = EstimateStatus.CLAMPED if clamped else EstimateStatus.OK
     return ThreeWorkerResult(
         worker=worker,
         partners=(j1, j2),
         error_rate=estimate,
-        deviation=model.deviation,
+        deviation=deviation,
         derivative_by_partner={j1: float(gradient[0]), j2: float(gradient[1])},
         derivative_partners=float(gradient[2]),
         status=status,
     )
+
+
+@dataclass(frozen=True)
+class BatchedTripleArrays:
+    """Raw per-triple outputs of the batched 3-worker procedure.
+
+    All arrays are aligned with the requested pair list.  ``usable`` marks
+    triples the scalar loop would have evaluated (the rest would raise
+    :class:`~repro.exceptions.InsufficientDataError` there);
+    ``needs_scalar`` marks usable triples whose batched evaluation hit a
+    non-finite anomaly and must be delegated to the scalar path (should be
+    unreachable; kept as a safety net so anomalies surface exactly as the
+    sequential loop would surface them).
+    """
+
+    usable: np.ndarray
+    needs_scalar: np.ndarray
+    estimates: np.ndarray
+    deviations: np.ndarray
+    d_partner_a: np.ndarray
+    d_partner_b: np.ndarray
+    d_partners: np.ndarray
+    clamped: np.ndarray
+
+    def slice(self, start: int, stop: int) -> "BatchedTripleArrays":
+        """The ``[start, stop)`` window — one worker's rows of a
+        cross-worker batch."""
+        return BatchedTripleArrays(
+            usable=self.usable[start:stop],
+            needs_scalar=self.needs_scalar[start:stop],
+            estimates=self.estimates[start:stop],
+            deviations=self.deviations[start:stop],
+            d_partner_a=self.d_partner_a[start:stop],
+            d_partner_b=self.d_partner_b[start:stop],
+            d_partners=self.d_partners[start:stop],
+            clamped=self.clamped[start:stop],
+        )
+
+
+def evaluate_triples_batched_arrays(
+    stats: AgreementStatistics,
+    worker: int | np.ndarray,
+    pairs: list[tuple[int, int]],
+    clamp_margin: float = MIN_AGREEMENT_MARGIN,
+) -> BatchedTripleArrays:
+    """Array-level core of :func:`evaluate_triples_batched`.
+
+    The m-worker estimator consumes these arrays directly (building its
+    :class:`~repro.types.TripleEstimate` records without an intermediate
+    :class:`ThreeWorkerResult` per triple); the public wrapper materializes
+    the per-triple result objects.  See :func:`evaluate_triples_batched`
+    for the bit-identity contract.
+
+    ``worker`` may be a single id (all triples evaluate that worker) or an
+    array aligned with ``pairs`` — the cross-worker form in which
+    ``MWorkerEstimator.evaluate_all`` concatenates every worker's triples
+    into one stage invocation.  The cross-worker form requires the fast
+    cached inputs (dense backend, no observer).
+    """
+    if not stats.has_dense_backend:
+        raise ConfigurationError(
+            "evaluate_triples_batched requires a dense statistics backend; "
+            "use AgreementStatistics.precompute or backend='dense'"
+        )
+    if not pairs:
+        empty = np.zeros(0)
+        empty_mask = np.zeros(0, dtype=bool)
+        return BatchedTripleArrays(
+            empty_mask, empty_mask, empty, empty, empty, empty, empty, empty_mask
+        )
+    partners_a = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+    partners_b = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+    multi_worker = np.ndim(worker) != 0
+    if multi_worker:
+        workers = np.asarray(worker, dtype=np.int64)
+        if workers.shape != partners_a.shape:
+            raise ConfigurationError(
+                "a worker array must have one entry per triple"
+            )
+        distinct = (
+            (workers != partners_a)
+            & (workers != partners_b)
+            & (partners_a != partners_b)
+        )
+        if not bool(distinct.all()):
+            raise ConfigurationError("a triple requires three distinct workers")
+    else:
+        for j1, j2 in pairs:
+            if len({worker, j1, j2}) != 3:
+                raise ConfigurationError(
+                    "a triple requires three distinct workers"
+                )
+    fast_inputs = stats.triple_stage_inputs_fast(
+        worker, partners_a, partners_b, clamp_margin
+    )
+    if fast_inputs is None and multi_worker:
+        raise ConfigurationError(
+            "the cross-worker batch requires the cached fast inputs "
+            "(dense backend without an observer)"
+        )
+    if fast_inputs is not None:
+        # Rates, 2q-1 terms and clamp flags gathered from the batch-level
+        # caches (identical values to the inline computation below).
+        (
+            c_1, c_2, c_3,
+            q_1, q_2, q_3,
+            t_1, t_2, t_3,
+            clamped_1, clamped_2, clamped_3,
+            c_t,
+        ) = fast_inputs
+    else:
+        inputs = stats.triple_stage_inputs(worker, partners_a, partners_b)
+        c_1, c_2, c_3 = inputs.common_wa, inputs.common_wb, inputs.common_ab
+        c_t = inputs.triple_counts
+        lower = 0.5 + clamp_margin
+
+        def clamp(
+            agreements: np.ndarray, common: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray]:
+            # Elementwise replica of clamp_agreement's two sequential guards.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                q = agreements / common
+            over = q > 1.0
+            q = np.where(over, 1.0, q)
+            under = q < lower
+            q = np.where(under, lower, q)
+            return q, over | under
+
+        q_1, clamped_1 = clamp(inputs.agree_wa, c_1)
+        q_2, clamped_2 = clamp(inputs.agree_wb, c_2)
+        q_3, clamped_3 = clamp(inputs.agree_ab, c_3)
+        t_1 = 2.0 * q_1 - 1.0
+        t_2 = 2.0 * q_2 - 1.0
+        t_3 = 2.0 * q_3 - 1.0
+    usable = (c_1 > 0) & (c_2 > 0) & (c_3 > 0)
+    clamped = clamped_1 | clamped_2 | clamped_3
+
+    degenerate = usable & ((q_1 <= 0.5) | (q_2 <= 0.5) | (q_3 <= 0.5))
+    if bool(degenerate.any()):
+        # The sequential loop raises at the first degenerate triple; replay
+        # that triple through the scalar path for the identical exception.
+        first = int(np.flatnonzero(degenerate)[0])
+        first_worker = int(workers[first]) if multi_worker else worker
+        evaluate_worker_in_triple(
+            stats, first_worker, pairs[first], clamp_margin=clamp_margin
+        )
+        raise DegenerateEstimateError(  # pragma: no cover - scalar raises above
+            "batched triple stage detected a degenerate agreement rate"
+        )
+
+    def eq1(t_a: np.ndarray, t_b: np.ndarray, t_c: np.ndarray) -> np.ndarray:
+        # 0.5 - 0.5 * sqrt((2 q_a - 1)(2 q_b - 1) / (2 q_c - 1)), elementwise
+        # in error_rate_from_agreements' operation order (the 2q - 1 terms
+        # are shared subexpressions across the three plug-in estimates).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = t_a * t_b / t_c
+            return 0.5 - 0.5 * np.sqrt(ratio)
+
+    def clip_rate(estimate: np.ndarray) -> np.ndarray:
+        # float(min(max(estimate, 0.0), 0.5)) elementwise.
+        clipped = np.where(estimate < 0.0, 0.0, estimate)
+        return np.where(clipped > 0.5, 0.5, clipped)
+
+    # Eq. (1) for the evaluated worker, and the plug-in rates of all three
+    # triple members (Lemma 3 needs the partners' too).
+    estimates = eq1(t_1, t_2, t_3)
+    p_worker = clip_rate(estimates)
+    p_a = clip_rate(eq1(t_1, t_3, t_2))
+    p_b = clip_rate(eq1(t_2, t_3, t_1))
+
+    # Lemma 2 gradients (same spelled-out cube as error_rate_gradient).
+    a = q_1 - 0.5
+    b = q_2 - 0.5
+    c = q_3 - 0.5
+    c_cubed = (c * c) * c
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d_1 = -np.sqrt(b / (8.0 * a * c))
+        d_2 = -np.sqrt(a / (8.0 * b * c))
+        d_3 = np.sqrt(a * b / (8.0 * c_cubed))
+
+    # Lemma 1/3 covariance entries, in agreement_covariance_matrix's order.
+    def smoothed(q: np.ndarray, common: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return (q * common + 1.0) / (common + 2.0)
+
+    def diagonal(q: np.ndarray, common: np.ndarray) -> np.ndarray:
+        rate = smoothed(q, common)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return rate * (1.0 - rate) / common
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cov_01 = c_t * p_worker * (1.0 - p_worker) * t_3 / (c_1 * c_2)
+        cov_02 = c_t * p_a * (1.0 - p_a) * t_2 / (c_1 * c_3)
+        cov_12 = c_t * p_b * (1.0 - p_b) * t_1 / (c_2 * c_3)
+
+    covariances = np.empty((len(pairs), 3, 3))
+    covariances[:, 0, 0] = diagonal(q_1, c_1)
+    covariances[:, 1, 1] = diagonal(q_2, c_2)
+    covariances[:, 2, 2] = diagonal(q_3, c_3)
+    covariances[:, 0, 1] = covariances[:, 1, 0] = cov_01
+    covariances[:, 0, 2] = covariances[:, 2, 0] = cov_02
+    covariances[:, 1, 2] = covariances[:, 2, 1] = cov_12
+    gradients = np.stack([d_1, d_2, d_3], axis=1)
+    deviations = batched_deviations_3(gradients, covariances)
+
+    finite = (
+        np.isfinite(estimates)
+        & np.isfinite(deviations)
+        & np.all(np.isfinite(gradients), axis=1)
+    )
+    return BatchedTripleArrays(
+        usable=usable,
+        needs_scalar=usable & ~finite,
+        estimates=estimates,
+        deviations=deviations,
+        d_partner_a=d_1,
+        d_partner_b=d_2,
+        d_partners=d_3,
+        clamped=clamped,
+    )
+
+
+def evaluate_triples_batched(
+    stats: AgreementStatistics,
+    worker: int,
+    pairs: list[tuple[int, int]],
+    clamp_margin: float = MIN_AGREEMENT_MARGIN,
+) -> list[ThreeWorkerResult | None]:
+    """Run the 3-worker procedure on every triple of a batch in one shot.
+
+    The batched equivalent of calling :func:`evaluate_worker_in_triple` once
+    per ``(worker, j1, j2)`` triple: the agreement rates of all triples are
+    stacked into arrays, and the Eq. (1) estimates, Lemma-2 gradients,
+    Lemma-1/3 covariance entries and Theorem-1 deviations are evaluated with
+    elementwise NumPy arithmetic that replays the scalar code's exact IEEE
+    operation sequence — every returned :class:`ThreeWorkerResult` is
+    bit-identical to its scalar counterpart.  Requires a dense statistics
+    backend.
+
+    Divergences from the scalar calls are mapped, per triple, to the same
+    observable behavior:
+
+    * a triple whose scalar evaluation would raise
+      :class:`~repro.exceptions.InsufficientDataError` (some pair shares no
+      task) yields ``None`` in its slot instead — callers aggregating
+      triples skip those either way;
+    * a triple whose scalar evaluation would raise any other error (e.g.
+      :class:`~repro.exceptions.DegenerateEstimateError` when
+      ``clamp_margin <= 0`` lets a rate hit 1/2 exactly) is re-evaluated
+      through the scalar path so the identical exception propagates, and it
+      is raised at the same batch position the sequential loop would have
+      reached first.
+    """
+    arrays = evaluate_triples_batched_arrays(
+        stats, worker, pairs, clamp_margin=clamp_margin
+    )
+    results: list[ThreeWorkerResult | None] = [None] * len(pairs)
+    for t in np.flatnonzero(arrays.usable):
+        t = int(t)
+        if arrays.needs_scalar[t]:
+            results[t] = evaluate_worker_in_triple(
+                stats, worker, pairs[t], clamp_margin=clamp_margin
+            )
+            continue
+        j1, j2 = pairs[t]
+        results[t] = ThreeWorkerResult(
+            worker=worker,
+            partners=(j1, j2),
+            error_rate=float(arrays.estimates[t]),
+            deviation=float(arrays.deviations[t]),
+            derivative_by_partner={
+                j1: float(arrays.d_partner_a[t]),
+                j2: float(arrays.d_partner_b[t]),
+            },
+            derivative_partners=float(arrays.d_partners[t]),
+            status=EstimateStatus.CLAMPED if arrays.clamped[t] else EstimateStatus.OK,
+        )
+    return results
 
 
 def evaluate_three_workers(

@@ -71,8 +71,38 @@ AUTO_DENSE_WORKER_LIMIT: int = 4096
 #: Valid values for the ``backend=`` knobs exposed across the library.
 BACKEND_CHOICES: tuple[str, ...] = ("auto", "dense", "dict")
 
-#: Popcount lookup table for the packed bitset rows.
+#: Popcount lookup table for the packed bitset rows (fallback for NumPy
+#: builds without the native ``bitwise_count`` ufunc).
 _POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount(packed: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(packed)
+
+else:  # pragma: no cover - NumPy < 1.26
+
+    def _popcount(packed: np.ndarray) -> np.ndarray:
+        return _POPCOUNT[packed]
+
+#: Largest task count for which 0/1 matrix products stay exact in float32:
+#: every partial sum of a boolean product is a non-negative integer bounded
+#: by the final count <= n_tasks, and integers up to 2^24 are exactly
+#: representable in float32.  Above this the products fall back to float64.
+_FLOAT32_EXACT_TASK_LIMIT: int = 2**24
+
+
+def _indicator_product(indicator: np.ndarray, n_tasks: int) -> np.ndarray:
+    """``indicator @ indicator.T`` with the cheapest exact dtype.
+
+    ``indicator`` is a boolean (0/1) matrix; the product entries are exact
+    integer counts in float32 whenever ``n_tasks`` fits
+    :data:`_FLOAT32_EXACT_TASK_LIMIT` (SGEMM moves twice the elements per
+    cycle of DGEMM), and in float64 always.
+    """
+    dtype = np.float32 if n_tasks <= _FLOAT32_EXACT_TASK_LIMIT else np.float64
+    converted = indicator.astype(dtype)
+    return converted @ converted.T
 
 
 class DenseAgreementBackend:
@@ -108,11 +138,30 @@ class DenseAgreementBackend:
             labels = np.fromiter(responses.values(), dtype=np.int64, count=len(responses))
             self._attempts[worker, tasks] = True
             self._labels[worker, tasks] = labels
-        # Lazily-built derived caches (kept in sync by apply_response).
-        self._common: np.ndarray | None = None
-        self._agree: np.ndarray | None = None
+        self._init_caches()
+
+    def _init_caches(
+        self,
+        common_counts: np.ndarray | None = None,
+        agreement_counts: np.ndarray | None = None,
+    ) -> None:
+        """Reset every lazily-built derived cache.
+
+        Single source of truth for the cache attribute set — called by both
+        ``__init__`` and :meth:`from_arrays` (which builds instances via
+        ``__new__``), so a cache added here exists on shard-reconstructed
+        backends too.  Caches are kept in sync by :meth:`apply_response`.
+        """
+        self._common: np.ndarray | None = common_counts
+        self._agree: np.ndarray | None = agreement_counts
         self._packed: np.ndarray | None = None
         self._task_votes: np.ndarray | None = None
+        self._common_f64: np.ndarray | None = None
+        self._attempts_f32: np.ndarray | None = None
+        self._common_list: list[list[int]] | None = None
+        self._clamped_rates: dict[
+            float, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Construction / shape
@@ -122,6 +171,41 @@ class DenseAgreementBackend:
     def from_matrix(cls, matrix: ResponseMatrix) -> "DenseAgreementBackend":
         """Build a backend snapshot of ``matrix``."""
         return cls(matrix)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        attempts: np.ndarray,
+        labels: np.ndarray,
+        arity: int,
+        common_counts: np.ndarray | None = None,
+        agreement_counts: np.ndarray | None = None,
+    ) -> "DenseAgreementBackend":
+        """Wrap existing indicator/label arrays without copying them.
+
+        This is how shard worker processes reconstruct a backend over
+        read-only ``multiprocessing.shared_memory`` buffers: the parent
+        exports ``attempts``/``labels`` (and optionally the precomputed
+        count matrices, so shards do not redo the O(m^2 n) matmuls) and each
+        shard views them in place.  The arrays are adopted as-is; callers
+        must not mutate them while the backend is alive.
+        """
+        if attempts.ndim != 2 or attempts.shape != labels.shape:
+            raise DataValidationError(
+                "attempts and labels must be 2-D arrays of identical shape, "
+                f"got {attempts.shape} and {labels.shape}"
+            )
+        if arity < 2:
+            raise DataValidationError(f"arity must be at least 2, got {arity}")
+        self = cls.__new__(cls)
+        self._n_workers, self._n_tasks = attempts.shape
+        self._arity = arity
+        self._attempts = attempts
+        self._labels = labels
+        self._init_caches(
+            common_counts=common_counts, agreement_counts=agreement_counts
+        )
+        return self
 
     @property
     def n_workers(self) -> int:
@@ -143,8 +227,9 @@ class DenseAgreementBackend:
     def common_counts(self) -> np.ndarray:
         """The full ``(m, m)`` matrix of pairwise common-task counts ``c_ij``."""
         if self._common is None:
-            attempts = self._attempts.astype(np.float64)
-            self._common = np.rint(attempts @ attempts.T).astype(np.int64)
+            self._common = np.rint(
+                _indicator_product(self._attempts, self._n_tasks)
+            ).astype(np.int64)
         return self._common
 
     @property
@@ -153,8 +238,9 @@ class DenseAgreementBackend:
         if self._agree is None:
             agree = np.zeros((self._n_workers, self._n_workers), dtype=np.int64)
             for label in range(self._arity):
-                indicator = (self._labels == label).astype(np.float64)
-                agree += np.rint(indicator @ indicator.T).astype(np.int64)
+                agree += np.rint(
+                    _indicator_product(self._labels == label, self._n_tasks)
+                ).astype(np.int64)
             self._agree = agree
         return self._agree
 
@@ -163,6 +249,72 @@ class DenseAgreementBackend:
         if self._packed is None:
             self._packed = np.packbits(self._attempts, axis=1)
         return self._packed
+
+    @property
+    def common_counts_f64(self) -> np.ndarray:
+        """Float64 view of :attr:`common_counts` (exact; cached for slicing)."""
+        if self._common_f64 is None:
+            self._common_f64 = self.common_counts.astype(np.float64)
+        return self._common_f64
+
+    #: Cap on the float32 attempt-matrix cache: 4 bytes/cell, so this keeps
+    #: the extra footprint under ~128 MB even at the dense auto-limit.
+    _ATTEMPTS_F32_CELL_LIMIT = 2**25
+
+    #: Cap on the Python-list mirror of the pair-count matrix (~28 bytes per
+    #: int object; 1024^2 is ~30 MB).
+    _COMMON_LIST_WORKER_LIMIT = 1024
+
+    @property
+    def common_counts_list(self) -> list[list[int]] | None:
+        """Python-list mirror of :attr:`common_counts` for hot scalar scans.
+
+        The greedy pairing's partner scan reads single counts millions of
+        times per batch; plain-list indexing is several times cheaper than
+        NumPy scalar indexing.  ``None`` for worker counts too large to
+        mirror affordably (callers then scan the array directly).
+        """
+        if self._n_workers > self._COMMON_LIST_WORKER_LIMIT:
+            return None
+        if self._common_list is None:
+            self._common_list = self.common_counts.tolist()
+        return self._common_list
+
+    @property
+    def _attempts_as_f32(self) -> np.ndarray | None:
+        """Cached float32 attempt matrix (None when too large to cache)."""
+        if self._n_workers * self._n_tasks > self._ATTEMPTS_F32_CELL_LIMIT:
+            return None
+        if self._attempts_f32 is None:
+            self._attempts_f32 = self._attempts.astype(np.float32)
+        return self._attempts_f32
+
+    def clamped_rate_data(
+        self, clamp_margin: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rates, 2*rates - 1, clamp flags)`` for all pairs, cached.
+
+        ``rates`` applies exactly the elementwise sequence of
+        ``clamp_agreement`` to ``agreements / common``; pairs without common
+        tasks come out NaN (callers mask them).  The batched evaluation
+        stages read per-worker slices of these matrices, so the divisions,
+        clamps and ``2q - 1`` terms are computed once per batch instead of
+        once per evaluated worker.  Cached per margin and invalidated by
+        :meth:`apply_response`.
+        """
+        cached = self._clamped_rates.get(clamp_margin)
+        if cached is not None:
+            return cached
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = self.agreement_counts.astype(np.float64) / self.common_counts_f64
+        over = raw > 1.0
+        rates = np.where(over, 1.0, raw)
+        lower = 0.5 + clamp_margin
+        under = rates < lower
+        rates = np.where(under, lower, rates)
+        data = (rates, 2.0 * rates - 1.0, over | under)
+        self._clamped_rates[clamp_margin] = data
+        return data
 
     @property
     def task_votes(self) -> np.ndarray:
@@ -198,16 +350,22 @@ class DenseAgreementBackend:
         self._validate_workers(worker_a, worker_b, worker_c)
         packed = self._packed_rows
         joint = packed[worker_a] & packed[worker_b] & packed[worker_c]
-        return int(_POPCOUNT[joint].sum())
+        return int(_popcount(joint).sum())
 
     def triple_count_matrix(
-        self, worker: int, partners: Sequence[int] | np.ndarray
+        self,
+        worker: int,
+        partners: Sequence[int] | np.ndarray,
+        fast: bool = False,
     ) -> np.ndarray:
         """All ``c_{worker, x, y}`` for ``x, y`` in ``partners``, in one matmul.
 
         Returns a ``(len(partners), len(partners))`` float64 array of exact
         integer counts; entry ``[s, t]`` is the number of tasks attempted by
-        ``worker``, ``partners[s]`` and ``partners[t]`` alike.
+        ``worker``, ``partners[s]`` and ``partners[t]`` alike.  With
+        ``fast=True`` the product runs in float32 when the task count keeps
+        it exact (identical values, ~2x throughput); the default float64
+        path is preserved as the reference.
         """
         partner_index = np.asarray(partners, dtype=np.int64)
         self._validate_workers(worker)
@@ -215,10 +373,73 @@ class DenseAgreementBackend:
             partner_index.min() < 0 or partner_index.max() >= self._n_workers
         ):
             raise DataValidationError("partner id out of range")
-        masked = (self._attempts[partner_index] & self._attempts[worker]).astype(
-            np.float64
-        )
-        return masked @ masked.T
+        if fast and self._n_tasks <= _FLOAT32_EXACT_TASK_LIMIT:
+            attempts_f32 = self._attempts_as_f32
+            if attempts_f32 is not None and partner_index.size >= 0.75 * self._n_workers:
+                # Dense partner sets (the evaluate_all case: every other
+                # worker): mask the whole matrix with one contiguous 0/1
+                # multiply (== AND), run the full symmetric product, and
+                # gather the requested grid — cheaper than fancy-copying
+                # the partner rows first.
+                masked = attempts_f32 * attempts_f32[worker]
+                full = masked @ masked.T
+                return full[np.ix_(partner_index, partner_index)].astype(np.float64)
+            if attempts_f32 is not None:
+                product = attempts_f32[partner_index] * attempts_f32[worker]
+            else:
+                product = (
+                    self._attempts[partner_index] & self._attempts[worker]
+                ).astype(np.float32)
+            return (product @ product.T).astype(np.float64)
+        masked = self._attempts[partner_index] & self._attempts[worker]
+        converted = masked.astype(np.float64)
+        return converted @ converted.T
+
+    def triple_common_counts(
+        self,
+        worker: int | np.ndarray,
+        partners_a: Sequence[int] | np.ndarray,
+        partners_b: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """``c_{w_t, a_t, b_t}`` for aligned triple arrays, in one pass.
+
+        Unlike :meth:`triple_count_matrix` (which produces the full partner
+        grid for the Lemma-4 assembly), this evaluates only the ``l``
+        requested triples — one AND + popcount over the packed bitset rows
+        per triple, vectorized across the whole batch.  This is what the
+        batched per-triple stage consumes: one count per formed triple.
+        ``worker`` may be a single id shared by every triple, or an array
+        aligned with the partner arrays (the cross-worker batch of
+        ``evaluate_all``).
+        """
+        a_index = np.asarray(partners_a, dtype=np.int64)
+        b_index = np.asarray(partners_b, dtype=np.int64)
+        if a_index.shape != b_index.shape:
+            raise DataValidationError(
+                "partners_a and partners_b must have identical shapes"
+            )
+        for index in (a_index, b_index):
+            if index.size and (index.min() < 0 or index.max() >= self._n_workers):
+                raise DataValidationError("partner id out of range")
+        packed = self._packed_rows
+        if np.ndim(worker) == 0:
+            self._validate_workers(int(worker))
+            worker_rows = packed[int(worker)][None, :]
+        else:
+            worker_index = np.asarray(worker, dtype=np.int64)
+            if worker_index.shape != a_index.shape:
+                raise DataValidationError(
+                    "a worker array must align with the partner arrays"
+                )
+            if worker_index.size and (
+                worker_index.min() < 0 or worker_index.max() >= self._n_workers
+            ):
+                raise DataValidationError("worker id out of range")
+            worker_rows = packed[worker_index]
+        if a_index.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        joint = worker_rows & packed[a_index] & packed[b_index]
+        return _popcount(joint).sum(axis=1, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Algorithm A3 count tensor
@@ -310,6 +531,11 @@ class DenseAgreementBackend:
             raise DataValidationError(f"label {label} out of range")
         if previous_label is not None and int(previous_label) == int(label):
             return
+        # Derived read-only caches become stale the moment a count changes.
+        self._common_f64 = None
+        self._attempts_f32 = None
+        self._common_list = None
+        self._clamped_rates.clear()
         co_attempters = np.nonzero(self._attempts[:, task])[0]
         co_attempters = co_attempters[co_attempters != worker]
         their_labels = self._labels[co_attempters, task].astype(np.int64)

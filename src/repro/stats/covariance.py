@@ -84,7 +84,18 @@ def regularize_covariance(matrix: np.ndarray, ridge: float = 1e-12) -> np.ndarra
     The ridge keeps the matrix invertible for Lemma 5's weight computation
     even when two triples carry identical information (perfectly correlated
     estimates).
+
+    A Cholesky factorization is attempted first: when it succeeds the
+    symmetrized matrix is already positive definite, the PSD projection
+    would be the identity, and the (much more expensive) eigendecomposition
+    — plus its reconstruction round-off — is skipped.  Only matrices the
+    factorization rejects go through the Higham-style repair.
     """
-    repaired = nearest_positive_semidefinite(matrix)
-    n = repaired.shape[0]
-    return repaired + ridge * np.eye(n)
+    matrix = np.asarray(matrix, dtype=float)
+    sym = 0.5 * (matrix + matrix.T)
+    n = sym.shape[0]
+    try:
+        np.linalg.cholesky(sym)
+    except np.linalg.LinAlgError:
+        sym = nearest_positive_semidefinite(sym)
+    return sym + ridge * np.eye(n)

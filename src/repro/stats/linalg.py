@@ -20,7 +20,48 @@ __all__ = [
     "matrix_inverse_sqrt",
     "align_rows_to_diagonal",
     "optimal_min_variance_weights",
+    "quadratic_form_3",
+    "batched_quadratic_form_3",
 ]
+
+
+def quadratic_form_3(gradient: np.ndarray, covariance: np.ndarray) -> float:
+    """``g^T C g`` for a 3-vector, with a pinned summation order.
+
+    The nine terms ``(g_i * g_j) * C_ij`` are accumulated row-major.  The
+    order is part of the contract: :func:`batched_quadratic_form_3` replays
+    the identical sequence of IEEE operations elementwise over a stack of
+    systems, which is what lets the batched per-triple evaluation produce
+    bit-identical deviations to the scalar 3-worker procedure.  (A BLAS
+    ``g @ C @ g`` may associate the sum differently and drift in the last
+    ulp.)
+    """
+    total = 0.0
+    for i in range(3):
+        g_i = float(gradient[i])
+        for j in range(3):
+            total += (g_i * float(gradient[j])) * float(covariance[i, j])
+    return total
+
+
+def batched_quadratic_form_3(
+    gradients: np.ndarray, covariances: np.ndarray
+) -> np.ndarray:
+    """``g_t^T C_t g_t`` for a stack of 3-vector systems, one value per row.
+
+    ``gradients`` has shape ``(l, 3)`` and ``covariances`` ``(l, 3, 3)``.
+    Accumulates the nine products row-major exactly like
+    :func:`quadratic_form_3`, so each output element is bit-identical to the
+    scalar helper applied to the corresponding slice.
+    """
+    gradients = np.asarray(gradients, dtype=float)
+    covariances = np.asarray(covariances, dtype=float)
+    total = np.zeros(gradients.shape[0])
+    for i in range(3):
+        g_i = gradients[:, i]
+        for j in range(3):
+            total = total + (g_i * gradients[:, j]) * covariances[:, i, j]
+    return total
 
 
 def safe_inverse(matrix: np.ndarray, ridge: float = 1e-10) -> np.ndarray:
@@ -131,7 +172,14 @@ def optimal_min_variance_weights(covariance: np.ndarray) -> np.ndarray:
     if n == 1:
         return np.array([1.0])
     ones = np.ones(n)
-    b = safe_inverse(covariance) @ ones
+    # C^{-1} 1 via a direct solve (one LU pass); the explicit inverse is the
+    # fallback so near-singular matrices still get the ridge treatment.
+    try:
+        b = np.linalg.solve(covariance, ones)
+    except np.linalg.LinAlgError:
+        b = safe_inverse(covariance) @ ones
+    if not np.all(np.isfinite(b)):
+        b = safe_inverse(covariance) @ ones
     norm = float(np.sum(np.abs(b)))
     if norm <= 0.0 or not np.isfinite(norm):
         # Fall back to uniform weights when the covariance is too ill-behaved

@@ -1,0 +1,242 @@
+"""Cross-backend differential suite: every fast path must be bit-identical.
+
+The library promises that its performance knobs never change results: the
+``backend=`` choice (dict-of-dicts vs dense NumPy), the batched per-triple
+stage (``batch_triples=``) and process sharding (``shards=``) are throughput
+features only.  This suite enforces the promise end to end — every public
+entry point is run under every applicable execution path on randomized
+regular and non-regular matrices, and the produced intervals, weights and
+statuses are compared for *exact* floating-point equality against the
+original dict-of-dicts reference.
+
+Any future fast path should be added to :data:`EVALUATE_ALL_PATHS` (or the
+entry-point-specific lists below) to inherit the same lockdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.kary import KaryEstimator
+from repro.core.m_worker import MWorkerEstimator
+from repro.core.spammer_filter import filter_spammers
+from repro.core.three_worker import evaluate_three_workers
+from repro.data.response_matrix import ResponseMatrix
+
+# --------------------------------------------------------------------------- #
+# Matrix generators
+# --------------------------------------------------------------------------- #
+
+
+def random_matrix(
+    seed: int,
+    n_workers: int,
+    n_tasks: int,
+    arity: int = 2,
+    regular: bool = False,
+    spammers: int = 0,
+) -> ResponseMatrix:
+    """Randomized response matrix with controllable regularity.
+
+    Regular data: every worker answers every task.  Non-regular data: each
+    worker answers a random subset (with densities drawn per worker, so
+    overlaps vary widely).  ``spammers`` workers answer uniformly at random
+    regardless of the planted truth.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+    truth = rng.integers(0, arity, size=n_tasks)
+    error_rates = rng.uniform(0.05, 0.35, size=n_workers)
+    densities = (
+        np.ones(n_workers)
+        if regular
+        else rng.uniform(0.35, 0.95, size=n_workers)
+    )
+    for worker in range(n_workers):
+        attempted = rng.random(n_tasks) < densities[worker]
+        for task in np.nonzero(attempted)[0]:
+            task = int(task)
+            if worker < spammers:
+                label = int(rng.integers(0, arity))
+            elif rng.random() < error_rates[worker]:
+                label = int((truth[task] + 1 + rng.integers(0, arity - 1)) % arity)
+            else:
+                label = int(truth[task])
+            matrix.add_response(worker, task, label)
+    return matrix
+
+
+MATRIX_CASES = [
+    # (seed, n_workers, n_tasks, regular)
+    (101, 8, 60, True),
+    (102, 11, 45, True),
+    (103, 9, 70, False),
+    (104, 14, 40, False),
+    (105, 7, 90, False),
+]
+
+# --------------------------------------------------------------------------- #
+# Execution paths and equality helpers
+# --------------------------------------------------------------------------- #
+
+#: Execution paths for binary batch evaluation.  "dict" is the reference the
+#: others are compared against.
+EVALUATE_ALL_PATHS: dict[str, dict] = {
+    "dict": {"backend": "dict"},
+    "dense-scalar": {"backend": "dense", "batch_triples": False},
+    "dense-batched": {"backend": "dense", "batch_triples": True},
+    "sharded": {"backend": "dense", "batch_triples": True, "shards": 2},
+}
+
+
+def assert_estimates_bit_identical(reference, candidate, path: str) -> None:
+    assert candidate.worker == reference.worker, path
+    assert candidate.n_tasks == reference.n_tasks, path
+    assert candidate.interval.mean == reference.interval.mean, path
+    assert candidate.interval.lower == reference.interval.lower, path
+    assert candidate.interval.upper == reference.interval.upper, path
+    assert candidate.interval.deviation == reference.interval.deviation, path
+    assert candidate.weights == reference.weights, path
+    assert candidate.status is reference.status, path
+    assert len(candidate.triples) == len(reference.triples), path
+    for triple_a, triple_b in zip(reference.triples, candidate.triples):
+        assert triple_b.partners == triple_a.partners, path
+        assert triple_b.error_rate == triple_a.error_rate, path
+        assert triple_b.deviation == triple_a.deviation, path
+        assert triple_b.derivatives == triple_a.derivatives, path
+        assert triple_b.status is triple_a.status, path
+
+
+# --------------------------------------------------------------------------- #
+# evaluate_all under every path
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed,m,n,regular", MATRIX_CASES)
+@pytest.mark.parametrize("optimize_weights", [True, False])
+def test_evaluate_all_paths_bit_identical(seed, m, n, regular, optimize_weights):
+    matrix = random_matrix(seed, m, n, regular=regular)
+    reference = MWorkerEstimator(
+        confidence=0.9, optimize_weights=optimize_weights, **EVALUATE_ALL_PATHS["dict"]
+    ).evaluate_all(matrix)
+    # The process-pool path is slow to spin up; exercise it on a subset of
+    # the grid (one regular and one non-regular matrix) and the in-process
+    # paths everywhere.
+    shard_this_case = optimize_weights and seed in (101, 104)
+    for path, config in EVALUATE_ALL_PATHS.items():
+        if path == "dict" or (path == "sharded" and not shard_this_case):
+            continue
+        candidate = MWorkerEstimator(
+            confidence=0.9, optimize_weights=optimize_weights, **config
+        ).evaluate_all(matrix)
+        assert len(candidate) == len(reference) == m, path
+        for ref, cand in zip(reference, candidate):
+            assert_estimates_bit_identical(ref, cand, path)
+
+
+def test_evaluate_all_sparse_degenerate_paths_bit_identical():
+    """Workers with 0/1 usable partners and empty rows across all paths."""
+    matrix = random_matrix(106, 10, 30, regular=False)
+    # Add a silent worker and a worker overlapping almost nobody.
+    sparse = ResponseMatrix(n_workers=12, n_tasks=31, arity=2)
+    for worker, task, label in matrix.iter_responses():
+        sparse.add_response(worker, task, label)
+    sparse.add_response(10, 30, 1)  # answers only a task nobody else did
+    reference = MWorkerEstimator(confidence=0.85, backend="dict").evaluate_all(sparse)
+    for path, config in EVALUATE_ALL_PATHS.items():
+        if path == "dict":
+            continue
+        candidate = MWorkerEstimator(confidence=0.85, **config).evaluate_all(sparse)
+        for ref, cand in zip(reference, candidate):
+            assert_estimates_bit_identical(ref, cand, path)
+
+
+# --------------------------------------------------------------------------- #
+# evaluate_three_workers (Algorithm A1)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed,regular", [(201, True), (202, False), (203, False)])
+def test_three_worker_paths_bit_identical(seed, regular):
+    matrix = random_matrix(seed, 3, 80, regular=regular)
+    reference = evaluate_three_workers(matrix, confidence=0.9, backend="dict")
+    candidate = evaluate_three_workers(matrix, confidence=0.9, backend="dense")
+    for ref, cand in zip(reference, candidate):
+        assert_estimates_bit_identical(ref, cand, "dense")
+
+
+# --------------------------------------------------------------------------- #
+# filter_spammers
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed,regular", [(301, True), (302, False)])
+def test_filter_spammers_paths_identical(seed, regular):
+    matrix = random_matrix(seed, 10, 50, regular=regular, spammers=3)
+    reference = filter_spammers(matrix, backend="dict")
+    candidate = filter_spammers(matrix, backend="dense")
+    assert candidate.kept_workers == reference.kept_workers
+    assert candidate.removed_workers == reference.removed_workers
+    assert candidate.approximate_error_rates == reference.approximate_error_rates
+    assert candidate.filtered == reference.filtered
+
+
+# --------------------------------------------------------------------------- #
+# k-ary estimation (Algorithm A3)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed,arity,regular", [(401, 3, True), (402, 4, False)])
+def test_kary_paths_bit_identical(seed, arity, regular):
+    matrix = random_matrix(seed, 5, 150, arity=arity, regular=regular)
+    reference = KaryEstimator(confidence=0.9, backend="dict").evaluate(
+        matrix, workers=(0, 1, 2)
+    )
+    candidate = KaryEstimator(confidence=0.9, backend="dense").evaluate(
+        matrix, workers=(0, 1, 2)
+    )
+    for ref, cand in zip(reference, candidate):
+        assert cand.worker == ref.worker
+        assert cand.status is ref.status
+        assert set(cand.entries) == set(ref.entries)
+        for key, entry in ref.entries.items():
+            other = cand.entries[key]
+            assert other.interval.mean == entry.interval.mean
+            assert other.interval.lower == entry.interval.lower
+            assert other.interval.upper == entry.interval.upper
+            assert other.interval.deviation == entry.interval.deviation
+
+
+# --------------------------------------------------------------------------- #
+# Incremental evaluation
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ["dict", "dense"])
+@pytest.mark.parametrize("seed,regular", [(501, True), (502, False)])
+def test_incremental_matches_dict_reference(backend, seed, regular):
+    """Streamed estimates equal the dict-backend batch reference exactly.
+
+    This pins two properties at once: the incremental evaluator equals a
+    fresh batch run over the accumulated data, and that batch run is itself
+    backend-independent (the dense incremental path goes through the batched
+    triple stage).
+    """
+    matrix = random_matrix(seed, 8, 45, regular=regular)
+    incremental = IncrementalEvaluator(
+        matrix.n_workers, matrix.n_tasks, confidence=0.9, backend=backend
+    )
+    records = list(matrix.iter_responses())
+    split = len(records) // 2
+    incremental.add_responses(records[:split])
+    incremental.estimate_all()  # warm the cache mid-stream
+    incremental.add_responses(records[split:])
+    streamed = incremental.estimate_all()
+    reference = MWorkerEstimator(confidence=0.9, backend="dict").evaluate_all(matrix)
+    for ref in reference:
+        if ref.n_tasks == 0:
+            assert ref.worker not in streamed
+            continue
+        assert_estimates_bit_identical(ref, streamed[ref.worker], backend)

@@ -30,6 +30,7 @@ class TestParser:
         args = build_parser().parse_args(["evaluate", "file.csv"])
         assert args.confidence == 0.9
         assert not args.remove_spammers
+        assert args.shards == 1
 
     def test_figure_choices_cover_all_paper_figures(self):
         assert set(FIGURE_FUNCTIONS) == {
@@ -47,6 +48,23 @@ class TestEvaluateCommand:
         output = capsys.readouterr().out
         assert "worker" in output and "point" in output
         assert len(output.splitlines()) >= 6
+
+    def test_evaluate_with_shards_flag(self, csv_dataset, capsys):
+        # 4 workers with --shards 8 exercises the serial-fallback guard end
+        # to end: same table, no pool, no hang.
+        responses, gold = csv_dataset
+        exit_code = main(
+            ["evaluate", str(responses), "--gold", str(gold), "--shards", "8"]
+        )
+        assert exit_code == 0
+        sharded_output = capsys.readouterr().out
+        assert main(["evaluate", str(responses), "--gold", str(gold)]) == 0
+        assert capsys.readouterr().out == sharded_output
+
+    def test_evaluate_rejects_bad_shards(self, csv_dataset, capsys):
+        responses, _ = csv_dataset
+        assert main(["evaluate", str(responses), "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
 
     def test_evaluate_with_label_inference(self, csv_dataset, capsys):
         responses, gold = csv_dataset

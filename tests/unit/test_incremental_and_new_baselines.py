@@ -107,6 +107,53 @@ class TestIncrementalEvaluator:
             assert estimate.weights == expected.weights
             assert estimate.status is expected.status
 
+    def test_streaming_fuzz_random_interleavings_match_fresh_batch(self):
+        """Seeded fuzz: arbitrary interleavings of ingestion and queries.
+
+        For each seed, a random non-regular stream — including label
+        overwrites and re-affirmed duplicates — is ingested with queries
+        fired at random points.  Every served interval must equal a fresh
+        batch run over the data accumulated so far, on both statistics
+        backends (the dense half exercises the delta-updated backend and
+        the batched triple stage; the dict half the lazy caches).
+        """
+        n_seeds = 50
+        for seed in range(n_seeds):
+            backend = "dense" if seed % 2 else "dict"
+            fuzz = np.random.default_rng(seed)
+            n_workers = int(fuzz.integers(4, 8))
+            n_tasks = int(fuzz.integers(12, 30))
+            incremental = IncrementalEvaluator(
+                n_workers, n_tasks, confidence=0.9, backend=backend
+            )
+            n_events = int(fuzz.integers(30, 90))
+            query_points = set(
+                int(q) for q in fuzz.integers(5, n_events, size=3)
+            ) | {n_events - 1}
+            for step in range(n_events):
+                worker = int(fuzz.integers(0, n_workers))
+                task = int(fuzz.integers(0, n_tasks))
+                label = int(fuzz.integers(0, 2))
+                incremental.add_response(worker, task, label)
+                if step in query_points:
+                    streamed = incremental.estimate_all()
+                    batch = MWorkerEstimator(
+                        confidence=0.9, backend=backend
+                    ).evaluate_all(incremental.matrix)
+                    for estimate in batch:
+                        if estimate.n_tasks == 0:
+                            assert estimate.worker not in streamed, seed
+                            continue
+                        served = streamed[estimate.worker]
+                        assert served.interval.mean == estimate.interval.mean, seed
+                        assert served.interval.lower == estimate.interval.lower, seed
+                        assert served.interval.upper == estimate.interval.upper, seed
+                        assert (
+                            served.interval.deviation == estimate.interval.deviation
+                        ), seed
+                        assert served.weights == estimate.weights, seed
+                        assert served.status is estimate.status, seed
+
     def test_estimates_improve_as_data_arrives(self, rng):
         population = BinaryWorkerPopulation(error_rates=np.array([0.1, 0.2, 0.3]))
         early_matrix = population.generate(30, rng)
