@@ -4,14 +4,17 @@ Times ``MWorkerEstimator.evaluate_all`` on a non-regular binary matrix under
 every execution path, verifies all paths return bit-identical intervals, and
 reports the speedups:
 
-* ``dict``          — the original dict-of-dicts statistics (pure Python);
-* ``dense_scalar``  — vectorized statistics, sequential per-triple loop
+* ``dict``           — the original dict-of-dicts statistics (pure Python);
+* ``dense_scalar``   — vectorized statistics, sequential per-triple loop
   (the fast path introduced by PR 1);
-* ``dense_batched`` — vectorized statistics plus the batched per-triple
-  stage (all of a worker's triples in one NumPy pass);
-* ``sharded``       — the batched path partitioned across a process pool
-  over shared-memory statistics arrays (``--shards``; wall-clock wins need
-  actual cores, so this mainly tracks the orchestration overhead on CI).
+* ``dense_batched``  — vectorized statistics plus the batched per-triple
+  stage (all of a worker's triples in one NumPy pass; the PR 2 path);
+* ``batched_lemma4`` — the batched triple stage plus the grouped Lemma-4/5
+  aggregation (triple-count tensor, stacked covariance grids, one batched
+  solve per group);
+* ``sharded``        — the fully batched path partitioned across a process
+  pool over shared-memory statistics arrays (``--shards``; wall-clock wins
+  need actual cores, so this mainly tracks the orchestration overhead on CI).
 
 The headline configuration (200 workers x 2000 tasks, density 0.6) is where
 the per-worker Python overhead dominates once the statistics are dense.
@@ -22,9 +25,13 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scaling_agreement.py --smoke  # CI
 
 The results are written to ``BENCH_agreement.json`` (override with
-``--output``) so the performance trajectory can be tracked across PRs; the
-pre-existing ``legacy_seconds``/``dense_seconds``/``speedup`` keys are kept
-(``dense_seconds`` now reports the best in-process dense path).
+``--output``) and *appended* to the file's dated ``trajectory`` list, so the
+performance trend is tracked across commits; a warn-only trend gate compares
+the new run's fully-batched timing against the most recent comparable
+trajectory entry and prints a ``PERF WARNING`` when it regresses beyond the
+tolerance (``--trend-tolerance``).  The pre-existing ``legacy_seconds``/
+``dense_seconds``/``speedup`` keys are kept (``dense_seconds`` reports the
+best in-process dense path).
 """
 
 from __future__ import annotations
@@ -39,6 +46,10 @@ import numpy as np
 
 from repro.core.m_worker import MWorkerEstimator
 from repro.simulation.binary import simulate_binary_responses
+
+#: The headline path of the current PR; trajectory entries and the trend
+#: gate key off it (falling back to ``dense_batched`` for older entries).
+HEADLINE_PATH = "batched_lemma4"
 
 
 def _identical(a, b) -> bool:
@@ -56,12 +67,20 @@ def _paths(shards: int, skip_dict: bool) -> dict[str, dict]:
     paths = {}
     if not skip_dict:
         paths["dict"] = {"backend": "dict"}
-    paths["dense_scalar"] = {"backend": "dense", "batch_triples": False}
-    paths["dense_batched"] = {"backend": "dense", "batch_triples": True}
+    paths["dense_scalar"] = {
+        "backend": "dense", "batch_triples": False, "batch_lemma4": False,
+    }
+    paths["dense_batched"] = {
+        "backend": "dense", "batch_triples": True, "batch_lemma4": False,
+    }
+    paths["batched_lemma4"] = {
+        "backend": "dense", "batch_triples": True, "batch_lemma4": True,
+    }
     if shards > 1:
         paths["sharded"] = {
             "backend": "dense",
             "batch_triples": True,
+            "batch_lemma4": True,
             "shards": shards,
         }
     return paths
@@ -113,8 +132,14 @@ def run(
         if seconds["dense_batched"] > 0
         else float("inf")
     )
+    lemma4_speedup = (
+        seconds["dense_batched"] / seconds[HEADLINE_PATH]
+        if seconds[HEADLINE_PATH] > 0
+        else float("inf")
+    )
     print(
         f"batched-triple speedup over dense_scalar: {batched_speedup:.1f}x   "
+        f"grouped-Lemma-4 speedup over dense_batched: {lemma4_speedup:.2f}x   "
         f"bit-identical across all paths: {identical}"
     )
     result = {
@@ -125,19 +150,97 @@ def run(
         "seed": seed,
         "path_seconds": seconds,
         "batched_speedup": batched_speedup,
+        "lemma4_speedup": lemma4_speedup,
         "bit_identical": identical,
         # Trajectory-compatible keys (PR 1 recorded dict vs best-dense).
-        "dense_seconds": seconds["dense_batched"],
+        "dense_seconds": seconds[HEADLINE_PATH],
     }
     if "dict" in seconds:
         result["legacy_seconds"] = seconds["dict"]
         result["speedup"] = (
-            seconds["dict"] / seconds["dense_batched"]
-            if seconds["dense_batched"] > 0
+            seconds["dict"] / seconds[HEADLINE_PATH]
+            if seconds[HEADLINE_PATH] > 0
             else float("inf")
         )
-        print(f"overall dict -> dense_batched speedup: {result['speedup']:.1f}x")
+        print(f"overall dict -> {HEADLINE_PATH} speedup: {result['speedup']:.1f}x")
     return result
+
+
+def _headline_seconds(entry: dict) -> float | None:
+    """The fully-batched path timing of one result/trajectory entry."""
+    path_seconds = entry.get("path_seconds", {})
+    for key in (HEADLINE_PATH, "dense_batched"):
+        if key in path_seconds:
+            return float(path_seconds[key])
+    if "dense_seconds" in entry:
+        return float(entry["dense_seconds"])
+    return None
+
+
+def _comparable(entry: dict, result: dict) -> bool:
+    return (
+        entry.get("n_workers") == result["n_workers"]
+        and entry.get("n_tasks") == result["n_tasks"]
+        and entry.get("density") == result["density"]
+    )
+
+
+def load_trajectory(output_path: str, result: dict) -> list[dict]:
+    """Previous trajectory entries from the committed benchmark file.
+
+    A pre-trajectory file (PR 1/2 format: one flat result object) is
+    adopted as the first entry so the trend has a baseline from day one.
+    """
+    try:
+        with open(output_path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    trajectory = previous.get("trajectory")
+    if trajectory is None:
+        legacy = {
+            key: value for key, value in previous.items() if key != "trajectory"
+        }
+        legacy.setdefault("date", "pre-trajectory")
+        trajectory = [legacy]
+    return list(trajectory)
+
+
+def check_trend(
+    trajectory: list[dict], result: dict, tolerance: float
+) -> str | None:
+    """Warn-only perf-trend gate: compare against the newest comparable entry.
+
+    Returns the warning message (already printed) when the fully-batched
+    timing regressed beyond ``tolerance`` relative to the baseline, else
+    None.  Never fails the run — timings on shared CI hosts are noisy; the
+    warning makes regressions visible in logs and in the committed file.
+    """
+    current = _headline_seconds(result)
+    if current is None:
+        return None
+    for entry in reversed(trajectory):
+        if not _comparable(entry, result):
+            continue
+        baseline = _headline_seconds(entry)
+        if baseline is None or baseline <= 0:
+            continue
+        ratio = current / baseline
+        if ratio > tolerance:
+            message = (
+                f"PERF WARNING: {HEADLINE_PATH} path took {current:.3f}s vs "
+                f"baseline {baseline:.3f}s ({ratio:.2f}x, tolerance "
+                f"{tolerance:.2f}x) from {entry.get('date', 'unknown date')}"
+            )
+            print(message, file=sys.stderr)
+            return message
+        print(
+            f"perf trend ok: {current:.3f}s vs baseline {baseline:.3f}s "
+            f"({ratio:.2f}x <= {tolerance:.2f}x tolerance)"
+        )
+        return None
+    print("perf trend: no comparable baseline entry yet")
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,6 +286,20 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless the dense_scalar -> dense_batched speedup "
         "reaches this factor",
     )
+    parser.add_argument(
+        "--min-lemma4-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless the dense_batched -> batched_lemma4 "
+        "speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--trend-tolerance",
+        type=float,
+        default=1.25,
+        help="warn (never fail) when the fully-batched timing exceeds the "
+        "last comparable trajectory entry by more than this factor",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.workers, args.tasks = 40, 400
@@ -198,10 +315,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     result["python"] = platform.python_version()
     result["smoke"] = args.smoke
+    result["date"] = time.strftime("%Y-%m-%d")
+
+    trajectory = load_trajectory(args.output, result)
+    warning = check_trend(
+        [entry for entry in trajectory if entry.get("smoke") == args.smoke],
+        result,
+        args.trend_tolerance,
+    )
+    if warning is not None:
+        result["trend_warning"] = warning
+    trajectory.append(dict(result))
+    result["trajectory"] = trajectory
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} ({len(trajectory)} trajectory entries)")
 
     if not result["bit_identical"]:
         print("FAIL: execution paths disagree", file=sys.stderr)
@@ -224,6 +353,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: batched speedup {result['batched_speedup']:.1f}x below "
             f"required {args.min_batched_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_lemma4_speedup is not None
+        and result["lemma4_speedup"] < args.min_lemma4_speedup
+    ):
+        print(
+            f"FAIL: grouped-Lemma-4 speedup {result['lemma4_speedup']:.2f}x "
+            f"below required {args.min_lemma4_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1

@@ -100,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         "statistics (default 1 = in-process; results are identical; falls "
         "back to serial for tiny matrices or the dict backend)",
     )
+    evaluate.add_argument(
+        "--no-batch-triples",
+        action="store_true",
+        help="disable the vectorized per-triple stage (results are "
+        "identical; the knob pins the slower path for debugging/benchmarks)",
+    )
+    evaluate.add_argument(
+        "--no-batch-lemma4",
+        action="store_true",
+        help="disable the cross-worker batched Lemma-4/5 aggregation "
+        "(results are identical; pins the per-worker aggregation path)",
+    )
 
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
@@ -136,6 +148,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         confidence=args.confidence,
         remove_spammers=args.remove_spammers,
         backend=args.backend,
+        batch_triples=not args.no_batch_triples,
+        batch_lemma4=not args.no_batch_lemma4,
         shards=args.shards,
     )
     if not matrix.is_binary:

@@ -295,6 +295,23 @@ class AgreementStatistics:
             self.backend.triple_count_matrix(worker, partners, fast=True),
         )
 
+    def lemma4_group_inputs(
+        self, clamp_margin: float
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Whole-matrix inputs for the grouped Lemma-4 aggregation, or None.
+
+        Returns ``(common_counts_f64, partner_2q_minus_1)`` — the full
+        ``(m, m)`` pair-count and pre-clamped ``2q - 1`` matrices the
+        grouped fast path slices per worker (triple counts come from
+        :meth:`DenseAgreementBackend.triple_count_grid_full`).  ``None``
+        under the same conditions as :meth:`lemma4_inputs` (no dense
+        backend, or an observer needs per-read dependency records).
+        """
+        if self.backend is None or self.observer is not None:
+            return None
+        _, two_q_minus_1, _ = self.backend.clamped_rate_data(clamp_margin)
+        return (self.backend.common_counts_f64, two_q_minus_1)
+
     def triple_stage_inputs_fast(
         self,
         worker: int | np.ndarray,

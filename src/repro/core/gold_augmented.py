@@ -40,7 +40,10 @@ def combine_estimates(
     """Inverse-variance combination of an agreement-based and a gold-based estimate.
 
     Either input may be missing or degenerate, in which case the other one is
-    returned (re-leveled to ``confidence``).
+    returned (re-leveled to ``confidence``).  When *both* sources are
+    degenerate the agreement estimate is preferred — it carries the
+    ``triples``/``weights`` provenance — and its interval is still re-leveled
+    to the requested ``confidence``, keeping the degenerate status.
     """
     usable_agreement = (
         agreement_estimate is not None
@@ -52,10 +55,12 @@ def combine_estimates(
         and gold_estimate.status is not EstimateStatus.DEGENERATE
         and gold_estimate.interval.deviation > 0.0
     )
-    if not usable_agreement and not usable_gold:
-        return agreement_estimate if gold_estimate is None else gold_estimate
-    if usable_agreement and not usable_gold:
-        source = agreement_estimate
+    if not usable_gold:
+        # Single-source result: the agreement estimate when present (whether
+        # usable or merely degenerate — it carries the triples/weights
+        # provenance), else whatever gold evidence exists, re-leveled either
+        # way.
+        source = agreement_estimate if agreement_estimate is not None else gold_estimate
         interval = confidence_interval_from_moments(
             source.interval.mean, source.interval.deviation, confidence
         )
@@ -118,11 +123,21 @@ class GoldAugmentedEvaluator:
         Passed through to the agreement-based m-worker estimator.
     gold_method:
         Which gold-based interval to use (``"wilson"`` or ``"wald"``).
+    backend, batch_triples, batch_lemma4, shards:
+        Fast-path knobs passed through to the inner
+        :class:`~repro.core.m_worker.MWorkerEstimator`, so the fused
+        evaluator rides the same vectorized/batched/sharded paths as plain
+        batch evaluation.  Throughput only — fused intervals are
+        bit-identical across all settings.
     """
 
     confidence: float = 0.95
     optimize_weights: bool = True
     gold_method: str = "wilson"
+    backend: str = "auto"
+    batch_triples: bool = True
+    batch_lemma4: bool = True
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -141,7 +156,12 @@ class GoldAugmentedEvaluator:
         if matrix.n_workers < 3:
             raise InsufficientDataError("at least 3 workers are required")
         agreement_estimates = MWorkerEstimator(
-            confidence=self.confidence, optimize_weights=self.optimize_weights
+            confidence=self.confidence,
+            optimize_weights=self.optimize_weights,
+            backend=self.backend,
+            batch_triples=self.batch_triples,
+            batch_lemma4=self.batch_lemma4,
+            shards=self.shards,
         ).evaluate_all(matrix)
         gold_estimates: dict[int, WorkerErrorEstimate] = {}
         if matrix.has_gold:

@@ -213,7 +213,17 @@ class IncrementalEvaluator:
         return set(self._dirty)
 
     def extend_tasks(self, additional_tasks: int) -> None:
-        """Grow the task space (e.g. when a new batch of tasks is published)."""
+        """Grow the task space (e.g. when a new batch of tasks is published).
+
+        Cached estimates stay valid: the added tasks carry no responses, so
+        no statistic any cached computation read has changed.  Under
+        ``backend="auto"`` the rebuild re-resolves against the grown cell
+        count and may flip the evaluator from the dense to the dict path
+        mid-stream; that only affects throughput — backends are
+        bit-identical by contract, and the threshold-crossing regression
+        test in ``tests/unit/test_incremental_and_new_baselines.py`` pins
+        that served intervals still equal a fresh batch run.
+        """
         if additional_tasks <= 0:
             raise ConfigurationError(
                 f"additional_tasks must be positive, got {additional_tasks}"

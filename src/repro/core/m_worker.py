@@ -16,21 +16,26 @@ Step 3 is the batch-evaluation hot path: with ``l ~ m/2`` triples per worker
 it assembles an ``l x l`` covariance whose every entry needs a triple count
 ``c_{i,j,j'}`` and a partner agreement rate, i.e. O(m^3) Lemma-4 terms over
 all workers.  When the agreement statistics carry a dense backend (see
-:mod:`repro.data.dense_backend`), the assembly is vectorized: one masked
-matrix product per worker produces every needed triple count and the whole
-term grid is evaluated with NumPy elementwise arithmetic that replicates the
-scalar code's floating-point operation order exactly, so both paths return
-bit-identical intervals.  Step 2 is batched the same way
-(:func:`~repro.core.three_worker.evaluate_triples_batched` evaluates all of
-a worker's triples in one vectorized pass), and ``evaluate_all`` can
-additionally be sharded across processes over shared-memory statistics
-arrays (``shards=``; see :class:`MWorkerEstimator` for the determinism
-contract).  The scalar loops are kept as the reference (and the fallback
-for the dict backend and for degenerate pairings).
+:mod:`repro.data.dense_backend`), the assembly is vectorized: the triple
+counts come from the backend's cached triple-count tensor (or one masked
+matrix product per worker) and the whole term grid is evaluated with NumPy
+elementwise arithmetic that replicates the scalar code's floating-point
+operation order exactly, so both paths return bit-identical intervals.
+During ``evaluate_all`` the aggregation is additionally batched *across*
+workers (``batch_lemma4=``): workers are grouped by triple count, the
+groups' covariance grids are stacked into 3-D tensors, and the Lemma-5
+weight solve runs as one batched factorization per group.  Step 2 is
+batched the same way (:func:`~repro.core.three_worker.evaluate_triples_batched`
+evaluates all of a worker's triples in one vectorized pass), and
+``evaluate_all`` can additionally be sharded across processes over
+shared-memory statistics arrays (``shards=``; see :class:`MWorkerEstimator`
+for the determinism contract).  The scalar loops are kept as the reference
+(and the fallback for the dict backend and for degenerate pairings).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -38,7 +43,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, InsufficientDataError
 from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
-from repro.core.delta_method import DeltaMethodModel
+from repro.core.delta_method import DeltaMethodModel, confidence_interval_from_moments
 from repro.core.pairing import form_triples
 from repro.core.three_worker import (
     MIN_AGREEMENT_MARGIN,
@@ -47,7 +52,7 @@ from repro.core.three_worker import (
     evaluate_worker_in_triple,
     smoothed_variance_rate,
 )
-from repro.core.weights import optimal_weights, uniform_weights
+from repro.core.weights import batched_optimal_weights, optimal_weights, uniform_weights
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import (
     ConfidenceInterval,
@@ -63,6 +68,12 @@ __all__ = ["MWorkerEstimator", "evaluate_worker", "evaluate_all_workers"]
 #: the cross-worker batch; worker-aligned chunks may overshoot by one
 #: worker's triples).
 _BATCH_STAGE_CHUNK_TRIPLES: int = 2**18
+
+#: Upper bound on the cells of one stacked Lemma-4 covariance tensor
+#: (``g x l x l`` float64); groups larger than this are processed in
+#: sub-batches.  2^24 cells keeps the stack around 128 MB.  Sub-batching
+#: cannot change results: every batched operation is per-slice.
+_LEMMA4_GROUP_CELLS: int = 2**24
 
 
 @lru_cache(maxsize=128)
@@ -161,13 +172,12 @@ def _vectorized_cross_covariances(
     """
     if not stats.has_dense_backend:
         return None
+    if not _lemma4_batchable(triple_estimates):
+        return None
     n = len(triple_estimates)
     first_partners = [t.partners[0] for t in triple_estimates]
     second_partners = [t.partners[1] for t in triple_estimates]
-    partner_list = first_partners + second_partners
-    if len(set(partner_list)) != 2 * n:
-        return None
-    partners = np.asarray(partner_list, dtype=np.int64)
+    partners = np.asarray(first_partners + second_partners, dtype=np.int64)
     fast_inputs = (
         stats.lemma4_inputs(worker, partners, clamp_margin) if fast_counts else None
     )
@@ -205,6 +215,64 @@ def _vectorized_cross_covariances(
     return ((u_1 + u_2) + u_3) + u_4
 
 
+def _lemma4_batchable(triple_estimates: list[TripleEstimate]) -> bool:
+    """Whether a worker's triples fit the stacked Lemma-4 fast path.
+
+    Mirrors the partner-distinctness precondition of
+    :func:`_vectorized_cross_covariances`: a partner appearing in two
+    triples (which the paper's pairing strategies never produce, but the
+    scalar path supports) sends the worker through the per-worker
+    aggregation instead.
+    """
+    partner_list = [t.partners[0] for t in triple_estimates] + [
+        t.partners[1] for t in triple_estimates
+    ]
+    return len(set(partner_list)) == 2 * len(triple_estimates)
+
+
+def _full_grid_cross_covariances(
+    c3: np.ndarray,
+    common_with_worker: np.ndarray,
+    two_q_minus_1: np.ndarray,
+    d_first: np.ndarray,
+    d_second: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+    p_worker: float,
+) -> np.ndarray:
+    """One worker's Lemma-4 cross-covariance grid from whole-matrix inputs.
+
+    Equivalent to :func:`_vectorized_cross_covariances`, restructured for
+    the grouped fast path: the term grid is evaluated over *all* worker
+    pairs (``c3`` is the worker's full ``(m, m)`` triple-count grid,
+    ``two_q_minus_1`` the global pre-clamped rate matrix,
+    ``common_with_worker`` the worker's pair-count row) and the partner
+    quadrants are gathered afterwards.  Gathering after instead of before
+    cannot change any value — every term is a pure elementwise function of
+    its own entry's inputs, in the exact operation order of the per-worker
+    helper — and the term grid is bit-exactly symmetric (every input matrix
+    is, and IEEE multiplication commutes), so the ``(second, first)``
+    quadrant is served by the transpose of the ``(first, second)`` gather.
+    The quadrant sum order matches the scalar double loop.
+    """
+    # The grid arrives float32 (exact integers); the term arithmetic must
+    # run in float64 to replay the per-worker helper's operations.
+    c3 = np.asarray(c3, dtype=np.float64)
+    denominator = common_with_worker[:, None] * common_with_worker[None, :]
+    numerator = ((c3 * p_worker) * (1.0 - p_worker)) * two_q_minus_1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term = numerator / denominator
+    term = np.where(c3 > 0, term, 0.0)
+    t_ff = term[first[:, None], first[None, :]]
+    t_fs = term[first[:, None], second[None, :]]
+    t_ss = term[second[:, None], second[None, :]]
+    u_1 = (d_first[:, None] * d_first[None, :]) * t_ff
+    u_2 = (d_first[:, None] * d_second[None, :]) * t_fs
+    u_3 = (d_second[:, None] * d_first[None, :]) * t_fs.T
+    u_4 = (d_second[:, None] * d_second[None, :]) * t_ss
+    return ((u_1 + u_2) + u_3) + u_4
+
+
 @dataclass
 class MWorkerEstimator:
     """Configurable m-worker binary estimator (Algorithm A2).
@@ -236,6 +304,20 @@ class MWorkerEstimator:
         the dense backend (silently ignored otherwise) and produces
         bit-identical results; the knob exists so benchmarks and the
         differential test suite can pin down each path.
+    batch_lemma4:
+        Batch Step 3 of Algorithm A2 across workers during
+        :meth:`evaluate_all`: workers are grouped by triple count ``l``,
+        their ``l x l`` Lemma-4 covariance grids are stacked into a 3-D
+        tensor assembled with broadcast NumPy, and the Lemma-5 weight solve
+        runs as one batched ``linalg.solve`` per group (with per-matrix
+        fallback for slices the batched Cholesky/LU rejects, so a
+        near-singular grid never perturbs its batch-mates).  Only active on
+        the batched ``evaluate_all`` path (requires ``batch_triples`` and
+        the dense backend; silently ignored otherwise — single-worker
+        :meth:`evaluate_worker` calls always use the per-worker
+        aggregation).  Bit-identical to the per-worker path by the same
+        pinned-operation-order construction as ``batch_triples``; the knob
+        exists so benchmarks and the differential suite can pin each path.
     shards:
         Partition :meth:`evaluate_all` across this many worker processes.
         The read-only statistics arrays are exported once via
@@ -257,6 +339,13 @@ class MWorkerEstimator:
       returns its estimates in worker order, and the parent concatenates
       the shard results in shard order, which *is* worker order ``0..m-1``.
 
+    ``batch_lemma4`` composes with sharding: each shard runs the batched
+    Lemma-4/5 aggregation over its own worker range (grouping by triple
+    count *within* the shard).  Because every batched operation is
+    per-slice, group membership — and therefore shard membership — cannot
+    influence any worker's numbers, so ``shards=N`` plus ``batch_lemma4``
+    remains bit-identical to the serial scalar path.
+
     The sharded path falls back to serial whenever the contract cannot hold
     or sharding cannot help: no dense backend, fewer workers than shards, a
     single shard's worth of work, or a custom ``rng`` (the random pairing
@@ -272,6 +361,7 @@ class MWorkerEstimator:
     rng: np.random.Generator | None = None
     backend: str = "auto"
     batch_triples: bool = True
+    batch_lemma4: bool = True
     shards: int = 1
 
     def __post_init__(self) -> None:
@@ -436,6 +526,25 @@ class MWorkerEstimator:
             from repro.core.sharded import evaluate_all_sharded
 
             return evaluate_all_sharded(self, matrix, stats)
+        return self.evaluate_worker_range(
+            matrix, stats, list(range(matrix.n_workers))
+        )
+
+    def evaluate_worker_range(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        workers: list[int],
+    ) -> list[WorkerErrorEstimate]:
+        """Evaluate a set of workers sharing one statistics object.
+
+        This is the common entry point of the serial batch path and of each
+        shard process (which passes its contiguous worker range): when the
+        batched stage applies, the workers' triples are evaluated in
+        cross-worker batches, otherwise each worker goes through
+        :meth:`evaluate_worker`.  Results are returned in the order of
+        ``workers``.
+        """
         if (
             self.batch_triples
             and stats.has_dense_backend
@@ -443,28 +552,32 @@ class MWorkerEstimator:
             and matrix.is_binary
             and matrix.n_workers >= 3
         ):
-            return self._evaluate_all_batched(matrix, stats)
+            return self._evaluate_workers_batched(matrix, stats, workers)
         return [
             self.evaluate_worker(matrix, worker, stats=stats)
-            for worker in range(matrix.n_workers)
+            for worker in workers
         ]
 
-    def _evaluate_all_batched(
-        self, matrix: ResponseMatrix, stats: AgreementStatistics
+    def _evaluate_workers_batched(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        workers: list[int],
     ) -> list[WorkerErrorEstimate]:
         """The cross-worker batch: every worker's triples in one stage pass.
 
         Pairing runs per worker (exactly as the serial loop does, including
         ``rng`` consumption order for the random strategy), then all formed
         triples are concatenated and evaluated in a single invocation of the
-        batched triple stage; the per-worker Lemma-4 aggregation consumes
-        contiguous row windows of the result.  Bit-identical to calling
-        :meth:`evaluate_worker` per worker — elementwise arithmetic on a
-        concatenation is elementwise arithmetic on each window.
+        batched triple stage; the Lemma-4 aggregation consumes contiguous
+        row windows of the result — grouped across workers when
+        ``batch_lemma4`` is set, per worker otherwise.  Bit-identical to
+        calling :meth:`evaluate_worker` per worker — elementwise arithmetic
+        on a concatenation is elementwise arithmetic on each window.
         """
         n_workers = matrix.n_workers
         per_worker_pairs: list[list[tuple[int, int]]] = []
-        for worker in range(n_workers):
+        for worker in workers:
             candidates = [w for w in range(n_workers) if w != worker]
             triples = form_triples(
                 stats,
@@ -482,19 +595,27 @@ class MWorkerEstimator:
         # worker-aligned chunks of bounded triple count keeps the identical
         # elementwise results (and the worker-major error ordering) while
         # bounding the spike.  2^18 triples is a few-hundred-MB ceiling.
-        chunk_workers: list[int] = []
+        chunk_indices: list[int] = []
         chunk_size = 0
-        for worker in range(n_workers):
-            chunk_workers.append(worker)
-            chunk_size += len(per_worker_pairs[worker])
-            if chunk_size >= _BATCH_STAGE_CHUNK_TRIPLES and worker < n_workers - 1:
+        for index in range(len(workers)):
+            chunk_indices.append(index)
+            chunk_size += len(per_worker_pairs[index])
+            if chunk_size >= _BATCH_STAGE_CHUNK_TRIPLES and index < len(workers) - 1:
                 self._evaluate_worker_chunk(
-                    matrix, stats, chunk_workers, per_worker_pairs, results
+                    matrix,
+                    stats,
+                    [workers[i] for i in chunk_indices],
+                    [per_worker_pairs[i] for i in chunk_indices],
+                    results,
                 )
-                chunk_workers, chunk_size = [], 0
-        if chunk_workers:
+                chunk_indices, chunk_size = [], 0
+        if chunk_indices:
             self._evaluate_worker_chunk(
-                matrix, stats, chunk_workers, per_worker_pairs, results
+                matrix,
+                stats,
+                [workers[i] for i in chunk_indices],
+                [per_worker_pairs[i] for i in chunk_indices],
+                results,
             )
         return results
 
@@ -503,15 +624,13 @@ class MWorkerEstimator:
         matrix: ResponseMatrix,
         stats: AgreementStatistics,
         chunk_workers: list[int],
-        per_worker_pairs: list[list[tuple[int, int]]],
+        chunk_pairs: list[list[tuple[int, int]]],
         results: list[WorkerErrorEstimate],
     ) -> None:
         """Run the batched stage for one worker-aligned chunk, appending to
         ``results`` in worker order."""
-        counts = [len(per_worker_pairs[worker]) for worker in chunk_workers]
-        flat_pairs = [
-            pair for worker in chunk_workers for pair in per_worker_pairs[worker]
-        ]
+        counts = [len(pairs) for pairs in chunk_pairs]
+        flat_pairs = [pair for pairs in chunk_pairs for pair in pairs]
         arrays = None
         if flat_pairs:
             worker_ids = np.repeat(
@@ -520,22 +639,178 @@ class MWorkerEstimator:
             arrays = evaluate_triples_batched_arrays(
                 stats, worker_ids, flat_pairs, clamp_margin=self.clamp_margin
             )
+        chunk_results: list[WorkerErrorEstimate | None] = [None] * len(chunk_workers)
+        # Workers eligible for the grouped Lemma-4 batch, keyed by triple
+        # count; each value holds (position in chunk, worker, triples,
+        # worst status, optional stage-array views).
+        groups: dict[int, list[tuple]] = {}
         offset = 0
-        for worker in chunk_workers:
-            pairs = per_worker_pairs[worker]
+        for position, (worker, pairs) in enumerate(zip(chunk_workers, chunk_pairs)):
             if not pairs:
-                results.append(self._degenerate_estimate(matrix, worker))
+                chunk_results[position] = self._degenerate_estimate(matrix, worker)
                 continue
             window = arrays.slice(offset, offset + len(pairs))
             offset += len(pairs)
             triple_estimates, worst_status = self._triples_from_arrays(
                 stats, worker, pairs, window
             )
-            results.append(
-                self._finalize_worker(
+            if not (self.batch_lemma4 and len(triple_estimates) >= 2):
+                chunk_results[position] = self._finalize_worker(
                     matrix, stats, worker, triple_estimates, worst_status
                 )
+                continue
+            # The common case — every triple usable straight from the stage
+            # arrays — hands the group the array views; otherwise the group
+            # re-extracts from the materialized records (same values).
+            ext = None
+            if bool(window.usable.all()) and not bool(window.needs_scalar.any()):
+                pairs_array = np.asarray(pairs, dtype=np.int64)
+                if np.unique(pairs_array).size != 2 * len(pairs):
+                    chunk_results[position] = self._finalize_worker(
+                        matrix, stats, worker, triple_estimates, worst_status
+                    )
+                    continue
+                ext = (
+                    window.estimates,
+                    window.deviations,
+                    window.d_partner_a,
+                    window.d_partner_b,
+                    pairs_array,
+                )
+            elif not _lemma4_batchable(triple_estimates):
+                chunk_results[position] = self._finalize_worker(
+                    matrix, stats, worker, triple_estimates, worst_status
+                )
+                continue
+            groups.setdefault(len(triple_estimates), []).append(
+                (position, worker, triple_estimates, worst_status, ext)
             )
+        for group in groups.values():
+            estimates = self._finalize_worker_group(
+                matrix, stats, [entry[1:] for entry in group]
+            )
+            for (position, *_), estimate in zip(group, estimates):
+                chunk_results[position] = estimate
+        results.extend(chunk_results)
+
+    def _finalize_worker_group(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        group: list[tuple],
+    ) -> list[WorkerErrorEstimate]:
+        """Step 3 for a group of workers sharing one triple count ``l``.
+
+        The group's ``l x l`` Lemma-4 covariance grids are assembled into
+        one stacked ``(g, l, l)`` tensor — each grid evaluated over the
+        worker's full-matrix term grid (:func:`_full_grid_cross_covariances`
+        over the cached triple-count tensor) — the diagonal and symmetric
+        mirror are applied across the whole stack at once, and the Lemma-5
+        weights come from one batched Cholesky + solve
+        (:func:`~repro.core.weights.batched_optimal_weights`, with
+        per-matrix fallback for rejected slices).  The O(l) packaging —
+        plug-in means, squared deviations, the final Theorem-1 interval —
+        replays the scalar code per worker, so every estimate is
+        bit-identical to :meth:`_finalize_worker` on the same inputs.
+        Group entries are ``(worker, triples, worst_status, ext)`` where
+        ``ext`` optionally carries the stage-array views to skip
+        re-extracting per-triple scalars.  Groups larger than the memory
+        cap are processed in sub-batches, which cannot change results
+        (every batched operation is per-slice).
+        """
+        n = len(group[0][1])
+        max_group = max(1, _LEMMA4_GROUP_CELLS // max(1, n * n))
+        if len(group) > max_group:
+            results: list[WorkerErrorEstimate] = []
+            for start in range(0, len(group), max_group):
+                results.extend(
+                    self._finalize_worker_group(
+                        matrix, stats, group[start : start + max_group]
+                    )
+                )
+            return results
+        inputs = stats.lemma4_group_inputs(self.clamp_margin)
+        if inputs is None:  # pragma: no cover - guarded by callers
+            return [
+                self._finalize_worker(matrix, stats, worker, triples, status)
+                for worker, triples, status, _ in group
+            ]
+        common_f64, two_q_minus_1 = inputs
+        backend = stats.backend
+        g = len(group)
+        values = np.empty((g, n))
+        diagonals = np.empty((g, n))
+        weights_rows: np.ndarray
+        covariance = np.empty((g, n, n))
+        for index, (worker, triples, _, ext) in enumerate(group):
+            if ext is not None:
+                estimates_row, deviations_row, d_first, d_second, pairs_array = ext
+                first = pairs_array[:, 0]
+                second = pairs_array[:, 1]
+                squared = [d**2 for d in deviations_row.tolist()]
+            else:
+                estimates_row = np.array([t.error_rate for t in triples])
+                squared = [t.deviation**2 for t in triples]
+                first_list = [t.partners[0] for t in triples]
+                second_list = [t.partners[1] for t in triples]
+                first = np.asarray(first_list, dtype=np.int64)
+                second = np.asarray(second_list, dtype=np.int64)
+                d_first = np.array(
+                    [t.derivatives[p] for t, p in zip(triples, first_list)]
+                )
+                d_second = np.array(
+                    [t.derivatives[p] for t, p in zip(triples, second_list)]
+                )
+            values[index] = estimates_row
+            diagonals[index] = squared
+            # Same plug-in clamp as the scalar path, on the same values.
+            p_plugin = min(max(float(np.mean(estimates_row)), 0.0), 0.5)
+            covariance[index] = _full_grid_cross_covariances(
+                backend.triple_count_grid_full(worker),
+                common_f64[worker],
+                two_q_minus_1,
+                d_first,
+                d_second,
+                first,
+                second,
+                p_plugin,
+            )
+        # Batched finish of the Lemma-4 assembly: mirror the upper triangle
+        # over the lower (exactly as the per-worker path does) and overwrite
+        # the meaningless cross diagonal with the squared deviations.
+        upper = _upper_triangle_indices(n)
+        covariance[:, upper[1], upper[0]] = covariance[:, upper[0], upper[1]]
+        diagonal_index = np.arange(n)
+        covariance[:, diagonal_index, diagonal_index] = diagonals
+        if self.optimize_weights:
+            weights_rows = batched_optimal_weights(covariance)
+        else:
+            # Materialized (not broadcast) rows so the per-worker Theorem-1
+            # dot products below run on the same contiguous layout as the
+            # scalar path.
+            weights_rows = np.tile(uniform_weights(n), (g, 1))
+        estimates: list[WorkerErrorEstimate] = []
+        for index, (worker, triples, worst_status, _) in enumerate(group):
+            weights = weights_rows[index]
+            # DeltaMethodModel.linear_combination + .interval, inlined with
+            # the identical operations (its finiteness validation is skipped;
+            # every input here is finite by construction).
+            value = float(weights @ values[index])
+            raw = float(weights @ covariance[index] @ weights)
+            deviation = math.sqrt(max(raw, 0.0))
+            estimates.append(
+                WorkerErrorEstimate(
+                    worker=worker,
+                    interval=confidence_interval_from_moments(
+                        value, deviation, self.confidence
+                    ),
+                    n_tasks=matrix.n_tasks_of(worker),
+                    triples=tuple(triples),
+                    weights=tuple(float(w) for w in weights),
+                    status=worst_status,
+                )
+            )
+        return estimates
 
     def _shardable(self, matrix: ResponseMatrix, stats: AgreementStatistics) -> bool:
         """Whether the sharded path applies (else fall back to serial).

@@ -13,7 +13,9 @@ contiguous shards and evaluates each shard in its own process:
 * each shard process reconstructs a
   :class:`~repro.data.dense_backend.DenseAgreementBackend` view over the
   shared buffers (:meth:`~repro.data.dense_backend.DenseAgreementBackend.from_arrays`)
-  and runs the ordinary serial estimator over its worker range;
+  and runs the ordinary serial estimator — including the cross-worker
+  batched triple stage and the grouped Lemma-4/5 aggregation when enabled —
+  over its worker range;
 * the parent concatenates the per-shard estimate lists in shard order,
   which equals worker order because shards are contiguous index ranges.
 
@@ -159,15 +161,19 @@ def _init_shard(
 
 
 def _evaluate_shard(worker_range: tuple[int, int]) -> list[WorkerErrorEstimate]:
-    """Evaluate the contiguous worker range ``[start, stop)`` in this shard."""
+    """Evaluate the contiguous worker range ``[start, stop)`` in this shard.
+
+    Delegates to :meth:`MWorkerEstimator.evaluate_worker_range`, so a shard
+    runs the same cross-worker batched stage — and, with ``batch_lemma4``,
+    the same grouped Lemma-4/5 aggregation — over its range that the serial
+    path runs over all workers; results are identical either way because
+    every batched operation is per-slice.
+    """
     start, stop = worker_range
     estimator = _SHARD_STATE["estimator"]
     matrix = _SHARD_STATE["matrix"]
     stats = _SHARD_STATE["stats"]
-    return [
-        estimator.evaluate_worker(matrix, worker, stats=stats)
-        for worker in range(start, stop)
-    ]
+    return estimator.evaluate_worker_range(matrix, stats, list(range(start, stop)))
 
 
 def evaluate_all_sharded(

@@ -12,10 +12,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.stats.covariance import regularize_covariance
-from repro.stats.linalg import optimal_min_variance_weights
+from repro.stats.covariance import batched_regularize_covariance, regularize_covariance
+from repro.stats.linalg import (
+    batched_optimal_min_variance_weights,
+    optimal_min_variance_weights,
+)
 
-__all__ = ["optimal_weights", "uniform_weights", "combined_variance"]
+__all__ = [
+    "optimal_weights",
+    "batched_optimal_weights",
+    "uniform_weights",
+    "combined_variance",
+]
 
 
 def uniform_weights(n_triples: int) -> np.ndarray:
@@ -41,6 +49,25 @@ def optimal_weights(covariance: np.ndarray) -> np.ndarray:
         return np.array([1.0])
     safe = regularize_covariance(covariance)
     return optimal_min_variance_weights(safe)
+
+
+def batched_optimal_weights(covariances: np.ndarray) -> np.ndarray:
+    """:func:`optimal_weights` for a ``(g, l, l)`` stack of covariances.
+
+    The PSD repair and the ``C^{-1} 1`` solve each run as one batched LAPACK
+    call over the stack (with per-matrix fallbacks for rejected slices), so
+    row ``g`` of the result is bit-identical to
+    ``optimal_weights(covariances[g])``.
+    """
+    covariances = np.asarray(covariances, dtype=float)
+    if covariances.ndim != 3 or covariances.shape[1] != covariances.shape[2]:
+        raise ConfigurationError(
+            f"expected a stack of square covariances, got shape {covariances.shape}"
+        )
+    if covariances.shape[1] == 1:
+        return np.ones((covariances.shape[0], 1))
+    safe = batched_regularize_covariance(covariances)
+    return batched_optimal_min_variance_weights(safe)
 
 
 def combined_variance(weights: np.ndarray, covariance: np.ndarray) -> float:

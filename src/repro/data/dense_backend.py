@@ -159,6 +159,7 @@ class DenseAgreementBackend:
         self._common_f64: np.ndarray | None = None
         self._attempts_f32: np.ndarray | None = None
         self._common_list: list[list[int]] | None = None
+        self._triple_tensor: np.ndarray | None = None
         self._clamped_rates: dict[
             float, tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = {}
@@ -395,6 +396,76 @@ class DenseAgreementBackend:
         converted = masked.astype(np.float64)
         return converted @ converted.T
 
+    #: Cap on the cached full triple-count tensor: ``m^3`` float32 cells must
+    #: stay under this (2^26 cells is a 256 MB ceiling, reached around
+    #: m ~ 400 workers).  Above the cap :meth:`triple_count_tensor` returns
+    #:  None and callers fall back to per-worker grids.
+    _TRIPLE_TENSOR_CELL_LIMIT = 2**26
+
+    def triple_count_tensor(self) -> np.ndarray | None:
+        """The full triple-count tensor ``C[w, x, y] = c_{w,x,y}``, cached.
+
+        Built progressively in one ascending pass over workers, exploiting
+        the full symmetry of the counts: worker ``w``'s rows for partners
+        ``x < w`` are copied from the already-computed grids
+        (``C[w, x, y] = C[x, w, y]``), and only the ``x, y >= w`` block is
+        computed fresh — a masked product over the suffix rows.  That takes
+        the total work from ``m`` full ``m x n`` products down to the
+        triangular third, while every entry stays the exact integer count
+        (float32 products of 0/1 matrices are exact up to 2^24 tasks, and
+        copies are copies).
+
+        Returns None when the ``m^3`` tensor would exceed the memory cap or
+        the task count would overflow float32 exactness; callers fall back
+        to :meth:`triple_count_matrix` / per-worker products.
+        """
+        if (
+            self._n_workers**3 > self._TRIPLE_TENSOR_CELL_LIMIT
+            or self._n_tasks > _FLOAT32_EXACT_TASK_LIMIT
+        ):
+            return None
+        if self._triple_tensor is not None:
+            return self._triple_tensor
+        m = self._n_workers
+        attempts_f32 = self._attempts_as_f32
+        if attempts_f32 is None:
+            attempts_f32 = self._attempts.astype(np.float32)
+        tensor = np.empty((m, m, m), dtype=np.float32)
+        for worker in range(m):
+            grid = tensor[worker]
+            if worker:
+                # Rows for already-processed partners, by symmetry in the
+                # first two indices.
+                grid[:worker, :] = tensor[:worker, worker, :]
+            masked = attempts_f32[worker:] * attempts_f32[worker]
+            grid[worker:, worker:] = masked @ masked.T
+            if worker:
+                # Mirror the remaining block, by symmetry in the partners.
+                grid[worker:, :worker] = grid[:worker, worker:].T
+        self._triple_tensor = tensor
+        return tensor
+
+    def triple_count_grid_full(self, worker: int) -> np.ndarray:
+        """All ``c_{worker, x, y}`` over *every* worker pair, exact counts.
+
+        The ``(m, m)`` float32 grid for one worker — a view into the cached
+        tensor when it fits, otherwise one masked matrix product.  Row and
+        column ``worker`` hold the (valid) degenerate counts
+        ``c_{w,w,x} = c_{w,x}``; callers that only consume partner pairs
+        never read them.
+        """
+        self._validate_workers(worker)
+        tensor = self.triple_count_tensor()
+        if tensor is not None:
+            return tensor[worker]
+        if self._n_tasks > _FLOAT32_EXACT_TASK_LIMIT:
+            masked = (self._attempts & self._attempts[worker]).astype(np.float64)
+        elif self._attempts_as_f32 is not None:
+            masked = self._attempts_as_f32 * self._attempts_as_f32[worker]
+        else:
+            masked = (self._attempts & self._attempts[worker]).astype(np.float32)
+        return masked @ masked.T
+
     def triple_common_counts(
         self,
         worker: int | np.ndarray,
@@ -535,6 +606,7 @@ class DenseAgreementBackend:
         self._common_f64 = None
         self._attempts_f32 = None
         self._common_list = None
+        self._triple_tensor = None
         self._clamped_rates.clear()
         co_attempters = np.nonzero(self._attempts[:, task])[0]
         co_attempters = co_attempters[co_attempters != worker]

@@ -20,6 +20,7 @@ __all__ = [
     "matrix_inverse_sqrt",
     "align_rows_to_diagonal",
     "optimal_min_variance_weights",
+    "batched_optimal_min_variance_weights",
     "quadratic_form_3",
     "batched_quadratic_form_3",
 ]
@@ -180,6 +181,15 @@ def optimal_min_variance_weights(covariance: np.ndarray) -> np.ndarray:
         b = safe_inverse(covariance) @ ones
     if not np.all(np.isfinite(b)):
         b = safe_inverse(covariance) @ ones
+    return _normalized_min_variance_weights(b, n)
+
+
+def _normalized_min_variance_weights(b: np.ndarray, n: int) -> np.ndarray:
+    """The normalization tail of :func:`optimal_min_variance_weights`.
+
+    Shared by the scalar and batched forms so both replay the identical
+    sequence of operations; ``b`` is (a candidate for) ``C^{-1} 1``.
+    """
     norm = float(np.sum(np.abs(b)))
     if norm <= 0.0 or not np.isfinite(norm):
         # Fall back to uniform weights when the covariance is too ill-behaved
@@ -188,4 +198,47 @@ def optimal_min_variance_weights(covariance: np.ndarray) -> np.ndarray:
     weights = b / float(np.sum(b)) if abs(float(np.sum(b))) > 1e-12 else b / norm
     if not np.all(np.isfinite(weights)):
         return np.full(n, 1.0 / n)
+    return weights
+
+
+def batched_optimal_min_variance_weights(stack: np.ndarray) -> np.ndarray:
+    """:func:`optimal_min_variance_weights` over a ``(g, n, n)`` stack.
+
+    One batched ``linalg.solve`` computes ``C^{-1} 1`` for every system (the
+    gufunc runs the same LAPACK factorization per matrix as the 2-D call, so
+    each solution is bit-identical to solving that matrix alone); only when
+    some matrix in the batch is singular does the solve fall back to
+    per-matrix calls, preserving the scalar helper's ridge treatment for the
+    offending systems without perturbing their batch-mates.  The O(n)
+    normalization tail then replays the scalar code per row, so every row of
+    the result equals the scalar helper applied to that slice.
+    """
+    stack = np.asarray(stack, dtype=float)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise DegenerateEstimateError(
+            f"expected a stack of square covariances, got shape {stack.shape}"
+        )
+    g, n = stack.shape[0], stack.shape[1]
+    if n == 1:
+        return np.ones((g, 1))
+    ones = np.ones(n)
+    try:
+        # One rhs column per system; LAPACK factorizes each matrix and
+        # back-substitutes exactly as the scalar 1-D solve does, so each
+        # row equals the scalar call's solution bit for bit.
+        b = np.linalg.solve(stack, np.ones((g, n, 1)))[:, :, 0]
+    except np.linalg.LinAlgError:
+        rows = []
+        for index in range(g):
+            try:
+                rows.append(np.linalg.solve(stack[index], ones))
+            except np.linalg.LinAlgError:
+                rows.append(safe_inverse(stack[index]) @ ones)
+        b = np.stack(rows)
+    weights = np.empty((g, n))
+    for index in range(g):
+        row = b[index]
+        if not np.all(np.isfinite(row)):
+            row = safe_inverse(stack[index]) @ ones
+        weights[index] = _normalized_min_variance_weights(row, n)
     return weights

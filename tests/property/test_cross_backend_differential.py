@@ -2,7 +2,8 @@
 
 The library promises that its performance knobs never change results: the
 ``backend=`` choice (dict-of-dicts vs dense NumPy), the batched per-triple
-stage (``batch_triples=``) and process sharding (``shards=``) are throughput
+stage (``batch_triples=``), the grouped Lemma-4/5 aggregation
+(``batch_lemma4=``) and process sharding (``shards=``) are throughput
 features only.  This suite enforces the promise end to end — every public
 entry point is run under every applicable execution path on randomized
 regular and non-regular matrices, and the produced intervals, weights and
@@ -85,9 +86,21 @@ MATRIX_CASES = [
 #: others are compared against.
 EVALUATE_ALL_PATHS: dict[str, dict] = {
     "dict": {"backend": "dict"},
-    "dense-scalar": {"backend": "dense", "batch_triples": False},
-    "dense-batched": {"backend": "dense", "batch_triples": True},
-    "sharded": {"backend": "dense", "batch_triples": True, "shards": 2},
+    "dense-scalar": {
+        "backend": "dense", "batch_triples": False, "batch_lemma4": False,
+    },
+    "dense-batched": {
+        "backend": "dense", "batch_triples": True, "batch_lemma4": False,
+    },
+    "batched-lemma4": {
+        "backend": "dense", "batch_triples": True, "batch_lemma4": True,
+    },
+    "sharded": {
+        "backend": "dense",
+        "batch_triples": True,
+        "batch_lemma4": True,
+        "shards": 2,
+    },
 }
 
 

@@ -1,0 +1,110 @@
+"""Unit tests for the benchmark trajectory bookkeeping and trend gate.
+
+``benchmarks/bench_scaling_agreement.py`` appends a dated entry to
+``BENCH_agreement.json`` per run and warns (never fails) when the
+fully-batched timing regresses beyond tolerance against the newest
+comparable entry.  These tests load the script as a module and pin the
+bookkeeping: legacy (pre-trajectory) files are adopted as the first entry,
+the baseline match requires a comparable configuration, and the gate only
+warns beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_scaling_agreement.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_scaling", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def result_entry(seconds, workers=200, tasks=2000, density=0.6, date="2026-01-01"):
+    return {
+        "n_workers": workers,
+        "n_tasks": tasks,
+        "density": density,
+        "path_seconds": {"batched_lemma4": seconds},
+        "date": date,
+    }
+
+
+class TestLoadTrajectory:
+    def test_missing_file_starts_empty(self, bench, tmp_path):
+        assert bench.load_trajectory(str(tmp_path / "none.json"), {}) == []
+
+    def test_legacy_flat_file_becomes_first_entry(self, bench, tmp_path):
+        legacy = {
+            "n_workers": 200,
+            "n_tasks": 2000,
+            "density": 0.6,
+            "path_seconds": {"dense_batched": 0.62},
+            "dense_seconds": 0.62,
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(legacy))
+        trajectory = bench.load_trajectory(str(path), {})
+        assert len(trajectory) == 1
+        assert trajectory[0]["date"] == "pre-trajectory"
+        assert trajectory[0]["path_seconds"]["dense_batched"] == 0.62
+
+    def test_existing_trajectory_is_preserved(self, bench, tmp_path):
+        entries = [result_entry(0.5), result_entry(0.45, date="2026-02-01")]
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"trajectory": entries}))
+        assert bench.load_trajectory(str(path), {}) == entries
+
+
+class TestTrendGate:
+    def test_within_tolerance_is_quiet(self, bench, capsys):
+        warning = bench.check_trend(
+            [result_entry(0.50)], result_entry(0.55), tolerance=1.25
+        )
+        assert warning is None
+        assert "perf trend ok" in capsys.readouterr().out
+
+    def test_regression_beyond_tolerance_warns_only(self, bench, capsys):
+        warning = bench.check_trend(
+            [result_entry(0.50)], result_entry(0.80), tolerance=1.25
+        )
+        assert warning is not None and "PERF WARNING" in warning
+        assert "PERF WARNING" in capsys.readouterr().err
+
+    def test_newest_comparable_entry_is_the_baseline(self, bench):
+        trajectory = [
+            result_entry(0.10, date="2026-01-01"),
+            result_entry(0.50, date="2026-03-01"),
+            result_entry(0.30, workers=40, tasks=400, date="2026-04-01"),
+        ]
+        # 0.55s vs the newest comparable (0.50) is fine even though it is
+        # 5.5x the oldest entry; the 40x400 entry is not comparable.
+        assert bench.check_trend(trajectory, result_entry(0.55), 1.25) is None
+
+    def test_no_comparable_baseline_is_quiet(self, bench, capsys):
+        warning = bench.check_trend(
+            [result_entry(0.5, workers=40, tasks=400)],
+            result_entry(0.55),
+            tolerance=1.25,
+        )
+        assert warning is None
+        assert "no comparable baseline" in capsys.readouterr().out
+
+    def test_legacy_headline_fallback(self, bench):
+        entry = {
+            "n_workers": 200,
+            "n_tasks": 2000,
+            "density": 0.6,
+            "path_seconds": {"dense_batched": 0.62},
+        }
+        assert bench._headline_seconds(entry) == 0.62

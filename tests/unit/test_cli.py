@@ -31,6 +31,8 @@ class TestParser:
         assert args.confidence == 0.9
         assert not args.remove_spammers
         assert args.shards == 1
+        assert not args.no_batch_triples
+        assert not args.no_batch_lemma4
 
     def test_figure_choices_cover_all_paper_figures(self):
         assert set(FIGURE_FUNCTIONS) == {
@@ -65,6 +67,22 @@ class TestEvaluateCommand:
         responses, _ = csv_dataset
         assert main(["evaluate", str(responses), "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err
+
+    def test_evaluate_batch_knobs_pin_identical_paths(self, csv_dataset, capsys):
+        # The batch knobs are throughput-only: pinning the slow paths from
+        # the CLI must print the exact same table.
+        responses, gold = csv_dataset
+        assert main(["evaluate", str(responses), "--gold", str(gold)]) == 0
+        default_output = capsys.readouterr().out
+        for flags in (
+            ["--no-batch-lemma4"],
+            ["--no-batch-triples", "--no-batch-lemma4"],
+        ):
+            assert (
+                main(["evaluate", str(responses), "--gold", str(gold), *flags])
+                == 0
+            )
+            assert capsys.readouterr().out == default_output, flags
 
     def test_evaluate_with_label_inference(self, csv_dataset, capsys):
         responses, gold = csv_dataset

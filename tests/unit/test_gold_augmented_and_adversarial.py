@@ -70,6 +70,34 @@ class TestCombineEstimates:
         fused = combine_estimates(agreement, gold, confidence=0.9)
         assert fused.status is EstimateStatus.CLAMPED
 
+    def test_both_degenerate_releveled_and_prefers_agreement(self):
+        """Two degenerate sources: the agreement estimate wins (it carries
+        the triples/weights provenance) and its interval is re-leveled to
+        the requested confidence, as the docstring promises."""
+        agreement = estimate(0.25, 1.0, status=EstimateStatus.DEGENERATE)
+        gold = estimate(0.4, 1.0, worker=0, status=EstimateStatus.DEGENERATE)
+        fused = combine_estimates(agreement, gold, confidence=0.7)
+        assert fused.interval.mean == pytest.approx(0.25)
+        assert fused.interval.confidence == 0.7
+        assert fused.status is EstimateStatus.DEGENERATE
+        assert fused.triples == agreement.triples
+        assert fused.weights == agreement.weights
+        # Re-leveling actually recomputed the bounds from the moments.
+        assert fused.interval.lower == 0.0  # clipped at the unit range
+        assert fused.interval.upper == 1.0
+
+    def test_both_degenerate_missing_agreement_releveled_gold(self):
+        gold = estimate(0.3, 0.0, status=EstimateStatus.OK)  # zero-width: unusable
+        fused = combine_estimates(None, gold, confidence=0.6)
+        assert fused.interval.mean == pytest.approx(0.3)
+        assert fused.interval.confidence == 0.6
+
+    def test_degenerate_relevel_changes_width_with_confidence(self):
+        agreement = estimate(0.25, 0.4, status=EstimateStatus.DEGENERATE)
+        narrow = combine_estimates(agreement, None, confidence=0.5)
+        wide = combine_estimates(agreement, None, confidence=0.99)
+        assert narrow.interval.size < wide.interval.size
+
 
 class TestGoldAugmentedEvaluator:
     def test_without_gold_matches_plain_estimator(self, rng):
@@ -108,6 +136,33 @@ class TestGoldAugmentedEvaluator:
                 total += 1
                 hits += fused_estimate.interval.contains(population.error_rates[worker])
         assert hits / total > 0.65
+
+    def test_fast_path_knobs_are_bit_identical(self, rng):
+        """The fused evaluator threads backend/batch/shard knobs through to
+        the inner m-worker estimator; every path must fuse to bit-identical
+        intervals (the fast paths silently bypassed the fused mode before)."""
+        population = BinaryWorkerPopulation.from_paper_palette(6, rng)
+        matrix = population.generate(90, rng, densities=0.8)
+        reference = GoldAugmentedEvaluator(
+            confidence=0.9, backend="dict"
+        ).evaluate_all(matrix)
+        for config in (
+            {"backend": "dense", "batch_triples": False, "batch_lemma4": False},
+            {"backend": "dense", "batch_triples": True, "batch_lemma4": False},
+            {"backend": "dense", "batch_triples": True, "batch_lemma4": True},
+        ):
+            candidate = GoldAugmentedEvaluator(
+                confidence=0.9, **config
+            ).evaluate_all(matrix)
+            assert set(candidate) == set(reference), config
+            for worker, ref in reference.items():
+                cand = candidate[worker]
+                assert cand.interval.mean == ref.interval.mean, config
+                assert cand.interval.lower == ref.interval.lower, config
+                assert cand.interval.upper == ref.interval.upper, config
+                assert cand.interval.deviation == ref.interval.deviation, config
+                assert cand.weights == ref.weights, config
+                assert cand.status is ref.status, config
 
     def test_validation(self, simulated_kary):
         kary_matrix, _ = simulated_kary

@@ -175,6 +175,58 @@ class TestIncrementalEvaluator:
         with pytest.raises(ConfigurationError):
             incremental.extend_tasks(0)
 
+    def test_extend_tasks_across_auto_backend_threshold(self, rng, monkeypatch):
+        """``extend_tasks`` under ``backend="auto"`` re-resolves the backend
+        for the grown matrix, which can flip dense -> dict mid-stream once
+        the cell count crosses the auto threshold.  The flip must be
+        invisible in results: cached estimates stay valid (empty tasks
+        change no statistic), newly computed ones come from the dict path,
+        and everything served equals a fresh batch run over the accumulated
+        data — the regression this test locks down."""
+        import repro.data.dense_backend as dense_backend_module
+
+        n_workers, initial_tasks, extra_tasks = 6, 30, 30
+        monkeypatch.setattr(
+            dense_backend_module, "AUTO_DENSE_CELL_LIMIT", 240
+        )
+        incremental = IncrementalEvaluator(
+            n_workers, initial_tasks, confidence=0.9, backend="auto"
+        )
+        assert incremental._backend is not None  # below threshold: dense
+
+        population = BinaryWorkerPopulation.from_paper_palette(n_workers, rng)
+        early = population.generate(initial_tasks, rng, densities=0.75)
+        incremental.add_responses(early.iter_responses())
+        incremental.estimate_all()  # warm the cache on the dense backend
+
+        incremental.extend_tasks(extra_tasks)
+        assert incremental._backend is None  # above threshold: dict
+
+        # Cached estimates survive the flip: the new tasks carry no
+        # responses, so no statistic any cached computation read changed.
+        assert not incremental.dirty_workers
+
+        late = population.generate(extra_tasks, rng, densities=0.75)
+        incremental.add_responses(
+            (worker, task + initial_tasks, label)
+            for worker, task, label in late.iter_responses()
+        )
+        served = incremental.estimate_all()
+
+        reference = MWorkerEstimator(confidence=0.9, backend="auto").evaluate_all(
+            incremental.matrix
+        )
+        for ref in reference:
+            if ref.n_tasks == 0:
+                continue
+            estimate = served[ref.worker]
+            assert estimate.interval.mean == ref.interval.mean
+            assert estimate.interval.lower == ref.interval.lower
+            assert estimate.interval.upper == ref.interval.upper
+            assert estimate.interval.deviation == ref.interval.deviation
+            assert estimate.weights == ref.weights
+            assert estimate.status is ref.status
+
     def test_estimate_requires_data(self):
         incremental = IncrementalEvaluator(3, 5)
         with pytest.raises(InsufficientDataError):
