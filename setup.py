@@ -1,6 +1,30 @@
 """Setuptools shim so the package installs in environments without PEP 660
-support (no `wheel` package available); `pip install -e .` uses
-pyproject.toml when it can, and `python setup.py develop` works offline."""
-from setuptools import setup
+support (no `wheel` package available); `pip install -e .` works offline via
+`python setup.py develop` too.
 
-setup()
+scipy is deliberately an *extra* (``pip install repro-crowd[sparse]``): the
+library is fully functional without it — the sparse agreement backend then
+degrades gracefully to the scipy-free dense/bitset backends with identical
+results (see ``repro.data.sparse_backend``) — and CI runs the differential
+suite both with and without scipy installed to keep that degradation path
+honest."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-crowd",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=(
+        "Reproduction of Joglekar, Garcia-Molina & Parameswaran (ICDE 2015): "
+        "confidence intervals on crowd-worker error rates"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # Enables repro.data.sparse_backend.SparseAgreementBackend (scipy
+        # CSR pair-count products for very large sparse grids).
+        "sparse": ["scipy"],
+    },
+    entry_points={"console_scripts": ["repro-crowd=repro.cli:main"]},
+)

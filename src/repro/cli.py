@@ -89,8 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKEND_CHOICES),
         default="auto",
         help="agreement-statistics backend: 'dense' (vectorized NumPy), "
-        "'dict' (original Python loops) or 'auto' (default; intervals are "
-        "identical either way)",
+        "'sparse' (scipy.sparse, for large low-fill matrices), 'bitset' "
+        "(packed rows, low-memory), 'dict' (original Python loops) or "
+        "'auto' (default: cost-based selection; intervals are identical "
+        "whichever backend computes them)",
     )
     evaluate.add_argument(
         "--shards",

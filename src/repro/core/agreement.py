@@ -20,13 +20,43 @@ Two computation strategies are supported:
 * the vectorized **dense** path — a
   :class:`~repro.data.dense_backend.DenseAgreementBackend` precomputes all
   pairwise counts with NumPy matrix products and serves triples from packed
-  bitset rows; O(m^2 n) in BLAS once, O(1) per pair afterwards.
+  bitset rows; O(m^2 n) in BLAS once, O(1) per pair afterwards;
+* the **sparse** path — scipy.sparse CSR matmuls for the pairwise counts
+  and fill-restricted products for the triple grids
+  (:class:`~repro.data.sparse_backend.SparseAgreementBackend`), the cheap
+  choice for large low-fill matrices;
+* the **bitset** path — packed bit planes only
+  (:class:`~repro.data.sparse_backend.BitsetAgreementBackend`), the
+  low-memory fallback when the dense arrays cannot be materialized.
 
-Both paths produce exactly the same integer counts, so every estimator is
+All paths produce exactly the same integer counts, so every estimator is
 bit-identical across backends.  Use :meth:`AgreementStatistics.precompute`
 (or ``compute_agreement_statistics(matrix, backend="dense")``) for the fast
-path; ``backend="auto"`` (the default) picks dense whenever the matrix is
-small enough to materialize.
+path; ``backend="auto"`` (the default) applies the
+:func:`~repro.data.dense_backend.auto_backend_choice` cost model over the
+grid size and observed fill.
+
+Backend capability matrix
+-------------------------
+
+Every vectorized backend serves the bulk reads behind ``batch_triples`` and
+``batch_lemma4``; only the dense backend can export its arrays over shared
+memory for ``shards=``:
+
+============  ===============  ==============  ========================
+backend       batch_triples    batch_lemma4    shards=
+============  ===============  ==============  ========================
+``dict``      no (scalar)      no (scalar)     no (serial fallback)
+``dense``     yes              yes             yes
+``sparse``    yes              yes             no (serial fallback)
+``bitset``    yes              yes             no (serial fallback)
+============  ===============  ==============  ========================
+
+A new backend implements the
+:class:`~repro.data.dense_backend.AgreementBackendBase` contract, gets the
+bulk fast paths for free, and **must** register in the differential suite's
+path tables (``tests/property/test_cross_backend_differential.py``) so the
+bit-identity promise is enforced for it on every public entry point.
 
 An optional ``observer`` receives every pair key whose statistics are read;
 the incremental evaluator uses this to record, per cached estimate, the
@@ -42,7 +72,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.exceptions import DataValidationError, InsufficientDataError
-from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
+from repro.data.dense_backend import AgreementBackendBase, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 
 __all__ = [
@@ -152,12 +182,12 @@ class AgreementStatistics:
     the backend is delta-updated by the incremental evaluator).
     """
 
-    #: May be None only when a dense backend is supplied: every statistics
-    #: read is then served from the backend arrays and the sparse store is
-    #: never touched (shard worker processes rely on this to avoid
+    #: May be None only when a vectorized backend is supplied: every
+    #: statistics read is then served from the backend arrays and the sparse
+    #: store is never touched (shard worker processes rely on this to avoid
     #: shipping the response matrix).
     matrix: ResponseMatrix | None
-    backend: DenseAgreementBackend | None = field(default=None, repr=False)
+    backend: AgreementBackendBase | None = field(default=None, repr=False)
     observer: StatisticsObserver | None = field(default=None, repr=False)
     _pair_cache: dict[tuple[int, int], tuple[int, int]] = field(
         default_factory=dict, repr=False
@@ -170,14 +200,15 @@ class AgreementStatistics:
     def precompute(
         cls,
         matrix: ResponseMatrix,
-        backend: str | DenseAgreementBackend | None = "dense",
+        backend: str | AgreementBackendBase | None = "dense",
     ) -> "AgreementStatistics":
-        """Build statistics with the vectorized dense fast path.
+        """Build statistics with a vectorized fast path.
 
         All pairwise common-task and agreement counts are obtained in one
-        shot via boolean matrix products; triple counts are served on demand
-        from packed row bitsets.  Pass ``backend="auto"`` to let matrix size
-        decide, or an existing :class:`DenseAgreementBackend` to reuse one.
+        shot (boolean matrix products for ``"dense"``, CSR products for
+        ``"sparse"``, popcounts for ``"bitset"``); triple counts are served
+        on demand from packed row bitsets.  Pass ``backend="auto"`` to let
+        the cost model decide, or an existing backend instance to reuse one.
         """
         return cls(matrix=matrix, backend=resolve_backend(matrix, backend))
 
@@ -240,7 +271,12 @@ class AgreementStatistics:
 
     @property
     def has_dense_backend(self) -> bool:
-        """True when the vectorized bulk fast path is available."""
+        """True when a vectorized bulk fast path is available.
+
+        The name predates the sparse/bitset backends: it is True for *any*
+        :class:`~repro.data.dense_backend.AgreementBackendBase` (all of
+        them serve the bulk reads), not only for the dense one.
+        """
         return self.backend is not None
 
     def triple_covariance_inputs(
@@ -248,16 +284,19 @@ class AgreementStatistics:
     ) -> TripleCovarianceInputs:
         """Bulk counts for the Lemma-4 covariance over ``worker``'s partners.
 
-        One masked matrix product yields every triple count
-        ``c_{worker, x, y}``; the pair matrices are sliced from the
-        precomputed backend arrays.  Requires a dense backend.
+        One masked (or fill-restricted) matrix product yields every triple
+        count ``c_{worker, x, y}``; the pair matrices are sliced from the
+        precomputed backend arrays.  Requires a vectorized backend (any
+        :class:`~repro.data.dense_backend.AgreementBackendBase`).
         ``fast_counts`` opts into the float32 exact-count product for the
         triple grid (identical values; see
-        :meth:`DenseAgreementBackend.triple_count_matrix`).
+        :meth:`DenseAgreementBackend.triple_count_matrix`; the sparse and
+        bitset backends ignore the flag — their grids are already the
+        cheap form).
         """
         if self.backend is None:
             raise DataValidationError(
-                "triple_covariance_inputs requires a dense backend; "
+                "triple_covariance_inputs requires a vectorized backend; "
                 "use AgreementStatistics.precompute"
             )
         if self.observer is not None:
@@ -360,13 +399,15 @@ class AgreementStatistics:
 
         Pair counts are sliced straight from the backend's precomputed
         matrices and the triple counts come from one vectorized
-        bitset-popcount pass.  Requires a dense backend.  The observer is
-        notified with the union of touched workers (a superset of the pairs
-        the scalar loop would record — conservative, never stale).
+        bitset-popcount pass.  Requires a vectorized backend (any
+        :class:`~repro.data.dense_backend.AgreementBackendBase`).  The
+        observer is notified with the union of touched workers (a superset
+        of the pairs the scalar loop would record — conservative, never
+        stale).
         """
         if self.backend is None:
             raise DataValidationError(
-                "triple_stage_inputs requires a dense backend; "
+                "triple_stage_inputs requires a vectorized backend; "
                 "use AgreementStatistics.precompute"
             )
         if self.observer is not None:
@@ -390,12 +431,15 @@ class AgreementStatistics:
 
 def compute_agreement_statistics(
     matrix: ResponseMatrix,
-    backend: str | DenseAgreementBackend | None = "auto",
+    backend: str | AgreementBackendBase | None = "auto",
 ) -> AgreementStatistics:
     """Build an :class:`AgreementStatistics` cache for ``matrix``.
 
     ``backend`` selects the computation strategy: ``"dense"`` (vectorized
-    NumPy fast path), ``"dict"`` (original lazy set intersections), or
-    ``"auto"`` (dense whenever the matrix is small enough to materialize).
+    NumPy fast path), ``"sparse"`` (scipy.sparse CSR), ``"bitset"``
+    (packed-rows low-memory mode), ``"dict"`` (original lazy set
+    intersections), or ``"auto"`` (cost-based selection over grid size and
+    observed fill; see
+    :func:`~repro.data.dense_backend.auto_backend_choice`).
     """
     return AgreementStatistics(matrix=matrix, backend=resolve_backend(matrix, backend))

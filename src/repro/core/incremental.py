@@ -39,13 +39,15 @@ batch" guarantee while still letting unrelated cached intervals survive.
 Delta-updated statistics
 ------------------------
 
-The evaluator maintains a
-:class:`~repro.data.dense_backend.DenseAgreementBackend` alongside the
+The evaluator maintains a vectorized statistics backend alongside the
 response matrix (unless ``backend="dict"``): each ingested response patches
-the cached pairwise common/agreement count matrices, bitset rows and vote
-table in O(co-attempters) time, so recomputation after a burst of updates
-pays only for the affected workers' covariance assembly, never for
-rebuilding the statistics from scratch.
+the cached pairwise common/agreement count matrices, bitset rows/planes and
+vote table in O(co-attempters) time, so recomputation after a burst of
+updates pays only for the affected workers' covariance assembly, never for
+rebuilding the statistics from scratch.  Every backend of the
+``backend=`` knob — dense, sparse, bitset — implements the same
+``apply_response`` delta update, so streaming works identically under the
+cost-based ``"auto"`` choice whichever backend it lands on.
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, InsufficientDataError
 from repro.core.agreement import AgreementStatistics, pair_key
 from repro.core.m_worker import MWorkerEstimator
-from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
+from repro.data.dense_backend import AgreementBackendBase, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import WorkerErrorEstimate
 
@@ -153,9 +155,10 @@ class IncrementalEvaluator:
     optimize_weights:
         Passed through to :class:`MWorkerEstimator`.
     backend:
-        Statistics backend: ``"dense"`` keeps delta-updated count matrices
-        (recommended), ``"dict"`` recomputes from the sparse store, ``"auto"``
-        decides by matrix size.  Results are identical either way.
+        Statistics backend: ``"dense"``/``"sparse"``/``"bitset"`` keep
+        delta-updated count structures (recommended), ``"dict"`` recomputes
+        from the sparse store, ``"auto"`` applies the cost model over grid
+        size and observed fill.  Results are identical either way.
 
     Notes
     -----
@@ -185,7 +188,7 @@ class IncrementalEvaluator:
             confidence=confidence, optimize_weights=optimize_weights, backend=backend
         )
         self._backend_choice = backend
-        self._backend: DenseAgreementBackend | None = resolve_backend(
+        self._backend: AgreementBackendBase | None = resolve_backend(
             self._matrix, backend
         )
         self._tracker = _DependencyTracker()
@@ -217,12 +220,14 @@ class IncrementalEvaluator:
 
         Cached estimates stay valid: the added tasks carry no responses, so
         no statistic any cached computation read has changed.  Under
-        ``backend="auto"`` the rebuild re-resolves against the grown cell
-        count and may flip the evaluator from the dense to the dict path
+        ``backend="auto"`` the rebuild re-resolves the cost model against
+        the grown cell count (and the now-lower observed fill) and may flip
+        the evaluator between the dense, sparse, bitset and dict paths
         mid-stream; that only affects throughput — backends are
         bit-identical by contract, and the threshold-crossing regression
-        test in ``tests/unit/test_incremental_and_new_baselines.py`` pins
-        that served intervals still equal a fresh batch run.
+        tests (``tests/unit/test_incremental_and_new_baselines.py`` and
+        ``tests/unit/test_sparse_backend.py``) pin that served intervals
+        still equal a fresh batch run across every flip.
         """
         if additional_tasks <= 0:
             raise ConfigurationError(

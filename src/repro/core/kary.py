@@ -354,11 +354,13 @@ class KaryEstimator:
         When True (default), intervals are reported for the row-normalized
         response probabilities ``P_i``; when False, for ``S^{1/2}_D P_i``.
     backend:
-        Where the Algorithm A3 count tensor comes from: ``"dense"`` builds it
-        with one vectorized ``np.bincount`` over encoded label indices (see
+        Where the Algorithm A3 count tensor comes from: any vectorized
+        backend (``"dense"``, ``"sparse"``, ``"bitset"``) builds it with one
+        ``np.bincount`` over encoded label indices (see
         :mod:`repro.data.dense_backend`), ``"dict"`` uses the original
-        per-task Python loop, ``"auto"`` picks dense for matrices small
-        enough to materialize.  The tensors are exactly equal either way.
+        per-task Python loop, ``"auto"`` picks a vectorized backend for
+        matrices small enough to materialize.  The tensors are exactly
+        equal either way.
     """
 
     confidence: float = 0.95

@@ -295,9 +295,15 @@ class MWorkerEstimator:
         Only needed for the random pairing strategy.
     backend:
         Agreement-statistics backend: ``"dense"`` (vectorized NumPy),
-        ``"dict"`` (original lazy set intersections) or ``"auto"``.  Both
-        produce bit-identical intervals; dense is ~10-100x faster for batch
-        evaluation.  Ignored when a prebuilt ``stats`` object is supplied.
+        ``"sparse"`` (scipy.sparse CSR pair counts + fill-restricted triple
+        grids), ``"bitset"`` (packed-rows low-memory mode), ``"dict"``
+        (original lazy set intersections) or ``"auto"`` (cost-based
+        selection over grid size and observed fill; see
+        :func:`~repro.data.dense_backend.auto_backend_choice`).  All
+        produce bit-identical intervals; the vectorized backends are
+        ~10-100x faster for batch evaluation, and sparse/bitset open
+        low-fill grids the dense arrays cannot hold.  Ignored when a
+        prebuilt ``stats`` object is supplied.
     batch_triples:
         Evaluate all of a worker's triples in one vectorized pass (Step 2 of
         Algorithm A2) instead of the sequential per-triple loop.  Requires
@@ -347,10 +353,16 @@ class MWorkerEstimator:
     remains bit-identical to the serial scalar path.
 
     The sharded path falls back to serial whenever the contract cannot hold
-    or sharding cannot help: no dense backend, fewer workers than shards, a
-    single shard's worth of work, or a custom ``rng`` (the random pairing
-    strategy consumes the generator sequentially across workers, which a
-    process pool cannot replicate).
+    or sharding cannot help: no backend whose arrays can be exported over
+    shared memory (only the dense backend sets
+    ``supports_shared_export`` — with the sparse and bitset backends
+    ``shards=`` silently evaluates serially, with identical results),
+    fewer workers than shards, a single shard's worth of work, or a custom
+    ``rng`` (the random pairing strategy consumes the generator
+    sequentially across workers, which a process pool cannot replicate).
+    The batching knobs need no such fallback: ``batch_triples`` and
+    ``batch_lemma4`` compose with every vectorized backend (see the
+    capability matrix in :mod:`repro.core.agreement`).
     """
 
     confidence: float = 0.95
@@ -815,15 +827,17 @@ class MWorkerEstimator:
     def _shardable(self, matrix: ResponseMatrix, stats: AgreementStatistics) -> bool:
         """Whether the sharded path applies (else fall back to serial).
 
-        Guards: a single shard, no dense backend (the shared-memory export
-        needs the dense arrays), fewer workers than shards (tiny matrices
-        must not deadlock in a near-empty pool or drop workers), and a
-        custom ``rng`` (sequential generator consumption cannot be
-        replicated across processes).
+        Guards: a single shard, a backend without shared-memory export
+        (only the dense backend sets ``supports_shared_export``; the
+        sparse/bitset backends evaluate serially with identical results),
+        fewer workers than shards (tiny matrices must not deadlock in a
+        near-empty pool or drop workers), and a custom ``rng`` (sequential
+        generator consumption cannot be replicated across processes).
         """
         return (
             self.shards > 1
             and stats.has_dense_backend
+            and getattr(stats.backend, "supports_shared_export", False)
             and matrix.n_workers >= self.shards
             and self.rng is None
         )

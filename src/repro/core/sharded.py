@@ -184,11 +184,14 @@ def evaluate_all_sharded(
     """Evaluate every worker, sharded across ``estimator.shards`` processes.
 
     Callers must have checked :meth:`MWorkerEstimator._shardable`; in
-    particular ``stats`` must carry a dense backend and
-    ``matrix.n_workers >= estimator.shards``.
+    particular ``stats`` must carry a dense backend (the only backend with
+    ``supports_shared_export`` — sparse/bitset statistics take the serial
+    fallback) and ``matrix.n_workers >= estimator.shards``.
     """
     backend = stats.backend
-    assert backend is not None, "sharded evaluation requires a dense backend"
+    assert backend is not None and backend.supports_shared_export, (
+        "sharded evaluation requires the dense backend's shared-memory export"
+    )
     # Materialize the lazy caches once in the parent so shards share them.
     exports = {
         "attempts": backend._attempts,

@@ -9,10 +9,11 @@ the confidence-interval machinery.  Figure 4 shows the resulting accuracy
 improvement.
 
 The disagreement proxy is computed either with the original per-task Python
-loops (O(responses * workers-per-task) per worker) or, when a dense backend
-is selected, from a per-task vote table built once for all workers (see
-:meth:`~repro.data.dense_backend.DenseAgreementBackend.majority_disagreement_rates`).
-Both produce identical rates.
+loops (O(responses * workers-per-task) per worker) or, when a vectorized
+backend is selected (dense, sparse or bitset), from a per-task vote table
+built once for all workers (see
+:meth:`~repro.data.dense_backend.AgreementBackendBase.majority_disagreement_rates`).
+All produce identical rates.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError, InsufficientDataError
-from repro.data.dense_backend import DenseAgreementBackend, resolve_backend
+from repro.data.dense_backend import AgreementBackendBase, resolve_backend
 from repro.data.response_matrix import ResponseMatrix
 
 __all__ = ["SpammerFilterResult", "filter_spammers"]
@@ -64,7 +65,7 @@ def filter_spammers(
     matrix: ResponseMatrix,
     threshold: float = DEFAULT_SPAMMER_THRESHOLD,
     min_remaining: int = 3,
-    backend: str | DenseAgreementBackend | None = "auto",
+    backend: str | AgreementBackendBase | None = "auto",
 ) -> SpammerFilterResult:
     """Remove near-spammer workers before confidence-interval estimation.
 
@@ -78,10 +79,11 @@ def filter_spammers(
         Never prune below this many workers (the estimators need at least 3);
         if pruning would go below, the least-bad offenders are kept.
     backend:
-        ``"dense"`` computes all disagreement proxies from one vectorized
-        vote table, ``"dict"`` uses the original per-worker loops, ``"auto"``
-        decides by matrix size.  The proxies (and hence the filtering
-        decision) are identical either way.
+        Any vectorized backend (``"dense"``, ``"sparse"``, ``"bitset"``)
+        computes all disagreement proxies from one vote table, ``"dict"``
+        uses the original per-worker loops, ``"auto"`` applies the cost
+        model over grid size and observed fill.  The proxies (and hence the
+        filtering decision) are identical either way.
 
     Returns
     -------

@@ -359,12 +359,12 @@ def evaluate_triples_batched_arrays(
     array aligned with ``pairs`` — the cross-worker form in which
     ``MWorkerEstimator.evaluate_all`` concatenates every worker's triples
     into one stage invocation.  The cross-worker form requires the fast
-    cached inputs (dense backend, no observer).
+    cached inputs (a vectorized backend, no observer).
     """
     if not stats.has_dense_backend:
         raise ConfigurationError(
-            "evaluate_triples_batched requires a dense statistics backend; "
-            "use AgreementStatistics.precompute or backend='dense'"
+            "evaluate_triples_batched requires a vectorized statistics "
+            "backend; use AgreementStatistics.precompute or backend='dense'"
         )
     if not pairs:
         empty = np.zeros(0)
@@ -607,8 +607,9 @@ def evaluate_three_workers(
         How far above 1/2 agreement rates are forced to stay (numerical
         guard around the Eq. (1) singularity).
     backend:
-        Agreement-statistics backend (``"auto"``, ``"dense"`` or ``"dict"``);
-        the choice does not affect the produced intervals.
+        Agreement-statistics backend (``"auto"``, ``"dense"``, ``"sparse"``,
+        ``"bitset"`` or ``"dict"``); the choice does not affect the produced
+        intervals.
     """
     if not matrix.is_binary:
         raise ConfigurationError(

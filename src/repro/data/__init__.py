@@ -4,15 +4,26 @@ The single interchange type is :class:`~repro.data.response_matrix.ResponseMatri
 a sparse worker-by-task response store supporting binary and k-ary labels,
 optional gold labels, and the co-attempt queries (``c_ij``, ``c_ijk``) the
 paper's algorithms are built on.  The same queries are served two orders of
-magnitude faster by :class:`~repro.data.dense_backend.DenseAgreementBackend`,
-a vectorized NumPy mirror of the sparse store that every estimator can opt
-into via its ``backend`` knob.
+magnitude faster by the vectorized backends — dense NumPy arrays
+(:class:`~repro.data.dense_backend.DenseAgreementBackend`), scipy.sparse
+CSR (:class:`~repro.data.sparse_backend.SparseAgreementBackend`) and
+packed-bitset low-memory storage
+(:class:`~repro.data.sparse_backend.BitsetAgreementBackend`) — that every
+estimator opts into via its ``backend`` knob, with cost-based selection
+under ``"auto"``.
 """
 
 from repro.data.dense_backend import (
     BACKEND_CHOICES,
+    AgreementBackendBase,
     DenseAgreementBackend,
+    auto_backend_choice,
     resolve_backend,
+)
+from repro.data.sparse_backend import (
+    BitsetAgreementBackend,
+    SparseAgreementBackend,
+    scipy_available,
 )
 from repro.data.response_matrix import UNANSWERED, ResponseMatrix
 from repro.data.loaders import (
@@ -27,9 +38,14 @@ from repro.data.registry import DATASET_REGISTRY, dataset_names, load_dataset
 __all__ = [
     "UNANSWERED",
     "BACKEND_CHOICES",
+    "AgreementBackendBase",
+    "BitsetAgreementBackend",
     "DenseAgreementBackend",
     "ResponseMatrix",
+    "SparseAgreementBackend",
+    "auto_backend_choice",
     "resolve_backend",
+    "scipy_available",
     "load_response_matrix_csv",
     "load_response_matrix_json",
     "save_response_matrix_csv",

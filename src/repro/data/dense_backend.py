@@ -12,38 +12,46 @@ quantities over a :class:`~repro.data.response_matrix.ResponseMatrix`:
 The reference implementation computes these from the dict-of-dicts sparse
 layout with Python set intersections, which makes batch evaluation
 (``MWorkerEstimator.evaluate_all``) O(m^2 * n) in pure Python.  This module
-provides :class:`DenseAgreementBackend`, which represents the responses as
-per-worker indicator/label arrays and obtains the same *exact integer*
-counts with NumPy:
+provides the vectorized alternatives behind one interface:
 
-* **all** pairwise common-task counts in one boolean matrix product
-  ``A @ A.T`` (O(m^2 n) flops, but in BLAS), and agreement counts as a sum
-  of one such product per label value;
-* triple counts ``c_ijk`` on demand from cached per-worker row *bitsets*
-  (``np.packbits`` rows; a triple costs one AND + popcount over ``n/8``
-  bytes), or batched for a whole partner set via a masked matrix product;
-* the Algorithm A3 count tensor via a single ``np.bincount`` over encoded
-  label indices;
-* the spammer filter's majority-disagreement rates from a per-task vote
-  table, all workers at once.
+* :class:`AgreementBackendBase` — the shared skeleton every vectorized
+  backend implements: exact-integer pair/triple count queries, the derived
+  float caches (``common_counts_f64``, pre-clamped rate matrices), and
+  generic vote-table / majority-disagreement / A3-tensor computations built
+  on per-worker row accessors;
+* :class:`DenseAgreementBackend` — dense indicator/label arrays; **all**
+  pairwise counts in one boolean matrix product (O(m^2 n) flops, in BLAS),
+  triple counts from packed bitset rows or masked matrix products;
+* :class:`~repro.data.sparse_backend.SparseAgreementBackend` — scipy.sparse
+  CSR matmuls for the pairwise counts (work scales with the observed fill,
+  not with m*n) over bitset-only row storage;
+* :class:`~repro.data.sparse_backend.BitsetAgreementBackend` — packed rows
+  only (one bit per cell per label plane), the low-memory fallback for
+  grids whose dense arrays cannot be materialized.
 
 Because every quantity is an exact integer count (all sums stay far below
-2^53, so float64 matrix products are exact), estimators produce
+2^53, so float matrix products and popcounts are exact), estimators produce
 **bit-identical** results whichever backend computes the statistics; the
-property tests in ``tests/unit/test_dense_backend.py`` enforce this.
+cross-backend differential suite in
+``tests/property/test_cross_backend_differential.py`` enforces this for
+every backend and every public entry point.
 
-Memory cost is O(m*n) bytes for the indicator/label arrays plus O(m^2) for
-the cached pair-count matrices; :func:`resolve_backend` therefore falls back
-to the dict-of-dicts path for matrices above ``AUTO_DENSE_CELL_LIMIT`` cells.
+Backend selection (:func:`resolve_backend`) is cost-based: ``"auto"``
+consults :func:`auto_backend_choice`, which weighs the grid size ``m * n``
+against the observed fill (``n_responses / (m * n)``) to pick the cheapest
+backend that can hold the data — see the function docstring for the exact
+decision table.  An explicit ``backend=`` request always wins.
 
-The backend also supports O(row) *delta updates* (:meth:`apply_response`),
-which the incremental evaluator uses to keep the cached count matrices in
-sync with a response stream without rebuilding.
+The dense backend additionally supports O(row) *delta updates*
+(:meth:`DenseAgreementBackend.apply_response`), which the incremental
+evaluator uses to keep the cached count matrices in sync with a response
+stream without rebuilding; the bitset and sparse backends implement the
+same method against their packed planes.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -51,10 +59,15 @@ from repro.exceptions import ConfigurationError, DataValidationError
 from repro.data.response_matrix import UNANSWERED, ResponseMatrix
 
 __all__ = [
+    "AUTO_BITSET_CELL_LIMIT",
     "AUTO_DENSE_CELL_LIMIT",
     "AUTO_DENSE_WORKER_LIMIT",
+    "AUTO_SPARSE_DENSITY",
+    "AUTO_SPARSE_MIN_CELLS",
     "BACKEND_CHOICES",
+    "AgreementBackendBase",
     "DenseAgreementBackend",
+    "auto_backend_choice",
     "resolve_backend",
     "resolve_triple_backend",
 ]
@@ -68,8 +81,30 @@ AUTO_DENSE_CELL_LIMIT: int = 50_000_000
 #: gigabytes even when m*n is modest.
 AUTO_DENSE_WORKER_LIMIT: int = 4096
 
+#: Observed-fill threshold of the cost model: below this density the
+#: CSR-driven pair-count products (work proportional to the fill) beat the
+#: dense O(m^2 n) products, and the fill-restricted triple grids dominate
+#: the full masked matmuls.
+AUTO_SPARSE_DENSITY: float = 0.05
+
+#: Grids at or below this many cells always take the dense backend under
+#: ``"auto"``: the dense build is trivially cheap there and avoids the
+#: packed-row bookkeeping (this also keeps historical auto behaviour for
+#: every small matrix).
+AUTO_SPARSE_MIN_CELLS: int = 1 << 20
+
+#: Ceiling for the bitset fallback, expressed in *binary-matrix* cells:
+#: packed storage costs one bit per cell per plane and a binary matrix has
+#: 3 planes (attempts + 2 labels), so grids up to 8x the dense cell limit
+#: still fit when the dense arrays (1 byte + 2 bytes per cell) cannot be
+#: materialized.  Higher arities carry ``arity + 1`` planes; the cost model
+#: scales the ceiling down accordingly (``cells * (arity + 1) <= 3x`` this
+#: limit) so the low-memory fallback never outgrows the budget that made it
+#: reject the dense backend.
+AUTO_BITSET_CELL_LIMIT: int = 8 * AUTO_DENSE_CELL_LIMIT
+
 #: Valid values for the ``backend=`` knobs exposed across the library.
-BACKEND_CHOICES: tuple[str, ...] = ("auto", "dense", "dict")
+BACKEND_CHOICES: tuple[str, ...] = ("auto", "dense", "dict", "sparse", "bitset")
 
 #: Popcount lookup table for the packed bitset rows (fallback for NumPy
 #: builds without the native ``bitwise_count`` ufunc).
@@ -105,7 +140,370 @@ def _indicator_product(indicator: np.ndarray, n_tasks: int) -> np.ndarray:
     return converted @ converted.T
 
 
-class DenseAgreementBackend:
+class AgreementBackendBase:
+    """Shared skeleton of every vectorized agreement-statistics backend.
+
+    A backend serves exact integer counts (pairwise common tasks and
+    agreements, triple common tasks, per-task votes, the A3 count tensor)
+    plus a handful of derived float caches the batched estimator stages
+    slice from.  Because every count is an exact integer, two backends that
+    agree on the counts produce bit-identical estimates — the concrete
+    subclasses differ only in *storage* and in how the counts are computed:
+
+    ==========  =======================  ==================================
+    backend     storage                  pairwise counts
+    ==========  =======================  ==================================
+    ``dense``   bool/int16 ``(m, n)``    boolean matrix products (BLAS)
+    ``sparse``  packed bits + CSR index  scipy.sparse CSR matmuls (~ fill)
+    ``bitset``  packed bits only         AND + popcount over packed rows
+    ==========  =======================  ==================================
+
+    Capability flags
+    ----------------
+    ``supports_shared_export``
+        Whether the backend's arrays can be exported through
+        ``multiprocessing.shared_memory`` for sharded evaluation
+        (:mod:`repro.core.sharded`).  Only the dense backend supports this;
+        with any other backend ``shards=`` silently falls back to serial
+        evaluation (results are identical — the knob is throughput-only).
+
+    Subclass contract
+    -----------------
+    Concrete backends must provide the storage hooks ``_packed_rows``
+    (packed attempt bitsets, big-endian bit order as ``np.packbits``),
+    ``_attempt_row`` / ``_label_row`` (one worker's boolean attempt row and
+    int label row with :data:`~repro.data.response_matrix.UNANSWERED` in
+    unattempted cells), the count builders ``common_counts`` /
+    ``agreement_counts``, the triple-grid queries ``triple_count_matrix`` /
+    ``triple_count_grid_full``, and ``apply_response`` (the O(row) delta
+    update).  Everything else — scalar pair/triple queries, the derived
+    float caches, the vote table, the majority-disagreement proxy and the
+    A3 count tensor — is inherited.  New backends must also register in the
+    differential suite's path tables (see
+    ``tests/property/test_cross_backend_differential.py``) so the
+    bit-identity contract is enforced for them on every public entry point.
+    """
+
+    #: Knob value the backend answers to (``resolve_backend`` choice name).
+    name: str = "base"
+
+    #: See the class docstring; only the dense backend can be sharded.
+    supports_shared_export: bool = False
+
+    #: Cap on the Python-list mirror of the pair-count matrix (~28 bytes per
+    #: int object; 1024^2 is ~30 MB).
+    _COMMON_LIST_WORKER_LIMIT = 1024
+
+    _n_workers: int
+    _n_tasks: int
+    _arity: int
+
+    def _init_caches(
+        self,
+        common_counts: np.ndarray | None = None,
+        agreement_counts: np.ndarray | None = None,
+    ) -> None:
+        """Reset every lazily-built derived cache.
+
+        Single source of truth for the shared cache attribute set — called
+        by every concrete constructor (and by
+        :meth:`DenseAgreementBackend.from_arrays`, which builds instances
+        via ``__new__``).  Caches are kept in sync by ``apply_response``.
+        """
+        self._common: np.ndarray | None = common_counts
+        self._agree: np.ndarray | None = agreement_counts
+        self._task_votes: np.ndarray | None = None
+        self._common_f64: np.ndarray | None = None
+        self._common_list: list[list[int]] | None = None
+        self._clamped_rates: dict[
+            float, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def n_tasks(self) -> int:
+        return self._n_tasks
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def _validate_workers(self, *workers: int) -> None:
+        for worker in workers:
+            if not (0 <= worker < self._n_workers):
+                raise DataValidationError(
+                    f"worker id {worker} out of range [0, {self._n_workers})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Storage hooks (concrete backends implement these)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _packed_rows(self) -> np.ndarray:
+        """Packed per-worker attempt bitsets (``np.packbits`` rows)."""
+        raise NotImplementedError
+
+    def _attempt_row(self, worker: int) -> np.ndarray:
+        """Boolean attempt indicator row of one worker, length ``n_tasks``."""
+        raise NotImplementedError
+
+    def _label_row(self, worker: int) -> np.ndarray:
+        """Integer label row of one worker (``UNANSWERED`` where absent)."""
+        raise NotImplementedError
+
+    @property
+    def common_counts(self) -> np.ndarray:
+        """The full ``(m, m)`` matrix of pairwise common-task counts ``c_ij``."""
+        raise NotImplementedError
+
+    @property
+    def agreement_counts(self) -> np.ndarray:
+        """The full ``(m, m)`` matrix of pairwise agreement counts."""
+        raise NotImplementedError
+
+    def triple_count_matrix(
+        self,
+        worker: int,
+        partners: Sequence[int] | np.ndarray,
+        fast: bool = False,
+    ) -> np.ndarray:
+        """All ``c_{worker, x, y}`` for ``x, y`` in ``partners`` (float64,
+        exact integer counts)."""
+        raise NotImplementedError
+
+    def triple_count_grid_full(self, worker: int) -> np.ndarray:
+        """All ``c_{worker, x, y}`` over *every* worker pair, exact counts."""
+        raise NotImplementedError
+
+    def apply_response(
+        self, worker: int, task: int, label: int, previous_label: int | None = None
+    ) -> None:
+        """O(row) delta update after one ``(worker, task, label)`` ingestion."""
+        raise NotImplementedError
+
+    def triple_count_tensor(self) -> np.ndarray | None:
+        """The full cached triple-count tensor, or None when unavailable.
+
+        Only the dense backend materializes the tensor; the default is the
+        documented fallback signal — callers fall back to
+        :meth:`triple_count_grid_full` / per-worker grids.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Derived float caches (shared)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def common_counts_f64(self) -> np.ndarray:
+        """Float64 view of :attr:`common_counts` (exact; cached for slicing)."""
+        if self._common_f64 is None:
+            self._common_f64 = self.common_counts.astype(np.float64)
+        return self._common_f64
+
+    @property
+    def common_counts_list(self) -> list[list[int]] | None:
+        """Python-list mirror of :attr:`common_counts` for hot scalar scans.
+
+        The greedy pairing's partner scan reads single counts millions of
+        times per batch; plain-list indexing is several times cheaper than
+        NumPy scalar indexing.  ``None`` for worker counts too large to
+        mirror affordably (callers then scan the array directly).
+        """
+        if self._n_workers > self._COMMON_LIST_WORKER_LIMIT:
+            return None
+        if self._common_list is None:
+            self._common_list = self.common_counts.tolist()
+        return self._common_list
+
+    def clamped_rate_data(
+        self, clamp_margin: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rates, 2*rates - 1, clamp flags)`` for all pairs, cached.
+
+        ``rates`` applies exactly the elementwise sequence of
+        ``clamp_agreement`` to ``agreements / common``; pairs without common
+        tasks come out NaN (callers mask them).  The batched evaluation
+        stages read per-worker slices of these matrices, so the divisions,
+        clamps and ``2q - 1`` terms are computed once per batch instead of
+        once per evaluated worker.  Cached per margin and invalidated by
+        ``apply_response``.
+        """
+        cached = self._clamped_rates.get(clamp_margin)
+        if cached is not None:
+            return cached
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = self.agreement_counts.astype(np.float64) / self.common_counts_f64
+        over = raw > 1.0
+        rates = np.where(over, 1.0, raw)
+        lower = 0.5 + clamp_margin
+        under = rates < lower
+        rates = np.where(under, lower, rates)
+        data = (rates, 2.0 * rates - 1.0, over | under)
+        self._clamped_rates[clamp_margin] = data
+        return data
+
+    @property
+    def task_votes(self) -> np.ndarray:
+        """Per-task label vote counts, shape ``(n_tasks, arity)``.
+
+        Generic row-by-row accumulation; the dense backend overrides this
+        with a single vectorized pass over its label matrix (same counts).
+        """
+        if self._task_votes is None:
+            votes = np.zeros((self._n_tasks, self._arity), dtype=np.int64)
+            for worker in range(self._n_workers):
+                tasks = np.nonzero(self._attempt_row(worker))[0]
+                if tasks.size == 0:
+                    continue
+                # Tasks are unique within a row, so plain fancy-index
+                # addition is safe (no duplicate-index collapse).
+                votes[tasks, self._label_row(worker)[tasks].astype(np.int64)] += 1
+            self._task_votes = votes
+        return self._task_votes
+
+    # ------------------------------------------------------------------ #
+    # Pair / triple statistics (shared)
+    # ------------------------------------------------------------------ #
+
+    def pair(self, worker_a: int, worker_b: int) -> tuple[int, int]:
+        """``(c_ab, agreement count)`` for one pair of workers."""
+        self._validate_workers(worker_a, worker_b)
+        return (
+            int(self.common_counts[worker_a, worker_b]),
+            int(self.agreement_counts[worker_a, worker_b]),
+        )
+
+    def triple_common_count(self, worker_a: int, worker_b: int, worker_c: int) -> int:
+        """``c_abc`` via one AND + popcount over the packed bitset rows."""
+        self._validate_workers(worker_a, worker_b, worker_c)
+        packed = self._packed_rows
+        joint = packed[worker_a] & packed[worker_b] & packed[worker_c]
+        return int(_popcount(joint).sum())
+
+    def triple_common_counts(
+        self,
+        worker: int | np.ndarray,
+        partners_a: Sequence[int] | np.ndarray,
+        partners_b: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """``c_{w_t, a_t, b_t}`` for aligned triple arrays, in one pass.
+
+        Unlike :meth:`triple_count_matrix` (which produces the full partner
+        grid for the Lemma-4 assembly), this evaluates only the ``l``
+        requested triples — one AND + popcount over the packed bitset rows
+        per triple, vectorized across the whole batch.  This is what the
+        batched per-triple stage consumes: one count per formed triple.
+        ``worker`` may be a single id shared by every triple, or an array
+        aligned with the partner arrays (the cross-worker batch of
+        ``evaluate_all``).
+        """
+        a_index = np.asarray(partners_a, dtype=np.int64)
+        b_index = np.asarray(partners_b, dtype=np.int64)
+        if a_index.shape != b_index.shape:
+            raise DataValidationError(
+                "partners_a and partners_b must have identical shapes"
+            )
+        for index in (a_index, b_index):
+            if index.size and (index.min() < 0 or index.max() >= self._n_workers):
+                raise DataValidationError("partner id out of range")
+        packed = self._packed_rows
+        if np.ndim(worker) == 0:
+            self._validate_workers(int(worker))
+            worker_rows = packed[int(worker)][None, :]
+        else:
+            worker_index = np.asarray(worker, dtype=np.int64)
+            if worker_index.shape != a_index.shape:
+                raise DataValidationError(
+                    "a worker array must align with the partner arrays"
+                )
+            if worker_index.size and (
+                worker_index.min() < 0 or worker_index.max() >= self._n_workers
+            ):
+                raise DataValidationError("worker id out of range")
+            worker_rows = packed[worker_index]
+        if a_index.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        joint = worker_rows & packed[a_index] & packed[b_index]
+        return _popcount(joint).sum(axis=1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm A3 count tensor (shared, via the row accessors)
+    # ------------------------------------------------------------------ #
+
+    def response_count_tensor(
+        self, workers: tuple[int, int, int] | list[int]
+    ) -> np.ndarray:
+        """The ``(k+1)^3`` Counts tensor of Algorithm A3, via one bincount.
+
+        Exactly matches :meth:`ResponseMatrix.response_count_tensor`: index 0
+        in any coordinate means "did not attempt" and tasks attempted by none
+        of the three workers are not counted.
+        """
+        if len(workers) != 3:
+            raise DataValidationError(
+                f"response_count_tensor expects exactly 3 workers, got {len(workers)}"
+            )
+        w1, w2, w3 = workers
+        self._validate_workers(w1, w2, w3)
+        if len({w1, w2, w3}) != 3:
+            raise DataValidationError("the three workers must be distinct")
+        k = self._arity
+        side = k + 1
+        indices = []
+        for worker in (w1, w2, w3):
+            shifted = self._label_row(worker).astype(np.int64) + 1
+            indices.append(np.where(self._attempt_row(worker), shifted, 0))
+        flat = (indices[0] * side + indices[1]) * side + indices[2]
+        counts = np.bincount(flat, minlength=side**3).astype(float)
+        counts = counts.reshape(side, side, side)
+        counts[0, 0, 0] = 0.0
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Spammer-filter proxy (shared, via the row accessors)
+    # ------------------------------------------------------------------ #
+
+    def majority_disagreement_rates(self) -> list[float | None]:
+        """Majority-disagreement proxy for every worker, vectorized.
+
+        Mirrors :meth:`ResponseMatrix.disagreement_with_majority` exactly
+        (own vote excluded, ties count as agreement) but computes the vote
+        table once for all workers.  Workers that cannot be scored — no
+        responses, or no task shared with anyone — map to ``None`` instead of
+        raising.
+        """
+        votes = self.task_votes
+        rates: list[float | None] = []
+        for worker in range(self._n_workers):
+            tasks = np.nonzero(self._attempt_row(worker))[0]
+            if tasks.size == 0:
+                rates.append(None)
+                continue
+            own = self._label_row(worker)[tasks].astype(np.int64)
+            others = votes[tasks].copy()
+            others[np.arange(tasks.size), own] -= 1
+            judged = others.sum(axis=1) > 0
+            n_judged = int(judged.sum())
+            if n_judged == 0:
+                rates.append(None)
+                continue
+            own_count = others[np.arange(tasks.size), own]
+            best = others.max(axis=1)
+            disagreements = int(((own_count < best) & judged).sum())
+            rates.append(disagreements / n_judged)
+        return rates
+
+
+class DenseAgreementBackend(AgreementBackendBase):
     """Vectorized agreement-statistics provider for one response matrix.
 
     The backend keeps two dense arrays — a boolean attempt matrix ``A`` of
@@ -122,6 +520,9 @@ class DenseAgreementBackend:
     All counts are exact integers; see the module docstring for why the
     float64 matrix products cannot lose precision.
     """
+
+    name = "dense"
+    supports_shared_export = True
 
     def __init__(self, matrix: ResponseMatrix) -> None:
         self._n_workers = matrix.n_workers
@@ -145,27 +546,21 @@ class DenseAgreementBackend:
         common_counts: np.ndarray | None = None,
         agreement_counts: np.ndarray | None = None,
     ) -> None:
-        """Reset every lazily-built derived cache.
+        """Reset the shared caches plus the dense-only derived arrays.
 
-        Single source of truth for the cache attribute set — called by both
-        ``__init__`` and :meth:`from_arrays` (which builds instances via
-        ``__new__``), so a cache added here exists on shard-reconstructed
-        backends too.  Caches are kept in sync by :meth:`apply_response`.
+        Called by both ``__init__`` and :meth:`from_arrays` (which builds
+        instances via ``__new__``), so a cache added here exists on
+        shard-reconstructed backends too.
         """
-        self._common: np.ndarray | None = common_counts
-        self._agree: np.ndarray | None = agreement_counts
+        super()._init_caches(
+            common_counts=common_counts, agreement_counts=agreement_counts
+        )
         self._packed: np.ndarray | None = None
-        self._task_votes: np.ndarray | None = None
-        self._common_f64: np.ndarray | None = None
         self._attempts_f32: np.ndarray | None = None
-        self._common_list: list[list[int]] | None = None
         self._triple_tensor: np.ndarray | None = None
-        self._clamped_rates: dict[
-            float, tuple[np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
 
     # ------------------------------------------------------------------ #
-    # Construction / shape
+    # Construction
     # ------------------------------------------------------------------ #
 
     @classmethod
@@ -208,17 +603,21 @@ class DenseAgreementBackend:
         )
         return self
 
-    @property
-    def n_workers(self) -> int:
-        return self._n_workers
+    # ------------------------------------------------------------------ #
+    # Storage hooks
+    # ------------------------------------------------------------------ #
+
+    def _attempt_row(self, worker: int) -> np.ndarray:
+        return self._attempts[worker]
+
+    def _label_row(self, worker: int) -> np.ndarray:
+        return self._labels[worker]
 
     @property
-    def n_tasks(self) -> int:
-        return self._n_tasks
-
-    @property
-    def arity(self) -> int:
-        return self._arity
+    def _packed_rows(self) -> np.ndarray:
+        if self._packed is None:
+            self._packed = np.packbits(self._attempts, axis=1)
+        return self._packed
 
     # ------------------------------------------------------------------ #
     # Lazy derived caches
@@ -245,41 +644,9 @@ class DenseAgreementBackend:
             self._agree = agree
         return self._agree
 
-    @property
-    def _packed_rows(self) -> np.ndarray:
-        if self._packed is None:
-            self._packed = np.packbits(self._attempts, axis=1)
-        return self._packed
-
-    @property
-    def common_counts_f64(self) -> np.ndarray:
-        """Float64 view of :attr:`common_counts` (exact; cached for slicing)."""
-        if self._common_f64 is None:
-            self._common_f64 = self.common_counts.astype(np.float64)
-        return self._common_f64
-
     #: Cap on the float32 attempt-matrix cache: 4 bytes/cell, so this keeps
     #: the extra footprint under ~128 MB even at the dense auto-limit.
     _ATTEMPTS_F32_CELL_LIMIT = 2**25
-
-    #: Cap on the Python-list mirror of the pair-count matrix (~28 bytes per
-    #: int object; 1024^2 is ~30 MB).
-    _COMMON_LIST_WORKER_LIMIT = 1024
-
-    @property
-    def common_counts_list(self) -> list[list[int]] | None:
-        """Python-list mirror of :attr:`common_counts` for hot scalar scans.
-
-        The greedy pairing's partner scan reads single counts millions of
-        times per batch; plain-list indexing is several times cheaper than
-        NumPy scalar indexing.  ``None`` for worker counts too large to
-        mirror affordably (callers then scan the array directly).
-        """
-        if self._n_workers > self._COMMON_LIST_WORKER_LIMIT:
-            return None
-        if self._common_list is None:
-            self._common_list = self.common_counts.tolist()
-        return self._common_list
 
     @property
     def _attempts_as_f32(self) -> np.ndarray | None:
@@ -289,33 +656,6 @@ class DenseAgreementBackend:
         if self._attempts_f32 is None:
             self._attempts_f32 = self._attempts.astype(np.float32)
         return self._attempts_f32
-
-    def clamped_rate_data(
-        self, clamp_margin: float
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(rates, 2*rates - 1, clamp flags)`` for all pairs, cached.
-
-        ``rates`` applies exactly the elementwise sequence of
-        ``clamp_agreement`` to ``agreements / common``; pairs without common
-        tasks come out NaN (callers mask them).  The batched evaluation
-        stages read per-worker slices of these matrices, so the divisions,
-        clamps and ``2q - 1`` terms are computed once per batch instead of
-        once per evaluated worker.  Cached per margin and invalidated by
-        :meth:`apply_response`.
-        """
-        cached = self._clamped_rates.get(clamp_margin)
-        if cached is not None:
-            return cached
-        with np.errstate(divide="ignore", invalid="ignore"):
-            raw = self.agreement_counts.astype(np.float64) / self.common_counts_f64
-        over = raw > 1.0
-        rates = np.where(over, 1.0, raw)
-        lower = 0.5 + clamp_margin
-        under = rates < lower
-        rates = np.where(under, lower, rates)
-        data = (rates, 2.0 * rates - 1.0, over | under)
-        self._clamped_rates[clamp_margin] = data
-        return data
 
     @property
     def task_votes(self) -> np.ndarray:
@@ -328,30 +668,8 @@ class DenseAgreementBackend:
         return self._task_votes
 
     # ------------------------------------------------------------------ #
-    # Pair / triple statistics
+    # Triple-count grids
     # ------------------------------------------------------------------ #
-
-    def _validate_workers(self, *workers: int) -> None:
-        for worker in workers:
-            if not (0 <= worker < self._n_workers):
-                raise DataValidationError(
-                    f"worker id {worker} out of range [0, {self._n_workers})"
-                )
-
-    def pair(self, worker_a: int, worker_b: int) -> tuple[int, int]:
-        """``(c_ab, agreement count)`` for one pair of workers."""
-        self._validate_workers(worker_a, worker_b)
-        return (
-            int(self.common_counts[worker_a, worker_b]),
-            int(self.agreement_counts[worker_a, worker_b]),
-        )
-
-    def triple_common_count(self, worker_a: int, worker_b: int, worker_c: int) -> int:
-        """``c_abc`` via one AND + popcount over the packed bitset rows."""
-        self._validate_workers(worker_a, worker_b, worker_c)
-        packed = self._packed_rows
-        joint = packed[worker_a] & packed[worker_b] & packed[worker_c]
-        return int(_popcount(joint).sum())
 
     def triple_count_matrix(
         self,
@@ -466,119 +784,6 @@ class DenseAgreementBackend:
             masked = (self._attempts & self._attempts[worker]).astype(np.float32)
         return masked @ masked.T
 
-    def triple_common_counts(
-        self,
-        worker: int | np.ndarray,
-        partners_a: Sequence[int] | np.ndarray,
-        partners_b: Sequence[int] | np.ndarray,
-    ) -> np.ndarray:
-        """``c_{w_t, a_t, b_t}`` for aligned triple arrays, in one pass.
-
-        Unlike :meth:`triple_count_matrix` (which produces the full partner
-        grid for the Lemma-4 assembly), this evaluates only the ``l``
-        requested triples — one AND + popcount over the packed bitset rows
-        per triple, vectorized across the whole batch.  This is what the
-        batched per-triple stage consumes: one count per formed triple.
-        ``worker`` may be a single id shared by every triple, or an array
-        aligned with the partner arrays (the cross-worker batch of
-        ``evaluate_all``).
-        """
-        a_index = np.asarray(partners_a, dtype=np.int64)
-        b_index = np.asarray(partners_b, dtype=np.int64)
-        if a_index.shape != b_index.shape:
-            raise DataValidationError(
-                "partners_a and partners_b must have identical shapes"
-            )
-        for index in (a_index, b_index):
-            if index.size and (index.min() < 0 or index.max() >= self._n_workers):
-                raise DataValidationError("partner id out of range")
-        packed = self._packed_rows
-        if np.ndim(worker) == 0:
-            self._validate_workers(int(worker))
-            worker_rows = packed[int(worker)][None, :]
-        else:
-            worker_index = np.asarray(worker, dtype=np.int64)
-            if worker_index.shape != a_index.shape:
-                raise DataValidationError(
-                    "a worker array must align with the partner arrays"
-                )
-            if worker_index.size and (
-                worker_index.min() < 0 or worker_index.max() >= self._n_workers
-            ):
-                raise DataValidationError("worker id out of range")
-            worker_rows = packed[worker_index]
-        if a_index.size == 0:
-            return np.zeros(0, dtype=np.int64)
-        joint = worker_rows & packed[a_index] & packed[b_index]
-        return _popcount(joint).sum(axis=1, dtype=np.int64)
-
-    # ------------------------------------------------------------------ #
-    # Algorithm A3 count tensor
-    # ------------------------------------------------------------------ #
-
-    def response_count_tensor(
-        self, workers: tuple[int, int, int] | list[int]
-    ) -> np.ndarray:
-        """The ``(k+1)^3`` Counts tensor of Algorithm A3, via one bincount.
-
-        Exactly matches :meth:`ResponseMatrix.response_count_tensor`: index 0
-        in any coordinate means "did not attempt" and tasks attempted by none
-        of the three workers are not counted.
-        """
-        if len(workers) != 3:
-            raise DataValidationError(
-                f"response_count_tensor expects exactly 3 workers, got {len(workers)}"
-            )
-        w1, w2, w3 = workers
-        self._validate_workers(w1, w2, w3)
-        if len({w1, w2, w3}) != 3:
-            raise DataValidationError("the three workers must be distinct")
-        k = self._arity
-        side = k + 1
-        indices = []
-        for worker in (w1, w2, w3):
-            shifted = self._labels[worker].astype(np.int64) + 1
-            indices.append(np.where(self._attempts[worker], shifted, 0))
-        flat = (indices[0] * side + indices[1]) * side + indices[2]
-        counts = np.bincount(flat, minlength=side**3).astype(float)
-        counts = counts.reshape(side, side, side)
-        counts[0, 0, 0] = 0.0
-        return counts
-
-    # ------------------------------------------------------------------ #
-    # Spammer-filter proxy
-    # ------------------------------------------------------------------ #
-
-    def majority_disagreement_rates(self) -> list[float | None]:
-        """Majority-disagreement proxy for every worker, vectorized.
-
-        Mirrors :meth:`ResponseMatrix.disagreement_with_majority` exactly
-        (own vote excluded, ties count as agreement) but computes the vote
-        table once for all workers.  Workers that cannot be scored — no
-        responses, or no task shared with anyone — map to ``None`` instead of
-        raising.
-        """
-        votes = self.task_votes
-        rates: list[float | None] = []
-        for worker in range(self._n_workers):
-            tasks = np.nonzero(self._attempts[worker])[0]
-            if tasks.size == 0:
-                rates.append(None)
-                continue
-            own = self._labels[worker, tasks].astype(np.int64)
-            others = votes[tasks].copy()
-            others[np.arange(tasks.size), own] -= 1
-            judged = others.sum(axis=1) > 0
-            n_judged = int(judged.sum())
-            if n_judged == 0:
-                rates.append(None)
-                continue
-            own_count = others[np.arange(tasks.size), own]
-            best = others.max(axis=1)
-            disagreements = int(((own_count < best) & judged).sum())
-            rates.append(disagreements / n_judged)
-        return rates
-
     # ------------------------------------------------------------------ #
     # Delta updates (incremental evaluation)
     # ------------------------------------------------------------------ #
@@ -637,10 +842,62 @@ class DenseAgreementBackend:
         self._labels[worker, task] = label
 
 
+def auto_backend_choice(
+    n_workers: int,
+    n_tasks: int,
+    n_responses: int,
+    sparse_available: bool | None = None,
+    arity: int = 2,
+) -> str:
+    """Cost model behind ``backend="auto"``: pick the cheapest viable backend.
+
+    The decision weighs the grid size ``cells = m * n`` against the observed
+    fill ``density = n_responses / cells``:
+
+    * ``m > AUTO_DENSE_WORKER_LIMIT`` → ``"dict"`` — every vectorized
+      backend caches O(m^2) pair-count matrices, which worker-heavy
+      matrices cannot afford regardless of fill;
+    * grid fits densely (``cells <= AUTO_DENSE_CELL_LIMIT``):
+      ``"dense"``, except that large very-sparse grids
+      (``cells > AUTO_SPARSE_MIN_CELLS`` and
+      ``density < AUTO_SPARSE_DENSITY``) take ``"sparse"`` when scipy is
+      importable — there the CSR pair-count products and the
+      fill-restricted triple grids do work proportional to
+      ``density * m * n`` instead of ``m * n`` per worker;
+    * grid does *not* fit densely: ``"sparse"`` when it is sparse enough
+      and scipy is importable, else ``"bitset"`` while the packed planes —
+      ``arity + 1`` of them, one bit per cell each — stay under the
+      binary-equivalent ``AUTO_BITSET_CELL_LIMIT`` budget, else ``"dict"``.
+
+    An explicit ``backend=`` request bypasses this model entirely
+    (:func:`resolve_backend` honours it even beyond every limit above).
+    ``sparse_available`` overrides the scipy-importability probe (tests use
+    this to pin both branches deterministically).
+    """
+    if sparse_available is None:
+        from repro.data.sparse_backend import scipy_available
+
+        sparse_available = scipy_available()
+    cells = n_workers * n_tasks
+    if n_workers > AUTO_DENSE_WORKER_LIMIT:
+        return "dict"
+    density = n_responses / cells if cells else 1.0
+    sparse_enough = density < AUTO_SPARSE_DENSITY
+    if cells <= AUTO_DENSE_CELL_LIMIT:
+        if sparse_enough and sparse_available and cells > AUTO_SPARSE_MIN_CELLS:
+            return "sparse"
+        return "dense"
+    if sparse_enough and sparse_available:
+        return "sparse"
+    if cells * (arity + 1) <= 3 * AUTO_BITSET_CELL_LIMIT:
+        return "bitset"
+    return "dict"
+
+
 def resolve_backend(
     matrix: ResponseMatrix,
-    backend: str | DenseAgreementBackend | None = "auto",
-) -> DenseAgreementBackend | None:
+    backend: str | AgreementBackendBase | None = "auto",
+) -> AgreementBackendBase | None:
     """Resolve a backend knob into a concrete backend (or None for dict).
 
     Parameters
@@ -648,13 +905,19 @@ def resolve_backend(
     matrix:
         The response data the backend will serve.
     backend:
-        ``"dense"`` forces the vectorized backend, ``"dict"`` the original
-        dict-of-dicts path, ``"auto"`` (and None) picks dense whenever the
-        worker-by-task grid fits :data:`AUTO_DENSE_CELL_LIMIT`.  An existing
-        :class:`DenseAgreementBackend` instance is passed through unchanged
-        (the incremental evaluator reuses its delta-updated backend this way).
+        ``"dense"`` forces the vectorized dense backend, ``"sparse"`` the
+        scipy.sparse CSR backend, ``"bitset"`` the packed-rows low-memory
+        backend, ``"dict"`` the original dict-of-dicts path, and ``"auto"``
+        (and None) applies the :func:`auto_backend_choice` cost model over
+        the grid size and observed fill.  An explicit choice always wins
+        (even beyond the auto limits), with one documented degradation:
+        ``"sparse"`` without an importable scipy falls back to the dense
+        backend (or bitset when the dense arrays cannot be materialized) —
+        counts, and therefore estimates, are identical either way.  An
+        existing backend instance is passed through unchanged (the
+        incremental evaluator reuses its delta-updated backend this way).
     """
-    if isinstance(backend, DenseAgreementBackend):
+    if isinstance(backend, AgreementBackendBase):
         return backend
     if backend is None:
         backend = "auto"
@@ -662,28 +925,48 @@ def resolve_backend(
         raise ConfigurationError(
             f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
         )
+    if backend == "auto":
+        backend = auto_backend_choice(
+            matrix.n_workers,
+            matrix.n_tasks,
+            matrix.n_responses,
+            arity=matrix.arity,
+        )
     if backend == "dict":
         return None
-    if backend == "auto" and (
-        matrix.n_workers * matrix.n_tasks > AUTO_DENSE_CELL_LIMIT
-        or matrix.n_workers > AUTO_DENSE_WORKER_LIMIT
-    ):
-        return None
+    if backend == "sparse":
+        from repro.data.sparse_backend import SparseAgreementBackend, scipy_available
+
+        if scipy_available():
+            return SparseAgreementBackend.from_matrix(matrix)
+        # Graceful degradation when scipy is absent: serve the same exact
+        # counts from a scipy-free backend instead of failing.
+        backend = (
+            "dense"
+            if matrix.n_workers * matrix.n_tasks <= AUTO_DENSE_CELL_LIMIT
+            and matrix.n_workers <= AUTO_DENSE_WORKER_LIMIT
+            else "bitset"
+        )
+    if backend == "bitset":
+        from repro.data.sparse_backend import BitsetAgreementBackend
+
+        return BitsetAgreementBackend.from_matrix(matrix)
     return DenseAgreementBackend.from_matrix(matrix)
 
 
 def resolve_triple_backend(
     matrix: ResponseMatrix,
-    backend: str | DenseAgreementBackend | None = "auto",
-) -> DenseAgreementBackend | None:
+    backend: str | AgreementBackendBase | None = "auto",
+) -> AgreementBackendBase | None:
     """Backend resolution for queries scoped to a single worker triple.
 
-    Building the dense backend costs O(m*n) (plus O(m^2 n) on the first pair
-    read), which is pure waste when the caller — ``evaluate_three_workers``,
-    ``KaryEstimator.evaluate`` — only ever reads three workers.  Under
-    ``"auto"`` the dense path is therefore used only when the matrix itself
-    is triple-sized (the common Algorithm A1/A3 shape, where the build is
-    trivially cheap); an explicit ``"dense"`` request is still honoured.
+    Building a vectorized backend costs O(m*n) (plus O(m^2 n) on the first
+    pair read), which is pure waste when the caller —
+    ``evaluate_three_workers``, ``KaryEstimator.evaluate`` — only ever reads
+    three workers.  Under ``"auto"`` the vectorized path is therefore used
+    only when the matrix itself is triple-sized (the common Algorithm A1/A3
+    shape, where the build is trivially cheap); an explicit backend request
+    is still honoured.
     """
     if backend in ("auto", None) and matrix.n_workers > 16:
         return None

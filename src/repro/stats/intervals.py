@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import math
 
-from scipy import stats as _scipy_stats
-
 from repro.exceptions import ConfigurationError
 from repro.stats.normal import two_sided_z
 from repro.types import ConfidenceInterval
@@ -85,9 +83,18 @@ def clopper_pearson_interval(
     """Exact (Clopper-Pearson) interval based on the Beta distribution.
 
     Guaranteed coverage at the cost of being conservative; used in tests as
-    an upper-bound sanity check on the other intervals.
+    an upper-bound sanity check on the other intervals.  The Beta quantile
+    comes from scipy, imported lazily so the rest of the module (and the
+    Wald/Wilson intervals every estimator path uses) works without the
+    ``repro[sparse]`` extra installed.
     """
     _validate(successes, trials, confidence)
+    try:
+        from scipy import stats as _scipy_stats
+    except ImportError as error:  # pragma: no cover - scipy-less leg
+        raise ConfigurationError(
+            "clopper_pearson_interval requires scipy (install repro[sparse])"
+        ) from error
     alpha = 1.0 - confidence
     p_hat = successes / trials
     if successes == 0:

@@ -2,15 +2,22 @@
 
 Theorem 1 of the paper turns an estimator's mean and standard deviation into
 a c-confidence interval via the normal quantile ``z_t`` with
-``t = (1 + c) / 2``.  These helpers wrap the scipy implementations behind a
-small, explicit API and add validation so bad confidence levels fail loudly.
+``t = (1 + c) / 2``.  These helpers wrap the error-function implementations
+behind a small, explicit API and add validation so bad confidence levels
+fail loudly.
+
+scipy's ``erf``/``erfinv`` are used when importable (the reference
+implementation; scipy is the optional ``repro[sparse]`` extra).  Without
+scipy, ``erf`` comes from the C library via :func:`math.erf` and ``erfinv``
+from a Winitzki initial guess polished to double precision by Newton steps
+on ``math.erf`` — accurate to the last ulp or two.  Within one process all
+backends share whichever implementation is active, so the cross-backend
+bit-identity contract is unaffected by the choice.
 """
 
 from __future__ import annotations
 
 import math
-
-from scipy import special
 
 from repro.exceptions import ConfigurationError
 
@@ -18,6 +25,49 @@ __all__ = ["normal_cdf", "normal_pdf", "normal_quantile", "two_sided_z"]
 
 _SQRT2 = math.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+_SQRT_PI_OVER_2 = math.sqrt(math.pi) / 2.0
+
+
+def _erfinv_fallback(y: float) -> float:
+    """Inverse error function without scipy (see the module docstring)."""
+    if y != y or abs(y) > 1.0:
+        return math.nan
+    if abs(y) == 1.0:
+        return math.copysign(math.inf, y)
+    if y == 0.0:
+        return 0.0
+    magnitude = abs(y)
+    # Winitzki's approximation as the initial guess (~3 decimal digits).
+    a = 0.147
+    log_term = math.log(1.0 - y * y)
+    half = 2.0 / (math.pi * a) + log_term / 2.0
+    x = math.sqrt(math.sqrt(half * half - log_term / a) - half)
+    # Newton-Raphson, quadratic convergence to double precision in 2-3
+    # steps.  In the tail the residual erf(x) - y cancels catastrophically
+    # (both operands are ~1), so the iteration solves erfc(x) = 1 - y
+    # there instead — erfc carries the tail at full relative precision, and
+    # 1 - magnitude is an exact subtraction for magnitude >= 0.5.
+    tail = magnitude >= 0.9
+    complement = 1.0 - magnitude
+    for _ in range(8):
+        if x * x > 700.0:  # pragma: no cover - beyond double-resolvable tails
+            break
+        scale = _SQRT_PI_OVER_2 * math.exp(x * x)
+        if tail:
+            refined = x + (math.erfc(x) - complement) * scale
+        else:
+            refined = x - (math.erf(x) - magnitude) * scale
+        if refined == x or not math.isfinite(refined):
+            break
+        x = refined
+    return math.copysign(x, y)
+
+
+try:
+    from scipy.special import erf as _erf, erfinv as _erfinv
+except ImportError:  # pragma: no cover - exercised on the scipy-less CI leg
+    _erf = math.erf
+    _erfinv = _erfinv_fallback
 
 
 def normal_pdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
@@ -32,7 +82,7 @@ def normal_cdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
     """Cumulative distribution function of the normal distribution."""
     if std <= 0.0:
         raise ConfigurationError(f"standard deviation must be positive, got {std}")
-    return 0.5 * (1.0 + special.erf((x - mean) / (std * _SQRT2)))
+    return 0.5 * (1.0 + _erf((x - mean) / (std * _SQRT2)))
 
 
 def normal_quantile(p: float, mean: float = 0.0, std: float = 1.0) -> float:
@@ -49,7 +99,7 @@ def normal_quantile(p: float, mean: float = 0.0, std: float = 1.0) -> float:
         )
     if std <= 0.0:
         raise ConfigurationError(f"standard deviation must be positive, got {std}")
-    return mean + std * _SQRT2 * special.erfinv(2.0 * p - 1.0)
+    return mean + std * _SQRT2 * _erfinv(2.0 * p - 1.0)
 
 
 def two_sided_z(confidence: float) -> float:

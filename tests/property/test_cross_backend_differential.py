@@ -1,17 +1,24 @@
 """Cross-backend differential suite: every fast path must be bit-identical.
 
 The library promises that its performance knobs never change results: the
-``backend=`` choice (dict-of-dicts vs dense NumPy), the batched per-triple
-stage (``batch_triples=``), the grouped Lemma-4/5 aggregation
-(``batch_lemma4=``) and process sharding (``shards=``) are throughput
-features only.  This suite enforces the promise end to end — every public
-entry point is run under every applicable execution path on randomized
-regular and non-regular matrices, and the produced intervals, weights and
-statuses are compared for *exact* floating-point equality against the
-original dict-of-dicts reference.
+``backend=`` choice (dict-of-dicts vs dense NumPy vs scipy.sparse CSR vs
+packed-bitset low-memory), the batched per-triple stage
+(``batch_triples=``), the grouped Lemma-4/5 aggregation (``batch_lemma4=``)
+and process sharding (``shards=``) are throughput features only.  This
+suite enforces the promise end to end — every public entry point is run
+under every applicable execution path (dict / dense-scalar / dense-batched
+/ batched-lemma4 / sharded / sparse / bitset) on randomized regular and
+non-regular matrices, and the produced intervals, weights and statuses are
+compared for *exact* floating-point equality against the original
+dict-of-dicts reference.
 
-Any future fast path should be added to :data:`EVALUATE_ALL_PATHS` (or the
-entry-point-specific lists below) to inherit the same lockdown.
+Any future fast path should be added to :data:`EVALUATE_ALL_PATHS` and
+:data:`TRIPLE_SCOPED_BACKENDS` (or the entry-point-specific lists below)
+to inherit the same lockdown.  The suite also pins the composition
+contract of the new backends: ``shards=`` falls back to serial for
+sparse/bitset statistics (their arrays have no shared-memory export), and
+a ``backend="sparse"`` request degrades to a scipy-free backend with
+identical results when scipy is absent.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.data.sparse_backend as sparse_backend_module
+from repro.core.estimator import WorkerEvaluator
 from repro.core.incremental import IncrementalEvaluator
 from repro.core.kary import KaryEstimator
 from repro.core.m_worker import MWorkerEstimator
@@ -101,7 +110,17 @@ EVALUATE_ALL_PATHS: dict[str, dict] = {
         "batch_lemma4": True,
         "shards": 2,
     },
+    "sparse": {
+        "backend": "sparse", "batch_triples": True, "batch_lemma4": True,
+    },
+    "bitset": {
+        "backend": "bitset", "batch_triples": True, "batch_lemma4": True,
+    },
 }
+
+#: Backends exercised on the triple-scoped entry points (Algorithm A1/A3,
+#: the spammer filter, incremental evaluation); "dict" is the reference.
+TRIPLE_SCOPED_BACKENDS = ["dense", "sparse", "bitset"]
 
 
 def assert_estimates_bit_identical(reference, candidate, path: str) -> None:
@@ -167,17 +186,39 @@ def test_evaluate_all_sparse_degenerate_paths_bit_identical():
 
 
 # --------------------------------------------------------------------------- #
+# WorkerEvaluator.evaluate_binary (the library facade, with/without the
+# spammer filter in front)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
+@pytest.mark.parametrize("remove_spammers", [False, True])
+def test_evaluate_binary_paths_bit_identical(backend, remove_spammers):
+    matrix = random_matrix(303, 10, 50, regular=False, spammers=3)
+    reference = WorkerEvaluator(
+        confidence=0.9, backend="dict", remove_spammers=remove_spammers
+    ).evaluate_binary(matrix)
+    candidate = WorkerEvaluator(
+        confidence=0.9, backend=backend, remove_spammers=remove_spammers
+    ).evaluate_binary(matrix)
+    assert set(candidate) == set(reference), backend
+    for worker, ref in reference.items():
+        assert_estimates_bit_identical(ref, candidate[worker], backend)
+
+
+# --------------------------------------------------------------------------- #
 # evaluate_three_workers (Algorithm A1)
 # --------------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
 @pytest.mark.parametrize("seed,regular", [(201, True), (202, False), (203, False)])
-def test_three_worker_paths_bit_identical(seed, regular):
+def test_three_worker_paths_bit_identical(seed, regular, backend):
     matrix = random_matrix(seed, 3, 80, regular=regular)
     reference = evaluate_three_workers(matrix, confidence=0.9, backend="dict")
-    candidate = evaluate_three_workers(matrix, confidence=0.9, backend="dense")
+    candidate = evaluate_three_workers(matrix, confidence=0.9, backend=backend)
     for ref, cand in zip(reference, candidate):
-        assert_estimates_bit_identical(ref, cand, "dense")
+        assert_estimates_bit_identical(ref, cand, backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -185,11 +226,12 @@ def test_three_worker_paths_bit_identical(seed, regular):
 # --------------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
 @pytest.mark.parametrize("seed,regular", [(301, True), (302, False)])
-def test_filter_spammers_paths_identical(seed, regular):
+def test_filter_spammers_paths_identical(seed, regular, backend):
     matrix = random_matrix(seed, 10, 50, regular=regular, spammers=3)
     reference = filter_spammers(matrix, backend="dict")
-    candidate = filter_spammers(matrix, backend="dense")
+    candidate = filter_spammers(matrix, backend=backend)
     assert candidate.kept_workers == reference.kept_workers
     assert candidate.removed_workers == reference.removed_workers
     assert candidate.approximate_error_rates == reference.approximate_error_rates
@@ -201,13 +243,14 @@ def test_filter_spammers_paths_identical(seed, regular):
 # --------------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
 @pytest.mark.parametrize("seed,arity,regular", [(401, 3, True), (402, 4, False)])
-def test_kary_paths_bit_identical(seed, arity, regular):
+def test_kary_paths_bit_identical(seed, arity, regular, backend):
     matrix = random_matrix(seed, 5, 150, arity=arity, regular=regular)
     reference = KaryEstimator(confidence=0.9, backend="dict").evaluate(
         matrix, workers=(0, 1, 2)
     )
-    candidate = KaryEstimator(confidence=0.9, backend="dense").evaluate(
+    candidate = KaryEstimator(confidence=0.9, backend=backend).evaluate(
         matrix, workers=(0, 1, 2)
     )
     for ref, cand in zip(reference, candidate):
@@ -227,7 +270,7 @@ def test_kary_paths_bit_identical(seed, arity, regular):
 # --------------------------------------------------------------------------- #
 
 
-@pytest.mark.parametrize("backend", ["dict", "dense"])
+@pytest.mark.parametrize("backend", ["dict", "dense", "sparse", "bitset"])
 @pytest.mark.parametrize("seed,regular", [(501, True), (502, False)])
 def test_incremental_matches_dict_reference(backend, seed, regular):
     """Streamed estimates equal the dict-backend batch reference exactly.
@@ -253,3 +296,60 @@ def test_incremental_matches_dict_reference(backend, seed, regular):
             assert ref.worker not in streamed
             continue
         assert_estimates_bit_identical(ref, streamed[ref.worker], backend)
+
+
+# --------------------------------------------------------------------------- #
+# Composition contracts of the sparse/bitset backends
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [
+        # Without scipy a "sparse" request degrades to the dense backend,
+        # which legitimately shards — the fallback contract under test only
+        # applies to the real sparse backend.
+        pytest.param(
+            "sparse",
+            marks=pytest.mark.skipif(
+                not sparse_backend_module.scipy_available(),
+                reason="scipy not installed",
+            ),
+        ),
+        "bitset",
+    ],
+)
+def test_shards_with_sparse_backends_fall_back_to_serial(backend, monkeypatch):
+    """``shards=`` composes with sparse/bitset via the documented serial
+    fallback: their arrays have no shared-memory export, so the pool must
+    never spin up and results must still equal the dict reference."""
+    import repro.core.sharded as sharded_module
+
+    def _forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("sharded pool must not start for " + backend)
+
+    monkeypatch.setattr(sharded_module, "evaluate_all_sharded", _forbidden)
+    matrix = random_matrix(104, 14, 40, regular=False)
+    reference = MWorkerEstimator(confidence=0.9, backend="dict").evaluate_all(matrix)
+    candidate = MWorkerEstimator(
+        confidence=0.9, backend=backend, shards=4
+    ).evaluate_all(matrix)
+    for ref, cand in zip(reference, candidate):
+        assert_estimates_bit_identical(ref, cand, backend + "+shards")
+
+
+def test_sparse_request_degrades_gracefully_without_scipy(monkeypatch):
+    """``backend="sparse"`` without scipy must not fail: it resolves to a
+    scipy-free backend serving identical counts, so every result equals the
+    dict reference bit for bit."""
+    monkeypatch.setattr(sparse_backend_module, "_SCIPY_OVERRIDE", False)
+    matrix = random_matrix(105, 7, 90, regular=False)
+    reference = MWorkerEstimator(confidence=0.9, backend="dict").evaluate_all(matrix)
+    candidate = MWorkerEstimator(confidence=0.9, backend="sparse").evaluate_all(matrix)
+    for ref, cand in zip(reference, candidate):
+        assert_estimates_bit_identical(ref, cand, "sparse-degraded")
+    spammers = random_matrix(301, 10, 50, regular=False, spammers=3)
+    assert (
+        filter_spammers(spammers, backend="sparse").approximate_error_rates
+        == filter_spammers(spammers, backend="dict").approximate_error_rates
+    )

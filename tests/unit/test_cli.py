@@ -84,6 +84,29 @@ class TestEvaluateCommand:
             )
             assert capsys.readouterr().out == default_output, flags
 
+    def test_evaluate_backend_knob_pins_identical_tables(self, csv_dataset, capsys):
+        # Every backend choice is throughput-only: pinning any of them from
+        # the CLI must print the exact same table as the dict reference.
+        responses, gold = csv_dataset
+        assert (
+            main(["evaluate", str(responses), "--gold", str(gold),
+                  "--backend", "dict"])
+            == 0
+        )
+        reference_output = capsys.readouterr().out
+        for backend in ("dense", "sparse", "bitset", "auto"):
+            assert (
+                main(["evaluate", str(responses), "--gold", str(gold),
+                      "--backend", backend])
+                == 0
+            )
+            assert capsys.readouterr().out == reference_output, backend
+
+    def test_evaluate_rejects_unknown_backend(self, csv_dataset):
+        responses, _ = csv_dataset
+        with pytest.raises(SystemExit):
+            main(["evaluate", str(responses), "--backend", "gpu"])
+
     def test_evaluate_with_label_inference(self, csv_dataset, capsys):
         responses, gold = csv_dataset
         exit_code = main(

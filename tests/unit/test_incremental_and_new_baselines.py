@@ -176,18 +176,25 @@ class TestIncrementalEvaluator:
             incremental.extend_tasks(0)
 
     def test_extend_tasks_across_auto_backend_threshold(self, rng, monkeypatch):
-        """``extend_tasks`` under ``backend="auto"`` re-resolves the backend
-        for the grown matrix, which can flip dense -> dict mid-stream once
-        the cell count crosses the auto threshold.  The flip must be
-        invisible in results: cached estimates stay valid (empty tasks
-        change no statistic), newly computed ones come from the dict path,
-        and everything served equals a fresh batch run over the accumulated
-        data — the regression this test locks down."""
+        """``extend_tasks`` under ``backend="auto"`` re-resolves the cost
+        model for the grown matrix, which can flip dense -> dict mid-stream
+        once the cell count crosses every vectorized tier (the dense cell
+        limit *and* the bitset ceiling — both shrunk here; the sparse tier
+        is fenced off by keeping the grid below ``AUTO_SPARSE_MIN_CELLS``).
+        The flip must be invisible in results: cached estimates stay valid
+        (empty tasks change no statistic), newly computed ones come from
+        the dict path, and everything served equals a fresh batch run over
+        the accumulated data — the regression this test locks down.
+        The dense -> sparse and dense -> bitset flips are locked the same
+        way in ``tests/unit/test_sparse_backend.py``."""
         import repro.data.dense_backend as dense_backend_module
 
         n_workers, initial_tasks, extra_tasks = 6, 30, 30
         monkeypatch.setattr(
             dense_backend_module, "AUTO_DENSE_CELL_LIMIT", 240
+        )
+        monkeypatch.setattr(
+            dense_backend_module, "AUTO_BITSET_CELL_LIMIT", 240
         )
         incremental = IncrementalEvaluator(
             n_workers, initial_tasks, confidence=0.9, backend="auto"

@@ -48,6 +48,27 @@ class TestNormal:
         for p in (0.05, 0.3, 0.5, 0.9, 0.999):
             assert normal_cdf(normal_quantile(p)) == pytest.approx(p)
 
+    def test_erfinv_fallback_matches_scipy_to_double_precision(self):
+        # The scipy-free erfinv (used when the repro[sparse] extra is not
+        # installed) must agree with scipy's to the last ulp or two across
+        # the whole domain, tails included.
+        from scipy.special import erfinv as scipy_erfinv
+
+        from repro.stats.normal import _erfinv_fallback
+
+        values = [1e-300, 1e-12, 1e-4, 0.1, 0.5, 0.9, 0.9999, 1 - 1e-12]
+        for magnitude in values:
+            for y in (magnitude, -magnitude):
+                reference = float(scipy_erfinv(y))
+                assert _erfinv_fallback(y) == pytest.approx(
+                    reference, rel=5e-15, abs=5e-300
+                ), y
+        assert _erfinv_fallback(0.0) == 0.0
+        assert _erfinv_fallback(1.0) == float("inf")
+        assert _erfinv_fallback(-1.0) == float("-inf")
+        assert _erfinv_fallback(float("nan")) != _erfinv_fallback(float("nan"))
+        assert _erfinv_fallback(1.5) != _erfinv_fallback(1.5)  # NaN out of range
+
     def test_quantile_with_location_scale(self):
         assert normal_quantile(0.5, mean=3.0, std=2.0) == pytest.approx(3.0)
 
