@@ -37,10 +37,13 @@ Usage::
 
 The results are written to ``BENCH_agreement.json`` (override with
 ``--output``) and *appended* to the file's dated ``trajectory`` list, so the
-performance trend is tracked across commits; a warn-only trend gate compares
-the new run's fully-batched timing against the most recent comparable
-trajectory entry and prints a ``PERF WARNING`` when it regresses beyond the
-tolerance (``--trend-tolerance``).  The pre-existing ``legacy_seconds``/
+performance trend is tracked across commits; a trend gate compares the new
+run's fully-batched timing against the most recent comparable trajectory
+entry and prints a ``PERF WARNING`` when it regresses beyond the tolerance
+(``--trend-tolerance``).  The gate is warn-only by default; ``--trend-fail``
+promotes it to failing (the CI ``bench-gate`` job runs that mode now that
+the committed trajectory has accumulated baseline entries).  The
+pre-existing ``legacy_seconds``/
 ``dense_seconds``/``speedup`` keys are kept (``dense_seconds`` reports the
 best in-process dense path).
 """
@@ -423,8 +426,17 @@ def main(argv: list[str] | None = None) -> int:
         "--trend-tolerance",
         type=float,
         default=1.25,
-        help="warn (never fail) when the fully-batched timing exceeds the "
-        "last comparable trajectory entry by more than this factor",
+        help="warn when the fully-batched timing exceeds the last comparable "
+        "trajectory entry by more than this factor (fails the run only "
+        "with --trend-fail)",
+    )
+    parser.add_argument(
+        "--trend-fail",
+        action="store_true",
+        help="promote the trend gate to failing: exit non-zero when any "
+        "scenario regresses beyond --trend-tolerance (the dedicated CI "
+        "bench-gate job runs this; the in-tree default stays warn-only "
+        "for local runs)",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -494,6 +506,19 @@ def main(argv: list[str] | None = None) -> int:
     if sparse_result is not None and not sparse_result["bit_identical"]:
         print("FAIL: sparse-regime backends disagree", file=sys.stderr)
         return 1
+    if args.trend_fail:
+        regressions = [
+            message
+            for message in (
+                result.get("trend_warning"),
+                (sparse_result or {}).get("trend_warning"),
+            )
+            if message
+        ]
+        if regressions:
+            for message in regressions:
+                print(f"FAIL (trend gate): {message}", file=sys.stderr)
+            return 1
     if args.min_speedup is not None:
         if "speedup" not in result:
             print("FAIL: --min-speedup requires the dict timing", file=sys.stderr)

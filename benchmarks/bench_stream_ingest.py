@@ -1,0 +1,233 @@
+"""Streaming ingestion benchmark: singleton vs micro-batched delta applies.
+
+Replays one shuffled response stream (default 10k events, including label
+revisions) into an :class:`~repro.core.incremental.IncrementalEvaluator`
+three ways and compares cost:
+
+* ``singleton``  — ``add_response`` per event (one derived-cache
+  invalidation pass per statistic-changing event);
+* ``batched``    — ``apply_batch`` over fixed micro-batches (one
+  invalidation pass per batch; grouped per-worker-row storage writes while
+  no count matrix is materialized);
+* ``session``    — the full asyncio path: ``StreamSession`` submit/flush
+  with queue coalescing (what ``repro-crowd ingest`` runs).
+
+All three must produce bit-identical estimates to a from-scratch batch
+build over the accumulated matrix — verified on every run — and the batch
+paths must cut the backend invalidation events by at least
+``--min-invalidation-ratio`` (default 3x, the locked acceptance bound; the
+unit suite pins the same bound in ``tests/unit/test_serve.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream_ingest.py          # full
+    PYTHONPATH=src python benchmarks/bench_stream_ingest.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.m_worker import MWorkerEstimator
+from repro.serve.session import StreamSession
+
+
+def make_stream(
+    n_events: int, n_workers: int, n_tasks: int, seed: int
+) -> list[tuple[int, int, int]]:
+    """Random event stream with ~10% label revisions (cells hit twice)."""
+    rng = np.random.default_rng(seed)
+    workers = rng.integers(0, n_workers, size=n_events)
+    tasks = rng.integers(0, n_tasks, size=n_events)
+    labels = rng.integers(0, 2, size=n_events)
+    return [
+        (int(w), int(t), int(label))
+        for w, t, label in zip(workers, tasks, labels)
+    ]
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.interval.mean == b.interval.mean
+        and a.interval.lower == b.interval.lower
+        and a.interval.upper == b.interval.upper
+        and a.interval.deviation == b.interval.deviation
+        and a.weights == b.weights
+        and a.status is b.status
+    )
+
+
+def run(
+    n_events: int,
+    n_workers: int,
+    n_tasks: int,
+    seed: int,
+    batch_size: int,
+    backend: str = "dense",
+) -> dict:
+    stream = make_stream(n_events, n_workers, n_tasks, seed)
+    print(
+        f"stream: {len(stream)} events over {n_workers} workers x "
+        f"{n_tasks} tasks ({backend} backend, micro-batch {batch_size})"
+    )
+    results: dict[str, dict] = {}
+
+    # -- singleton ----------------------------------------------------- #
+    evaluator = IncrementalEvaluator(3, 1, backend=backend)
+    start = time.perf_counter()
+    for event in stream:
+        evaluator.add_response(*event)
+    seconds = time.perf_counter() - start
+    singleton_estimates = evaluator.estimate_all()
+    results["singleton"] = {
+        "seconds": seconds,
+        "invalidations": evaluator._backend.invalidation_events
+        if evaluator._backend is not None
+        else 0,
+    }
+    reference_matrix = evaluator.matrix
+
+    # -- batched ------------------------------------------------------- #
+    evaluator = IncrementalEvaluator(3, 1, backend=backend)
+    start = time.perf_counter()
+    for offset in range(0, len(stream), batch_size):
+        evaluator.apply_batch(stream[offset : offset + batch_size])
+    seconds = time.perf_counter() - start
+    batched_estimates = evaluator.estimate_all()
+    results["batched"] = {
+        "seconds": seconds,
+        "invalidations": evaluator._backend.invalidation_events
+        if evaluator._backend is not None
+        else 0,
+    }
+
+    # -- session (asyncio queue + applier) ------------------------------ #
+    async def run_session():
+        async with StreamSession(backend=backend, max_batch=batch_size) as session:
+            for event in stream:
+                await session.submit(*event)
+            await session.flush()
+            return (
+                await session.evaluate_all(),
+                sum(
+                    record.stats.backend_invalidations
+                    for record in session.applied_batches
+                ),
+                len(session.applied_batches),
+            )
+
+    start = time.perf_counter()
+    session_estimates, session_invalidations, session_batches = asyncio.run(
+        run_session()
+    )
+    results["session"] = {
+        "seconds": time.perf_counter() - start,
+        "invalidations": session_invalidations,
+        "batches": session_batches,
+    }
+
+    # -- bit-identity against a from-scratch batch build ---------------- #
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(backend="dict").evaluate_all(
+            reference_matrix
+        )
+        if estimate.n_tasks > 0
+    }
+    identical = all(
+        set(estimates) == set(reference)
+        and all(_identical(estimates[w], reference[w]) for w in reference)
+        for estimates in (singleton_estimates, batched_estimates, session_estimates)
+    )
+
+    for name, row in results.items():
+        rate = n_events / row["seconds"] if row["seconds"] > 0 else float("inf")
+        print(
+            f"{name:>10}: {row['seconds']:7.3f}s  ({rate:9.0f} events/s, "
+            f"{row['invalidations']} invalidation passes)"
+        )
+    ratio = (
+        results["singleton"]["invalidations"] / results["batched"]["invalidations"]
+        if results["batched"]["invalidations"]
+        else float("inf")
+    )
+    speedup = (
+        results["singleton"]["seconds"] / results["batched"]["seconds"]
+        if results["batched"]["seconds"] > 0
+        else float("inf")
+    )
+    print(
+        f"invalidation reduction (singleton/batched): {ratio:.1f}x   "
+        f"ingest speedup: {speedup:.1f}x   bit-identical: {identical}"
+    )
+    return {
+        "n_events": n_events,
+        "n_workers": n_workers,
+        "n_tasks": n_tasks,
+        "batch_size": batch_size,
+        "backend": backend,
+        "paths": results,
+        "invalidation_ratio": ratio,
+        "ingest_speedup": speedup,
+        "bit_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=60)
+    parser.add_argument("--tasks", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=977)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--backend", default="dense",
+                        choices=["dense", "sparse", "bitset", "dict", "auto"])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small configuration for CI (overrides --events/--workers/--tasks)",
+    )
+    parser.add_argument(
+        "--min-invalidation-ratio", type=float, default=3.0,
+        help="exit non-zero unless batching cuts invalidation passes by this "
+        "factor (default 3; deterministic, unlike wall-clock gates)",
+    )
+    parser.add_argument("--output", default=None,
+                        help="optional JSON output path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.events, args.workers, args.tasks = 3000, 30, 250
+
+    result = run(
+        args.events, args.workers, args.tasks, args.seed,
+        args.batch_size, backend=args.backend,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if not result["bit_identical"]:
+        print("FAIL: streamed paths disagree with the batch build", file=sys.stderr)
+        return 1
+    if (
+        args.backend != "dict"
+        and result["invalidation_ratio"] < args.min_invalidation_ratio
+    ):
+        print(
+            f"FAIL: invalidation reduction {result['invalidation_ratio']:.1f}x "
+            f"below required {args.min_invalidation_ratio:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Generate the paired NDJSON / CSV fixture for the stream-smoke gate.
+
+Simulates one binary response matrix, writes its responses twice — as a
+shuffled newline-JSON event stream (what ``repro-crowd ingest`` consumes)
+and as the response CSV (what ``repro-crowd evaluate`` consumes) — so CI
+can diff the two commands' estimate tables byte for byte.  The shuffle is
+the point: the streamed order is *not* the CSV order, so a clean diff
+certifies order-independence of the final estimates, not just a replay.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gen_stream_fixture.py \
+        --events 5000 --ndjson events.ndjson --csv responses.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.data.loaders import save_response_matrix_csv
+from repro.simulation.binary import simulate_binary_responses
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=5000,
+                        help="approximate event count (default 5000)")
+    parser.add_argument("--workers", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=20150413)
+    parser.add_argument("--density", type=float, default=0.75)
+    parser.add_argument("--ndjson", default="stream_events.ndjson")
+    parser.add_argument("--csv", default="stream_responses.csv")
+    args = parser.parse_args(argv)
+
+    # tasks sized so workers x tasks x density ~ the requested event count.
+    n_tasks = max(10, int(round(args.events / (args.workers * args.density))))
+    rng = np.random.default_rng(args.seed)
+    matrix, _ = simulate_binary_responses(
+        args.workers, n_tasks, rng, density=args.density
+    )
+    records = list(matrix.iter_responses())
+    rng.shuffle(records)
+    with open(args.ndjson, "w", encoding="utf-8") as handle:
+        for worker, task, label in records:
+            handle.write(
+                json.dumps({"worker": worker, "task": task, "label": label}) + "\n"
+            )
+    save_response_matrix_csv(matrix, args.csv)
+    print(
+        f"wrote {len(records)} events ({args.workers} workers x {n_tasks} "
+        f"tasks) to {args.ndjson} and {args.csv}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,18 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 * ``repro-crowd evaluate`` — compute confidence intervals for every worker in
   a response CSV (``worker,task,label`` rows; optional gold CSV), printing a
   table and optionally inferring task labels.
+* ``repro-crowd ingest`` — stream newline-JSON response events (file or
+  stdin, optionally ``--follow``-tailed) through the async ingestion
+  subsystem (:mod:`repro.serve`) and print the same estimate table; the
+  streamed estimates are bit-identical to a batch ``evaluate`` run over the
+  same responses (the CI ``stream-smoke`` gate diffs the two outputs).
+* ``repro-crowd serve`` — run the NDJSON TCP ingestion server: event lines
+  in, query lines (``{"query": "evaluate_all"}`` etc.) answered from the
+  last applied batch boundary.
 * ``repro-crowd datasets`` — list the bundled dataset stand-ins.
 * ``repro-crowd figure`` — regenerate one of the paper's figures and print
   the series (the same output the benchmark suite produces).
@@ -16,6 +24,7 @@ point) for details.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from collections.abc import Sequence
 
@@ -115,6 +124,81 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are identical; pins the per-worker aggregation path)",
     )
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream NDJSON response events through the async ingestion "
+        "subsystem and print the estimate table",
+    )
+    ingest.add_argument(
+        "events",
+        nargs="?",
+        default="-",
+        help="NDJSON file of {\"worker\": w, \"task\": t, \"label\": l} "
+        "events (or [w,t,l] arrays); '-' (default) reads stdin",
+    )
+    ingest.add_argument(
+        "--confidence", type=float, default=0.9, help="confidence level (default 0.9)"
+    )
+    ingest.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="agreement-statistics backend (results identical; see evaluate)",
+    )
+    ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="micro-batch coalescing cap of the response queue (default 256; "
+        "results are identical for any batching)",
+    )
+    ingest.add_argument(
+        "--queue-size",
+        type=int,
+        default=4096,
+        help="bound of the response queue (producer backpressure, default 4096)",
+    )
+    ingest.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the source for appended events (tail -f semantics) "
+        "until --idle-timeout seconds pass without data",
+    )
+    ingest.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="with --follow: stop after this many idle seconds (default: never)",
+    )
+    ingest.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print per-stream ingestion stats (batches, invalidations)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the NDJSON TCP ingestion server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed)"
+    )
+    serve.add_argument(
+        "--confidence", type=float, default=0.9, help="confidence level (default 0.9)"
+    )
+    serve.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default="auto",
+        help="agreement-statistics backend (results identical)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=256,
+        help="micro-batch coalescing cap (default 256)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=4096,
+        help="response queue bound (default 4096)",
+    )
+
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
     )
@@ -167,6 +251,27 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         return 0
 
     estimates = evaluator.evaluate_binary(matrix)
+    _print_estimate_table(estimates)
+
+    if args.infer_labels:
+        usable = {
+            worker: estimate
+            for worker, estimate in estimates.items()
+            if estimate.status is not EstimateStatus.DEGENERATE
+        }
+        labels = infer_binary_labels(matrix, usable)
+        print(f"\ninferred labels for {len(labels)} tasks")
+        if matrix.has_gold:
+            print(f"accuracy against gold labels: {label_accuracy(matrix, labels):.3f}")
+    return 0
+
+
+def _print_estimate_table(estimates) -> None:
+    """The worker-interval table, shared by ``evaluate`` and ``ingest``.
+
+    Byte-identical output between the two commands is what the CI
+    stream-smoke gate diffs, so any format change must stay shared.
+    """
     header = ["worker", "tasks", "lower", "point", "upper", "status"]
     rows = []
     for worker in sorted(estimates):
@@ -183,17 +288,80 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         )
     print(format_table(header, rows))
 
-    if args.infer_labels:
-        usable = {
-            worker: estimate
-            for worker, estimate in estimates.items()
-            if estimate.status is not EstimateStatus.DEGENERATE
-        }
-        labels = infer_binary_labels(matrix, usable)
-        print(f"\ninferred labels for {len(labels)} tasks")
-        if matrix.has_gold:
-            print(f"accuracy against gold labels: {label_accuracy(matrix, labels):.3f}")
-    return 0
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.serve.session import StreamSession
+    from repro.serve.sources import feed_session, iter_ndjson
+
+    if args.batch_size < 1 or args.queue_size < 1:
+        print("error: --batch-size and --queue-size must be positive",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        if args.events == "-":
+            stream = sys.stdin
+            close = False
+        else:
+            stream = open(args.events, "r", encoding="utf-8")
+            close = True
+        try:
+            async with StreamSession(
+                confidence=args.confidence,
+                backend=args.backend,
+                max_batch=args.batch_size,
+                maxsize=args.queue_size,
+            ) as session:
+                submitted = await feed_session(
+                    session,
+                    iter_ndjson(
+                        stream,
+                        follow=args.follow,
+                        idle_timeout=args.idle_timeout,
+                    ),
+                )
+                await session.flush()
+                estimates = await session.evaluate_all()
+                batches = session.applied_batches
+        finally:
+            if close:
+                stream.close()
+        _print_estimate_table(estimates)
+        if args.stats:
+            invalidations = sum(b.stats.backend_invalidations for b in batches)
+            recomputes = sum(b.stats.cached_invalidated for b in batches)
+            print(
+                f"\ningested {submitted} events in {len(batches)} micro-batches "
+                f"(backend invalidations: {invalidations}, cached estimates "
+                f"invalidated: {recomputes})"
+            )
+        return 0
+
+    return asyncio.run(run())
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import serve_ndjson
+    from repro.serve.session import StreamSession
+
+    async def run() -> int:
+        async with StreamSession(
+            confidence=args.confidence,
+            backend=args.backend,
+            max_batch=args.batch_size,
+            maxsize=args.queue_size,
+        ) as session:
+            await serve_ndjson(
+                session,
+                host=args.host,
+                port=args.port,
+                ready=lambda host, port: print(
+                    f"listening on {host}:{port}", flush=True
+                ),
+            )
+        return 0
+
+    return asyncio.run(run())
 
 
 def _command_datasets(args: argparse.Namespace) -> int:
@@ -230,6 +398,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "evaluate":
             return _command_evaluate(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "datasets":
             return _command_datasets(args)
         if args.command == "figure":

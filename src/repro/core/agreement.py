@@ -43,20 +43,51 @@ Every vectorized backend serves the bulk reads behind ``batch_triples`` and
 ``batch_lemma4``; only the dense backend can export its arrays over shared
 memory for ``shards=``:
 
-============  ===============  ==============  ========================
-backend       batch_triples    batch_lemma4    shards=
-============  ===============  ==============  ========================
-``dict``      no (scalar)      no (scalar)     no (serial fallback)
-``dense``     yes              yes             yes
-``sparse``    yes              yes             no (serial fallback)
-``bitset``    yes              yes             no (serial fallback)
-============  ===============  ==============  ========================
+============  ===============  ==============  ====================  ==========
+backend       batch_triples    batch_lemma4    shards=               streaming
+============  ===============  ==============  ====================  ==========
+``dict``      no (scalar)      no (scalar)     no (serial fallback)  yes
+``dense``     yes              yes             yes                   yes
+``sparse``    yes              yes             no (serial fallback)  yes
+``bitset``    yes              yes             no (serial fallback)  yes
+============  ===============  ==============  ====================  ==========
+
+The *streaming* column covers the delta-update protocol the incremental
+evaluator and the async ingestion subsystem (:mod:`repro.serve`) drive:
+O(row) ``apply_response`` singleton deltas plus the micro-batched
+``apply_responses`` (one derived-cache invalidation pass per batch, with
+grouped per-worker-row storage writes while no count matrix is
+materialized) and the O(added ids) ``extend`` growth for worker/task ids
+unseen at construction.
+
+Streaming determinism contract
+------------------------------
+
+The streaming paths inherit the bit-identity promise, with three
+guarantees locked by the differential suite's ``streamed`` column
+(25-seed micro-batch interleaving fuzz in
+``tests/property/test_cross_backend_differential.py``):
+
+* **ordering** — a response stream is applied in submission order,
+  whether it arrives as singletons, batches, or through the asyncio
+  session (FIFO queue, single applier);
+* **batch-boundary invariance** — however the stream is chopped into
+  micro-batches, the estimates served afterwards equal a from-scratch
+  batch build over the accumulated responses, bit for bit, on every
+  backend (batching moves bookkeeping, never arithmetic);
+* **snapshot consistency** — concurrent readers observe whole applied
+  batches only: an estimate served mid-stream equals a fresh batch run
+  over exactly the responses whose batches have been applied (the
+  dependency-tracked invalidation of
+  :class:`~repro.core.incremental.IncrementalEvaluator` guarantees no
+  stale interval survives a statistic its computation read).
 
 A new backend implements the
 :class:`~repro.data.dense_backend.AgreementBackendBase` contract, gets the
-bulk fast paths for free, and **must** register in the differential suite's
-path tables (``tests/property/test_cross_backend_differential.py``) so the
-bit-identity promise is enforced for it on every public entry point.
+bulk fast paths (and the streaming protocol's shared machinery) for free,
+and **must** register in the differential suite's path tables — including
+the ``streamed`` column — so the bit-identity promise is enforced for it
+on every public entry point.
 
 An optional ``observer`` receives every pair key whose statistics are read;
 the incremental evaluator uses this to record, per cached estimate, the

@@ -48,22 +48,76 @@ rebuilding the statistics from scratch.  Every backend of the
 ``backend=`` knob — dense, sparse, bitset — implements the same
 ``apply_response`` delta update, so streaming works identically under the
 cost-based ``"auto"`` choice whichever backend it lands on.
+
+Micro-batched ingestion
+-----------------------
+
+:meth:`IncrementalEvaluator.apply_batch` is the batched form the async
+ingestion subsystem (:mod:`repro.serve`) drives: one backend
+``apply_responses`` call per micro-batch (a single derived-cache
+invalidation pass, grouped per-worker-row storage writes while no count
+matrix is materialized), unseen worker/task ids grown once per batch via
+the delta extension path (no backend rebuild —
+:attr:`IncrementalEvaluator.backend_rebuilds` counts the exceptions), and
+the dependency-tracked cache invalidation run over the batch's changed
+pairs as a set.  Results are bit-identical to per-event ingestion for any
+chopping of the stream; see the streaming determinism contract in
+:mod:`repro.core.agreement`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    InsufficientDataError,
+)
 from repro.core.agreement import AgreementStatistics, pair_key
 from repro.core.m_worker import MWorkerEstimator
-from repro.data.dense_backend import AgreementBackendBase, resolve_backend
+from repro.data.dense_backend import (
+    AgreementBackendBase,
+    auto_backend_choice,
+    resolve_backend,
+)
 from repro.data.response_matrix import ResponseMatrix
 from repro.types import WorkerErrorEstimate
 
-__all__ = ["IncrementalEvaluator"]
+__all__ = ["BatchApplyStats", "IncrementalEvaluator"]
+
+
+@dataclass(frozen=True)
+class BatchApplyStats:
+    """Bookkeeping of one :meth:`IncrementalEvaluator.apply_batch` call.
+
+    Attributes
+    ----------
+    n_events:
+        Number of records in the batch (including reaffirmations).
+    n_changed:
+        Records that actually changed a statistic (fresh or flipped labels).
+    invalidated:
+        Worker ids whose estimate was invalidated by the batch (responders,
+        co-attempters, and third-party readers of a changed pair).
+    cached_invalidated:
+        How many of those had a live cached estimate before the batch (the
+        recomputation the batch actually costs at the next query).
+    backend_invalidations:
+        Derived-cache invalidation passes the statistics backend paid for
+        this batch (1 for any statistic-changing batch on the vectorized
+        backends, 0 for a pure reaffirmation batch or the dict path) — the
+        number a singleton-apply stream pays *per event*.
+    """
+
+    n_events: int
+    n_changed: int
+    invalidated: frozenset[int]
+    cached_invalidated: int
+    backend_invalidations: int
 
 
 class _DependencyTracker:
@@ -195,6 +249,7 @@ class IncrementalEvaluator:
         self._cache: dict[int, WorkerErrorEstimate] = {}
         self._dirty: set[int] = set(range(n_workers))
         self._responses_seen = 0
+        self._backend_rebuilds = 0
 
     # ------------------------------------------------------------------ #
     # Data ingestion
@@ -215,17 +270,29 @@ class IncrementalEvaluator:
         """Workers whose cached estimate is stale (or missing)."""
         return set(self._dirty)
 
+    @property
+    def backend_rebuilds(self) -> int:
+        """How many times the statistics backend was rebuilt from scratch.
+
+        Growing the id space takes the O(added ids) delta path whenever the
+        backend class is unchanged; a rebuild happens only when the
+        ``"auto"`` cost model flips the backend *kind* for the grown grid.
+        The regression suite counts these to pin the delta path.
+        """
+        return self._backend_rebuilds
+
     def extend_tasks(self, additional_tasks: int) -> None:
         """Grow the task space (e.g. when a new batch of tasks is published).
 
         Cached estimates stay valid: the added tasks carry no responses, so
-        no statistic any cached computation read has changed.  Under
-        ``backend="auto"`` the rebuild re-resolves the cost model against
-        the grown cell count (and the now-lower observed fill) and may flip
-        the evaluator between the dense, sparse, bitset and dict paths
-        mid-stream; that only affects throughput — backends are
-        bit-identical by contract, and the threshold-crossing regression
-        tests (``tests/unit/test_incremental_and_new_baselines.py`` and
+        no statistic any cached computation read has changed.  The matrix
+        and backend grow in place (O(added cells) array padding — no count
+        recomputation); only when the ``"auto"`` cost model flips the
+        backend kind for the grown cell count (and the now-lower observed
+        fill) is the backend rebuilt, and the flip is invisible in results
+        — backends are bit-identical by contract, and the
+        threshold-crossing regression tests
+        (``tests/unit/test_incremental_and_new_baselines.py`` and
         ``tests/unit/test_sparse_backend.py``) pin that served intervals
         still equal a fresh batch run across every flip.
         """
@@ -233,21 +300,65 @@ class IncrementalEvaluator:
             raise ConfigurationError(
                 f"additional_tasks must be positive, got {additional_tasks}"
             )
-        extended = ResponseMatrix(
-            n_workers=self._matrix.n_workers,
-            n_tasks=self._matrix.n_tasks + additional_tasks,
-            arity=2,
-        )
-        for worker, task, label in self._matrix.iter_responses():
-            extended.add_response(worker, task, label)
-        for task, label in self._matrix.gold_labels.items():
-            extended.set_gold_label(task, label)
-        self._matrix = extended
-        # The delta-updated arrays are shaped (m, n); rebuild for the new n.
-        self._backend = resolve_backend(extended, self._backend_choice)
+        self._grow(0, additional_tasks)
+
+    def extend_workers(self, additional_workers: int) -> None:
+        """Grow the worker space (new workers joining the live pool).
+
+        New workers carry no responses, so cached estimates stay valid;
+        they are marked dirty (nothing cached) and served once they have
+        data.  Same delta-vs-rebuild contract as :meth:`extend_tasks`.
+        """
+        if additional_workers <= 0:
+            raise ConfigurationError(
+                f"additional_workers must be positive, got {additional_workers}"
+            )
+        self._grow(additional_workers, 0)
+
+    def _grow(self, additional_workers: int, additional_tasks: int) -> None:
+        old_workers = self._matrix.n_workers
+        self._matrix.extend(additional_workers, additional_tasks)
+        self._dirty.update(range(old_workers, self._matrix.n_workers))
+        current = "dict" if self._backend is None else self._backend.name
+        if self._backend_choice == "auto":
+            target = auto_backend_choice(
+                self._matrix.n_workers,
+                self._matrix.n_tasks,
+                self._matrix.n_responses,
+                arity=self._matrix.arity,
+            )
+        else:
+            # An explicit choice never flips kinds mid-stream (including a
+            # degraded "sparse" request: the degradation held at
+            # construction and growth only lowers density / raises cells,
+            # so the instance we already have keeps serving).
+            target = current
+        if target == current:
+            if self._backend is not None:
+                self._backend.extend(additional_workers, additional_tasks)
+        else:
+            self._backend = resolve_backend(self._matrix, self._backend_choice)
+            self._backend_rebuilds += 1
+
+    def _auto_extend_for(self, records: list[tuple[int, int, int]]) -> None:
+        """Grow the id space to cover any unseen worker/task ids (one pass)."""
+        max_worker = max(record[0] for record in records)
+        max_task = max(record[1] for record in records)
+        additional_workers = max(0, max_worker + 1 - self._matrix.n_workers)
+        additional_tasks = max(0, max_task + 1 - self._matrix.n_tasks)
+        if additional_workers or additional_tasks:
+            self._grow(additional_workers, additional_tasks)
 
     def add_response(self, worker: int, task: int, label: int) -> None:
-        """Ingest one response and invalidate exactly the affected caches."""
+        """Ingest one response and invalidate exactly the affected caches.
+
+        Ids unseen at construction are routed through the delta growth path
+        of :meth:`extend_tasks` / :meth:`extend_workers` first (no backend
+        rebuild), so a live stream can outgrow the constructed dimensions.
+        """
+        if worker >= self._matrix.n_workers or task >= self._matrix.n_tasks:
+            if worker >= 0 and task >= 0:
+                self._auto_extend_for([(worker, task, label)])
         previous = self._matrix.response(worker, task)
         co_attempters = [
             other for other in self._matrix.workers_of(task) if other != worker
@@ -264,13 +375,95 @@ class IncrementalEvaluator:
             for reader in self._tracker.readers_of(changed_pair):
                 self._invalidate(reader)
 
+    def apply_batch(
+        self,
+        records: Iterable[tuple[int, int, int]],
+        auto_extend: bool = True,
+    ) -> BatchApplyStats:
+        """Ingest one micro-batch of ``(worker, task, label)`` records.
+
+        Bit-identical to calling :meth:`add_response` per record (the
+        backend replays the same deltas in the same order; the
+        estimator-facing counts are equal, and recomputation is
+        deterministic from the counts), but the bookkeeping is paid per
+        batch, not per event: the backend invalidates its derived caches
+        once (and takes its grouped per-row storage path while no count
+        matrix is materialized), unseen ids grow the id space once, and the
+        dependency-tracked cache invalidation runs over the batch's changed
+        pairs as a set.  Returns the per-batch stats the streaming session
+        reports.
+        """
+        batch = [(int(w), int(t), int(label)) for w, t, label in records]
+        if not batch:
+            return BatchApplyStats(0, 0, frozenset(), 0, 0)
+        if auto_extend and all(w >= 0 and t >= 0 for w, t, _ in batch):
+            self._auto_extend_for(batch)
+        # Validate the WHOLE batch before mutating anything: a mid-batch
+        # failure after partial application would leave the matrix and the
+        # statistics backend divergent (silently wrong estimates for any
+        # caller that catches the error and continues).  With every id and
+        # label pre-checked here, neither the matrix writes nor the
+        # backend's apply_responses below can fail, so the batch applies
+        # atomically.
+        for worker, task, label in batch:
+            if not (0 <= worker < self._matrix.n_workers):
+                raise DataValidationError(
+                    f"worker id {worker} out of range "
+                    f"[0, {self._matrix.n_workers})"
+                )
+            if not (0 <= task < self._matrix.n_tasks):
+                raise DataValidationError(
+                    f"task id {task} out of range [0, {self._matrix.n_tasks})"
+                )
+            if not (0 <= label < self._matrix.arity):
+                raise DataValidationError(
+                    f"label {label} out of range [0, {self._matrix.arity})"
+                )
+        events: list[tuple[int, int, int, int | None]] = []
+        changed_pairs: set[tuple[int, int]] = set()
+        changed_workers: set[int] = set()
+        n_changed = 0
+        for worker, task, label in batch:
+            previous = self._matrix.response(worker, task)
+            if previous is None or previous != label:
+                n_changed += 1
+                changed_workers.add(worker)
+                for other in self._matrix.workers_of(task):
+                    if other != worker:
+                        changed_pairs.add(pair_key(worker, other))
+            self._matrix.add_response(worker, task, label)
+            events.append((worker, task, label, previous))
+            self._responses_seen += 1
+        backend_invalidations = 0
+        if self._backend is not None:
+            before = self._backend.invalidation_events
+            self._backend.apply_responses(events)
+            backend_invalidations = self._backend.invalidation_events - before
+        invalidated = set(changed_workers)
+        for key in changed_pairs:
+            invalidated |= self._tracker.readers_of(key)
+        cached_invalidated = sum(
+            1
+            for worker in invalidated
+            if worker in self._cache and worker not in self._dirty
+        )
+        for worker in invalidated:
+            self._invalidate(worker)
+        return BatchApplyStats(
+            n_events=len(batch),
+            n_changed=n_changed,
+            invalidated=frozenset(invalidated),
+            cached_invalidated=cached_invalidated,
+            backend_invalidations=backend_invalidations,
+        )
+
     def add_responses(self, records: Iterable[tuple[int, int, int]]) -> int:
-        """Ingest a batch of ``(worker, task, label)`` records; returns the count."""
-        count = 0
-        for worker, task, label in records:
-            self.add_response(worker, task, label)
-            count += 1
-        return count
+        """Ingest a batch of ``(worker, task, label)`` records; returns the count.
+
+        Delegates to :meth:`apply_batch` (one invalidation pass for the
+        whole batch; results identical to per-record ingestion).
+        """
+        return self.apply_batch(records).n_events
 
     def _invalidate(self, worker: int) -> None:
         self._dirty.add(worker)

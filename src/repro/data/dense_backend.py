@@ -218,6 +218,12 @@ class AgreementBackendBase:
         self._clamped_rates: dict[
             float, tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = {}
+        #: Number of derived-cache invalidation passes taken so far.  Each
+        #: singleton ``apply_response`` that changes a statistic pays one;
+        #: ``apply_responses`` pays one for a whole micro-batch — the
+        #: counter is what the streaming benchmark/tests use to assert the
+        #: batch path actually coalesces the invalidation work.
+        self.invalidation_events: int = 0
 
     # ------------------------------------------------------------------ #
     # Shape
@@ -283,10 +289,132 @@ class AgreementBackendBase:
         """All ``c_{worker, x, y}`` over *every* worker pair, exact counts."""
         raise NotImplementedError
 
+    def _validate_event(self, worker: int, task: int, label: int) -> None:
+        if not (0 <= worker < self._n_workers):
+            raise DataValidationError(f"worker id {worker} out of range")
+        if not (0 <= task < self._n_tasks):
+            raise DataValidationError(f"task id {task} out of range")
+        if not (0 <= label < self._arity):
+            raise DataValidationError(f"label {label} out of range")
+
+    def _invalidate_derived(self) -> None:
+        """Drop the derived read-only caches (a count is about to change)."""
+        self.invalidation_events += 1
+        self._common_f64 = None
+        self._common_list = None
+        self._clamped_rates.clear()
+
+    def _apply_delta(
+        self, worker: int, task: int, label: int, previous_label: int | None
+    ) -> None:
+        """Patch the storage and materialized counts for one changed cell.
+
+        Called with pre-validated, statistic-changing events only; the
+        derived caches have already been invalidated by the caller.
+        """
+        raise NotImplementedError
+
     def apply_response(
         self, worker: int, task: int, label: int, previous_label: int | None = None
     ) -> None:
-        """O(row) delta update after one ``(worker, task, label)`` ingestion."""
+        """O(row) delta update after one ``(worker, task, label)`` ingestion.
+
+        ``previous_label`` must be the worker's prior response on ``task``
+        (``None`` when this is a fresh response).  Every built cache —
+        count matrices, bit planes, vote table — is patched in place
+        instead of recomputed; derived read-only caches are dropped once.
+        """
+        self._validate_event(worker, task, label)
+        if previous_label is not None and int(previous_label) == int(label):
+            return
+        self._invalidate_derived()
+        self._apply_delta(worker, task, label, previous_label)
+
+    def apply_responses(
+        self, events: Sequence[tuple[int, int, int, int | None]]
+    ) -> int:
+        """Batched delta update for a micro-batch of ingested responses.
+
+        ``events`` are ``(worker, task, label, previous_label)`` tuples in
+        application order (``previous_label`` relative to the sequentially
+        applied stream, exactly as :meth:`apply_response` would have seen
+        them).  The result is bit-identical to applying the events one by
+        one; the difference is cost: the derived caches are invalidated
+        **once** for the whole batch, and while no count matrix / vote
+        table is materialized yet the per-event O(m) co-attempter scans are
+        replaced by grouped per-worker-row storage writes
+        (:meth:`_apply_batch_storage`).  Returns the number of
+        statistic-changing events applied.
+        """
+        effective = []
+        for worker, task, label, previous in events:
+            self._validate_event(worker, task, label)
+            if previous is not None and int(previous) == int(label):
+                continue
+            effective.append((worker, task, label, previous))
+        if not effective:
+            return 0
+        self._invalidate_derived()
+        if not self._apply_batch_storage(effective):
+            for worker, task, label, previous in effective:
+                self._apply_delta(worker, task, label, previous)
+        return len(effective)
+
+    def _apply_batch_storage(
+        self, events: list[tuple[int, int, int, int | None]]
+    ) -> bool:
+        """Grouped per-worker-row fast path for a whole micro-batch.
+
+        Returns True when the batch was fully absorbed by storage writes
+        (only legal while no count matrix / vote table is materialized —
+        those must be patched per event).  The default declines; backends
+        whose storage is authoritative override it.
+        """
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Delta growth (streaming ingestion of unseen ids)
+    # ------------------------------------------------------------------ #
+
+    def extend(self, additional_workers: int = 0, additional_tasks: int = 0) -> None:
+        """Grow the backend in place for new (empty) workers and/or tasks.
+
+        Added rows/columns carry no responses, so every materialized count
+        is either unchanged (new tasks) or extends with zeros (new
+        workers); nothing is recomputed — this is the delta alternative to
+        a full rebuild when the response stream brings ids unseen at
+        construction.  Worker growth resizes the ``(m, m)`` count caches,
+        so the derived per-pair caches are dropped; task-only growth keeps
+        them (no pair statistic changed).
+        """
+        if additional_workers < 0 or additional_tasks < 0:
+            raise DataValidationError("extension sizes must be non-negative")
+        if additional_workers == 0 and additional_tasks == 0:
+            return
+        self._extend_storage(additional_workers, additional_tasks)
+        if additional_workers:
+            m = self._n_workers + additional_workers
+            for attr in ("_common", "_agree"):
+                matrix = getattr(self, attr)
+                if matrix is not None:
+                    grown = np.zeros((m, m), dtype=matrix.dtype)
+                    grown[: self._n_workers, : self._n_workers] = matrix
+                    setattr(self, attr, grown)
+            self._common_f64 = None
+            self._common_list = None
+            self._clamped_rates.clear()
+        if additional_tasks and self._task_votes is not None:
+            self._task_votes = np.vstack(
+                [
+                    self._task_votes,
+                    np.zeros((additional_tasks, self._arity), dtype=np.int64),
+                ]
+            )
+        self._n_workers += additional_workers
+        self._n_tasks += additional_tasks
+
+    def _extend_storage(self, additional_workers: int, additional_tasks: int) -> None:
+        """Grow the concrete storage arrays (rows and/or columns of zeros)."""
         raise NotImplementedError
 
     def triple_count_tensor(self) -> np.ndarray | None:
@@ -788,31 +916,21 @@ class DenseAgreementBackend(AgreementBackendBase):
     # Delta updates (incremental evaluation)
     # ------------------------------------------------------------------ #
 
-    def apply_response(
-        self, worker: int, task: int, label: int, previous_label: int | None = None
+    def _invalidate_derived(self) -> None:
+        super()._invalidate_derived()
+        self._attempts_f32 = None
+        self._triple_tensor = None
+
+    def _apply_delta(
+        self, worker: int, task: int, label: int, previous_label: int | None
     ) -> None:
         """O(m) delta update after one ``(worker, task, label)`` ingestion.
 
-        ``previous_label`` must be the worker's prior response on ``task``
-        (``None`` when this is a fresh response).  Every built cache —
-        common/agreement count matrices, bitset rows, vote table — is patched
-        in place instead of being recomputed, which is what makes streaming
-        ingestion O(co-attempters) per response rather than O(m^2 n).
+        Every built cache — common/agreement count matrices, bitset rows,
+        vote table — is patched in place instead of being recomputed, which
+        is what makes streaming ingestion O(co-attempters) per response
+        rather than O(m^2 n).
         """
-        if not (0 <= worker < self._n_workers):
-            raise DataValidationError(f"worker id {worker} out of range")
-        if not (0 <= task < self._n_tasks):
-            raise DataValidationError(f"task id {task} out of range")
-        if not (0 <= label < self._arity):
-            raise DataValidationError(f"label {label} out of range")
-        if previous_label is not None and int(previous_label) == int(label):
-            return
-        # Derived read-only caches become stale the moment a count changes.
-        self._common_f64 = None
-        self._attempts_f32 = None
-        self._common_list = None
-        self._triple_tensor = None
-        self._clamped_rates.clear()
         co_attempters = np.nonzero(self._attempts[:, task])[0]
         co_attempters = co_attempters[co_attempters != worker]
         their_labels = self._labels[co_attempters, task].astype(np.int64)
@@ -840,6 +958,71 @@ class DenseAgreementBackend(AgreementBackendBase):
                 self._task_votes[task, int(previous_label)] -= 1
             self._task_votes[task, int(label)] += 1
         self._labels[worker, task] = label
+
+    def _apply_batch_storage(
+        self, events: list[tuple[int, int, int, int | None]]
+    ) -> bool:
+        """Absorb a micro-batch with grouped per-worker-row writes.
+
+        Legal only while no count matrix / vote table is materialized: then
+        the dense arrays are the sole authority and the whole batch reduces
+        to fancy-indexed assignments per touched worker row — no per-event
+        O(m) co-attempter scan.  Duplicate ``(worker, task)`` cells within
+        the batch are deduplicated keeping the last label (assignment
+        semantics of the sequential replay).
+        """
+        if (
+            self._common is not None
+            or self._agree is not None
+            or self._task_votes is not None
+        ):
+            return False
+        by_worker: dict[int, tuple[list[int], list[int]]] = {}
+        for worker, task, label, _previous in events:
+            tasks, labels = by_worker.setdefault(worker, ([], []))
+            tasks.append(task)
+            labels.append(label)
+        for worker, (tasks, labels) in by_worker.items():
+            task_array = np.asarray(tasks, dtype=np.int64)
+            label_array = np.asarray(labels, dtype=np.int64)
+            # Keep the last occurrence per task: unique() on the reversed
+            # array returns first occurrences, i.e. the stream's last.
+            _, reversed_first = np.unique(task_array[::-1], return_index=True)
+            keep = task_array.size - 1 - reversed_first
+            self._attempts[worker, task_array[keep]] = True
+            self._labels[worker, task_array[keep]] = label_array[keep]
+            if self._packed is not None:
+                self._packed[worker] = np.packbits(self._attempts[worker])
+        return True
+
+    def _extend_storage(self, additional_workers: int, additional_tasks: int) -> None:
+        m, n = self._attempts.shape
+        grown_attempts = np.zeros(
+            (m + additional_workers, n + additional_tasks), dtype=bool
+        )
+        grown_attempts[:m, :n] = self._attempts
+        grown_labels = np.full(
+            (m + additional_workers, n + additional_tasks),
+            UNANSWERED,
+            dtype=self._labels.dtype,
+        )
+        grown_labels[:m, :n] = self._labels
+        self._attempts = grown_attempts
+        self._labels = grown_labels
+        self._attempts_f32 = None
+        if additional_workers:
+            # (m, m, m) tensor shapes change; task-only growth keeps the
+            # counts (the added columns are empty).
+            self._triple_tensor = None
+        if self._packed is not None:
+            n_bytes = (n + additional_tasks + 7) // 8
+            grown_packed = np.zeros(
+                (m + additional_workers, n_bytes), dtype=np.uint8
+            )
+            # Valid because np.packbits zero-pads the trailing bits of the
+            # final byte: existing bytes describe the old columns verbatim.
+            grown_packed[:m, : self._packed.shape[1]] = self._packed
+            self._packed = grown_packed
 
 
 def auto_backend_choice(

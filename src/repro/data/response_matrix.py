@@ -202,6 +202,21 @@ class ResponseMatrix:
         """True for binary (arity 2) data."""
         return self._arity == 2
 
+    def extend(self, additional_workers: int = 0, additional_tasks: int = 0) -> None:
+        """Grow the id space in place (streaming data brings unseen ids).
+
+        New workers/tasks start with no responses and no gold labels, so
+        every derived statistic is unchanged; existing ids keep their data.
+        This is O(added ids) — the delta alternative to rebuilding the
+        matrix when a response stream outgrows the constructed dimensions.
+        """
+        if additional_workers < 0 or additional_tasks < 0:
+            raise DataValidationError("extension sizes must be non-negative")
+        self._responses.extend(dict() for _ in range(additional_workers))
+        self._task_responses.extend(dict() for _ in range(additional_tasks))
+        self._n_workers += additional_workers
+        self._n_tasks += additional_tasks
+
     def add_response(self, worker: int, task: int, label: int) -> None:
         """Record worker ``worker``'s response ``label`` on task ``task``.
 

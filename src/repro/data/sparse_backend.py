@@ -254,8 +254,8 @@ class BitsetAgreementBackend(AgreementBackendBase):
     # Delta updates (incremental evaluation)
     # ------------------------------------------------------------------ #
 
-    def apply_response(
-        self, worker: int, task: int, label: int, previous_label: int | None = None
+    def _apply_delta(
+        self, worker: int, task: int, label: int, previous_label: int | None
     ) -> None:
         """O(m) delta update mirroring the dense backend's semantics.
 
@@ -264,17 +264,6 @@ class BitsetAgreementBackend(AgreementBackendBase):
         matrices and vote table are patched only when materialized (exactly
         as the dense backend patches its caches).
         """
-        if not (0 <= worker < self._n_workers):
-            raise DataValidationError(f"worker id {worker} out of range")
-        if not (0 <= task < self._n_tasks):
-            raise DataValidationError(f"task id {task} out of range")
-        if not (0 <= label < self._arity):
-            raise DataValidationError(f"label {label} out of range")
-        if previous_label is not None and int(previous_label) == int(label):
-            return
-        self._common_f64 = None
-        self._common_list = None
-        self._clamped_rates.clear()
         byte_index = task >> 3
         bit = np.uint8(0x80 >> (task & 7))
         attempted = (self._packed[:, byte_index] & bit) != 0
@@ -312,6 +301,60 @@ class BitsetAgreementBackend(AgreementBackendBase):
                 self._task_votes[task, int(previous_label)] -= 1
             self._task_votes[task, int(label)] += 1
         self._packed_labels[int(label)][worker, byte_index] |= bit
+
+    def _apply_batch_storage(
+        self, events: list[tuple[int, int, int, int | None]]
+    ) -> bool:
+        """Absorb a micro-batch with grouped per-worker bit writes.
+
+        Legal only while no count matrix / vote table is materialized (the
+        packed planes are then the sole authority).  Per touched cell only
+        the *net* transition matters for the planes — the pre-batch label
+        (the first event's ``previous``) is cleared and the last label set —
+        so the per-event O(m) co-attempter scans vanish entirely.
+        """
+        if (
+            self._common is not None
+            or self._agree is not None
+            or self._task_votes is not None
+        ):
+            return False
+        # (worker, task) -> [pre-batch previous, final label]; dict order
+        # preserves the stream order within each worker row.
+        net: dict[tuple[int, int], list[int | None]] = {}
+        for worker, task, label, previous in events:
+            cell = net.get((worker, task))
+            if cell is None:
+                net[(worker, task)] = [previous, label]
+            else:
+                cell[1] = label
+        for (worker, task), (previous, label) in net.items():
+            byte_index = task >> 3
+            bit = np.uint8(0x80 >> (task & 7))
+            if previous is None:
+                self._packed[worker, byte_index] |= bit
+            elif int(previous) == int(label):
+                continue
+            else:
+                self._packed_labels[int(previous)][worker, byte_index] &= np.uint8(
+                    0xFF ^ int(bit)
+                )
+            self._packed_labels[int(label)][worker, byte_index] |= bit
+        return True
+
+    def _extend_storage(self, additional_workers: int, additional_tasks: int) -> None:
+        m = self._packed.shape[0]
+        n_bytes = (self._n_tasks + additional_tasks + 7) // 8
+        grown = np.zeros((m + additional_workers, n_bytes), dtype=np.uint8)
+        # np.packbits zero-pads the trailing bits of the final byte, so the
+        # existing bytes describe the old columns verbatim.
+        grown[:m, : self._packed.shape[1]] = self._packed
+        self._packed = grown
+        grown_labels = np.zeros(
+            (self._arity, m + additional_workers, n_bytes), dtype=np.uint8
+        )
+        grown_labels[:, :m, : self._packed_labels.shape[2]] = self._packed_labels
+        self._packed_labels = grown_labels
 
 
 class SparseAgreementBackend(BitsetAgreementBackend):
@@ -452,3 +495,36 @@ class SparseAgreementBackend(BitsetAgreementBackend):
             self.common_counts
             self.agreement_counts
         super().apply_response(worker, task, label, previous_label)
+
+    def apply_responses(
+        self, events: Sequence[tuple[int, int, int, int | None]]
+    ) -> int:
+        """Batched delta update; materializes the CSR-built matrices first.
+
+        Same reasoning as :meth:`apply_response`: the CSR index describes
+        the construction-time responses only, so both count matrices must
+        exist before the first delta lands (this also means the grouped
+        storage-only fast path never applies here — the materialized
+        matrices are patched per event, exactly like the singleton path).
+        """
+        if any(
+            not (previous is not None and int(previous) == int(label))
+            for _worker, _task, label, previous in events
+        ):
+            self.common_counts
+            self.agreement_counts
+        return super().apply_responses(events)
+
+    def _extend_storage(self, additional_workers: int, additional_tasks: int) -> None:
+        super()._extend_storage(additional_workers, additional_tasks)
+        # Task growth leaves the CSR index valid (column count is read from
+        # the backend shape at product time); new workers are empty rows.
+        if additional_workers and self._csr_indptr is not None:
+            self._csr_indptr = np.concatenate(
+                [
+                    self._csr_indptr,
+                    np.full(
+                        additional_workers, self._csr_indptr[-1], dtype=np.int64
+                    ),
+                ]
+            )

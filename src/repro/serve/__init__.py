@@ -1,0 +1,38 @@
+"""Asynchronous streaming ingestion in front of the incremental evaluator.
+
+The paper evaluates a *given* response matrix; a production system serves a
+*stream* — responses arrive concurrently while quality queries keep being
+answered.  This package is that front-end, layered on the delta machinery
+the rest of the library already provides (O(row) ``apply_response`` /
+batched ``apply_responses`` on every backend, dependency-tracked cache
+invalidation in :class:`~repro.core.incremental.IncrementalEvaluator`):
+
+* :class:`~repro.serve.queue.ResponseQueue` — bounded asyncio queue with
+  producer backpressure, coalescing the stream into micro-batches;
+* :class:`~repro.serve.session.StreamSession` — the session API:
+  ``await submit(...)``, ``await flush()``, ordered batch application
+  under a writer lock, snapshot-consistent reads, per-batch invalidation
+  stats (see its module docstring for the determinism contract);
+* :mod:`~repro.serve.sources` — NDJSON / async-iterator adapters;
+* :mod:`~repro.serve.server` — the ``repro-crowd serve`` TCP front-end.
+
+The locked contract: estimates served from any interleaving of
+micro-batches equal a from-scratch batch build over the accumulated data,
+bit for bit, on every backend (``tests/property/
+test_cross_backend_differential.py``, ``streamed`` column).
+"""
+
+from repro.serve.queue import QueueClosed, ResponseQueue
+from repro.serve.session import BatchRecord, SessionSnapshot, StreamSession
+from repro.serve.sources import feed_session, iter_ndjson, parse_event
+
+__all__ = [
+    "BatchRecord",
+    "QueueClosed",
+    "ResponseQueue",
+    "SessionSnapshot",
+    "StreamSession",
+    "feed_session",
+    "iter_ndjson",
+    "parse_event",
+]

@@ -1,0 +1,127 @@
+"""Bounded asyncio response queue with micro-batch coalescing.
+
+:class:`ResponseQueue` is the front door of the streaming ingestion
+subsystem (:mod:`repro.serve`): producers ``await put(event)`` — the bound
+gives natural backpressure, a producer outrunning the applier parks on the
+queue instead of growing memory — and the single consumer drains with
+:meth:`get_batch`, which waits for the *first* event and then greedily
+coalesces everything already enqueued (up to ``max_batch``) into one
+micro-batch without waiting again.  Coalescing is what turns a trickle of
+singleton responses into the batched
+:meth:`~repro.core.incremental.IncrementalEvaluator.apply_batch` deltas that
+pay one invalidation pass per batch instead of one per event.
+
+FIFO order is preserved end to end: events leave in exactly the order they
+were accepted, and batches are consumed by a single applier task, so the
+stream's application order is the submission order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["QueueClosed", "ResponseQueue"]
+
+#: Internal close marker (producers can never enqueue it: ``put`` rejects
+#: events after ``close`` and the sentinel is only enqueued by ``close``).
+_CLOSE = object()
+
+
+class QueueClosed(ConfigurationError):
+    """Raised when an event is submitted to a closed :class:`ResponseQueue`."""
+
+
+class ResponseQueue:
+    """Bounded, order-preserving asyncio queue of response events.
+
+    Parameters
+    ----------
+    maxsize:
+        Bound on the number of queued events.  ``put`` blocks (asyncio
+        backpressure) while the queue is full.
+    max_batch:
+        Largest micro-batch :meth:`get_batch` will coalesce.  Larger batches
+        amortize more invalidation work; smaller ones tighten the staleness
+        window between a submission and its visibility to readers.
+    """
+
+    def __init__(self, maxsize: int = 4096, max_batch: int = 256) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(f"maxsize must be at least 1, got {maxsize}")
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be at least 1, got {max_batch}")
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize)
+        self._max_batch = max_batch
+        self._closed = False
+        self._drained = False
+
+    @property
+    def maxsize(self) -> int:
+        return self._queue.maxsize
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called (no further ``put`` accepted)."""
+        return self._closed
+
+    def qsize(self) -> int:
+        """Number of events currently queued (excluding the close marker)."""
+        size = self._queue.qsize()
+        return size - 1 if self._closed and not self._drained and size else size
+
+    async def put(self, event: Any) -> None:
+        """Enqueue one event; blocks while the queue is full (backpressure)."""
+        if self._closed:
+            raise QueueClosed("the response queue is closed")
+        await self._queue.put(event)
+
+    def put_nowait(self, event: Any) -> None:
+        """Enqueue without waiting; raises ``asyncio.QueueFull`` when full."""
+        if self._closed:
+            raise QueueClosed("the response queue is closed")
+        self._queue.put_nowait(event)
+
+    async def close(self) -> None:
+        """Refuse further events and wake the consumer once drained.
+
+        Idempotent.  Events already accepted are still delivered; the
+        consumer sees ``None`` from :meth:`get_batch` after the last batch.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # The close marker rides the same queue so it cannot overtake data.
+        await self._queue.put(_CLOSE)
+
+    async def get_batch(self) -> list[Any] | None:
+        """Wait for the next micro-batch (or None once closed and drained).
+
+        Blocks until at least one event is available, then coalesces every
+        event already enqueued — up to ``max_batch`` — without waiting
+        again.  Returns ``None`` exactly once, after the final event has
+        been delivered.
+        """
+        if self._drained:
+            return None
+        first = await self._queue.get()
+        if first is _CLOSE:
+            self._drained = True
+            return None
+        batch = [first]
+        while len(batch) < self._max_batch:
+            try:
+                event = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if event is _CLOSE:
+                self._drained = True
+                break
+            batch.append(event)
+        return batch

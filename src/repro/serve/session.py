@@ -1,0 +1,333 @@
+"""Streaming ingestion session over an :class:`IncrementalEvaluator`.
+
+:class:`StreamSession` is the asyncio layer the ROADMAP's async-ingestion
+item asked for: a single writer task drains the bounded
+:class:`~repro.serve.queue.ResponseQueue` into micro-batches and applies
+each under the session's writer lock via
+:meth:`~repro.core.incremental.IncrementalEvaluator.apply_batch`, while
+concurrent readers (``evaluate_worker`` / ``evaluate_all`` /
+``spammer_scores`` / ``snapshot``) take the same lock and therefore always
+observe a *whole number of applied batches* — never a torn batch.
+
+Determinism contract (locked by the differential suite's ``streamed``
+column)
+-----------------------------------------------------------------------
+
+* **Ordering** — events are applied in submission order: ``submit`` is
+  FIFO into the queue, batches are drained by one applier task, and
+  :meth:`IncrementalEvaluator.apply_batch` replays each batch in order.
+* **Batch boundaries are invisible in results** — however the stream is
+  chopped into micro-batches (queue timing, ``max_batch``, explicit
+  ``flush`` calls), the estimates served after the stream equal a
+  from-scratch batch build over the accumulated responses, bit for bit,
+  on every backend.  Batching changes *when* bookkeeping is paid, never
+  what is computed.
+* **Snapshot semantics** — a read between batches serves the state at the
+  last applied batch boundary: estimates over exactly the responses whose
+  batches have been applied, with cached intervals reused unless a
+  statistic they depend on changed (the evaluator's dependency-tracked
+  invalidation).  ``await flush()`` before a read gives read-your-writes.
+
+Unseen worker/task ids grow the evaluator through the delta extension path
+(no backend rebuild) once per batch, so a live stream never needs
+pre-declared dimensions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterable, Iterable
+from dataclasses import dataclass
+
+from repro.core.incremental import BatchApplyStats, IncrementalEvaluator
+from repro.core.spammer_filter import DEFAULT_SPAMMER_THRESHOLD
+from repro.data.response_matrix import ResponseMatrix
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.serve.queue import ResponseQueue
+from repro.types import WorkerErrorEstimate
+
+__all__ = ["BatchRecord", "SessionSnapshot", "StreamSession"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One applied micro-batch: position in the stream plus its effects."""
+
+    index: int
+    first_seq: int
+    last_seq: int
+    stats: BatchApplyStats
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A consistent view taken at an applied-batch boundary."""
+
+    matrix: ResponseMatrix
+    estimates: dict[int, WorkerErrorEstimate]
+    applied_events: int
+    applied_batches: int
+
+
+class StreamSession:
+    """Async front-end that feeds a response stream into the evaluator.
+
+    Parameters
+    ----------
+    evaluator:
+        The incremental evaluator to feed; constructed with small default
+        dimensions when omitted (the stream grows it on demand).
+    maxsize, max_batch:
+        Queue bound (producer backpressure) and micro-batch cap — see
+        :class:`~repro.serve.queue.ResponseQueue`.
+    auto_extend:
+        Grow the evaluator for unseen worker/task ids (default).  With
+        ``False`` an out-of-range event fails the session (surfaced at the
+        next ``submit``/``flush``).
+
+    Use as an async context manager::
+
+        async with StreamSession() as session:
+            await session.submit(worker, task, label)
+            await session.flush()
+            estimates = await session.evaluate_all()
+    """
+
+    def __init__(
+        self,
+        evaluator: IncrementalEvaluator | None = None,
+        *,
+        maxsize: int = 4096,
+        max_batch: int = 256,
+        auto_extend: bool = True,
+        confidence: float = 0.95,
+        backend: str = "auto",
+    ) -> None:
+        if evaluator is None:
+            evaluator = IncrementalEvaluator(
+                n_workers=3, n_tasks=1, confidence=confidence, backend=backend
+            )
+        self._evaluator = evaluator
+        self._queue = ResponseQueue(maxsize=maxsize, max_batch=max_batch)
+        self._auto_extend = auto_extend
+        self._lock = asyncio.Lock()
+        self._applied = asyncio.Condition()
+        self._submitted_seq = 0
+        self._applied_seq = 0
+        self._batches: list[BatchRecord] = []
+        self._applier: asyncio.Task | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def __aenter__(self) -> "StreamSession":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # An exception is already propagating out of the block (often
+            # the applier's own error, re-raised at submit()/flush()):
+            # drain and stop without masking it with a second raise.
+            await self._drain_and_stop()
+            return
+        await self.close()
+
+    def start(self) -> None:
+        """Start the applier task (idempotent; ``async with`` does this)."""
+        if self._applier is None:
+            self._applier = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Drain and stop: apply everything submitted, then stop the applier.
+
+        Raises the applier's error if ingestion failed (unless it was
+        already surfaced by the exception leaving an ``async with`` block).
+        """
+        await self._drain_and_stop()
+        self._raise_if_failed()
+
+    async def _drain_and_stop(self) -> None:
+        await self._queue.close()
+        if self._applier is not None:
+            await self._applier
+            self._applier = None
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def evaluator(self) -> IncrementalEvaluator:
+        """The wrapped evaluator (take the session lock for direct reads)."""
+        return self._evaluator
+
+    @property
+    def submitted_events(self) -> int:
+        return self._submitted_seq
+
+    @property
+    def applied_events(self) -> int:
+        return self._applied_seq
+
+    @property
+    def pending_events(self) -> int:
+        """Events submitted but not yet applied.
+
+        Clamped at zero: between a parked ``put`` completing and its
+        producer task resuming to count it, the applier may already have
+        applied the event, making ``applied`` transiently exceed
+        ``submitted``.
+        """
+        return max(0, self._submitted_seq - self._applied_seq)
+
+    @property
+    def applied_batches(self) -> list[BatchRecord]:
+        """Per-batch application records (size, sequence range, stats)."""
+        return list(self._batches)
+
+    async def submit(self, worker: int, task: int, label: int) -> int:
+        """Enqueue one response; returns its 1-based sequence number.
+
+        Blocks while the queue is full (backpressure).  Application is
+        asynchronous — ``await flush()`` to wait for visibility.
+        """
+        self._raise_if_failed()
+        if self._applier is None:
+            raise ConfigurationError(
+                "the session is not running; use 'async with StreamSession()' "
+                "or call start() first"
+            )
+        await self._queue.put((int(worker), int(task), int(label)))
+        # Increment only after the (possibly parked) put succeeds, in one
+        # yield-free step: concurrent producers that both read the counter
+        # before awaiting would otherwise lose increments, letting flush()
+        # return before everything submitted was applied.
+        self._submitted_seq += 1
+        return self._submitted_seq
+
+    async def submit_many(
+        self, records: Iterable[tuple[int, int, int]] | AsyncIterable
+    ) -> int:
+        """Submit a collection (sync or async iterable); returns the count."""
+        count = 0
+        if hasattr(records, "__aiter__"):
+            async for record in records:  # type: ignore[union-attr]
+                await self.submit(*record)
+                count += 1
+        else:
+            for record in records:  # type: ignore[union-attr]
+                await self.submit(*record)
+                count += 1
+        return count
+
+    async def flush(self) -> int:
+        """Wait until everything submitted so far is applied.
+
+        Returns the number of applied events.  Raises the applier's error
+        if ingestion failed.
+        """
+        target = self._submitted_seq
+        async with self._applied:
+            await self._applied.wait_for(
+                lambda: self._applied_seq >= target or self._error is not None
+            )
+        self._raise_if_failed()
+        return self._applied_seq
+
+    # ------------------------------------------------------------------ #
+    # Reader side (snapshot-consistent: whole batches only)
+    # ------------------------------------------------------------------ #
+
+    async def evaluate_worker(self, worker: int) -> WorkerErrorEstimate:
+        """Estimate for one worker at the last applied batch boundary."""
+        async with self._lock:
+            return self._evaluator.estimate(worker)
+
+    async def evaluate_all(self) -> dict[int, WorkerErrorEstimate]:
+        """Estimates for every worker with data, at the last batch boundary."""
+        async with self._lock:
+            return self._evaluator.estimate_all()
+
+    async def spammer_scores(
+        self, threshold: float = DEFAULT_SPAMMER_THRESHOLD
+    ) -> dict[int, float | None]:
+        """Majority-disagreement spammer proxies at the last batch boundary.
+
+        ``None`` marks workers that cannot be scored yet (no responses, or
+        no task shared with anyone); scores above ``threshold`` flag
+        near-spammers (Section III-E2's filter criterion).
+        """
+        async with self._lock:
+            matrix = self._evaluator.matrix
+            backend = self._evaluator._backend
+            if backend is not None:
+                rates = backend.majority_disagreement_rates()
+            else:
+                rates = []
+                for worker in range(matrix.n_workers):
+                    try:
+                        rates.append(matrix.disagreement_with_majority(worker))
+                    except InsufficientDataError:
+                        rates.append(None)
+            return dict(enumerate(rates))
+
+    async def snapshot(self) -> SessionSnapshot:
+        """Deep-copied consistent state at the last applied batch boundary.
+
+        The returned matrix and estimates cannot be mutated by later
+        batches, which makes this the tool for auditing snapshot
+        consistency (the test suite compares it against a from-scratch
+        batch build over the copied matrix).
+        """
+        async with self._lock:
+            return SessionSnapshot(
+                matrix=self._evaluator.matrix.copy(),
+                estimates=self._evaluator.estimate_all(),
+                applied_events=self._applied_seq,
+                applied_batches=len(self._batches),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Applier
+    # ------------------------------------------------------------------ #
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._queue.get_batch()
+            if batch is None:
+                return
+            try:
+                async with self._lock:
+                    stats = self._evaluator.apply_batch(
+                        batch, auto_extend=self._auto_extend
+                    )
+                first_seq = self._applied_seq + 1
+                self._applied_seq += len(batch)
+                self._batches.append(
+                    BatchRecord(
+                        index=len(self._batches),
+                        first_seq=first_seq,
+                        last_seq=self._applied_seq,
+                        stats=stats,
+                    )
+                )
+            except BaseException as error:  # surfaced at submit()/flush()
+                self._error = error
+                async with self._applied:
+                    self._applied.notify_all()
+                # Keep draining (and discarding) so producers parked on the
+                # full queue wake up — their next submit() raises the
+                # stored error — and close()'s marker can always land
+                # instead of deadlocking against a dead consumer.
+                while await self._queue.get_batch() is not None:
+                    pass
+                return
+            async with self._applied:
+                self._applied.notify_all()

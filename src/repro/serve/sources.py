@@ -1,0 +1,112 @@
+"""Event sources for the streaming ingestion subsystem.
+
+Adapters that turn external response feeds into the ``(worker, task,
+label)`` tuples a :class:`~repro.serve.session.StreamSession` consumes:
+
+* :func:`parse_event` — one newline-JSON event (``{"worker": 3, "task":
+  17, "label": 1}`` or the compact ``[3, 17, 1]`` array form) into a
+  record tuple;
+* :func:`iter_ndjson` — async iterator over an NDJSON text stream (a file,
+  a pipe, stdin), with optional ``follow`` tailing for live feeds;
+* :func:`feed_session` — pump any (a)sync record source into a session.
+
+The sources never reorder events: records are yielded in stream order and
+submitted FIFO, so the session's ordered-application guarantee extends to
+the wire format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import AsyncIterable, AsyncIterator, Iterable
+from typing import IO, Any
+
+from repro.exceptions import DataValidationError
+from repro.serve.session import StreamSession
+
+__all__ = ["feed_session", "iter_ndjson", "parse_event"]
+
+#: Keys of the object event form, in record order.
+_EVENT_KEYS = ("worker", "task", "label")
+
+
+def parse_event(line: str | bytes | dict | list) -> tuple[int, int, int] | None:
+    """Parse one NDJSON event into a ``(worker, task, label)`` record.
+
+    Accepts the object form ``{"worker": w, "task": t, "label": l}``
+    (extra keys ignored — timestamps, annotator metadata, ...), the
+    compact array form ``[w, t, l]``, or an already-decoded dict/list.
+    Blank lines decode to ``None`` (callers skip them); anything else
+    malformed raises :class:`~repro.exceptions.DataValidationError`.
+    """
+    if isinstance(line, (str, bytes)):
+        text = line.decode() if isinstance(line, bytes) else line
+        if not text.strip():
+            return None
+        try:
+            decoded: Any = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise DataValidationError(f"malformed NDJSON event: {text!r}") from error
+    else:
+        decoded = line
+    if isinstance(decoded, dict):
+        try:
+            return tuple(int(decoded[key]) for key in _EVENT_KEYS)  # type: ignore[return-value]
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataValidationError(
+                f"NDJSON event needs integer 'worker'/'task'/'label' keys: "
+                f"{decoded!r}"
+            ) from error
+    if isinstance(decoded, (list, tuple)) and len(decoded) == 3:
+        try:
+            return tuple(int(value) for value in decoded)  # type: ignore[return-value]
+        except (TypeError, ValueError) as error:
+            raise DataValidationError(
+                f"NDJSON array event must be three integers: {decoded!r}"
+            ) from error
+    raise DataValidationError(f"unrecognized NDJSON event shape: {decoded!r}")
+
+
+async def iter_ndjson(
+    stream: IO[str],
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    idle_timeout: float | None = None,
+) -> AsyncIterator[tuple[int, int, int]]:
+    """Yield records from an NDJSON text stream, in stream order.
+
+    Reads line by line off the event loop's default executor (so a slow
+    pipe never blocks the loop).  At end of file: stop, unless ``follow``
+    is set — then keep polling every ``poll_interval`` seconds for
+    appended lines (``tail -f`` semantics) until ``idle_timeout`` seconds
+    pass without new data (``None`` = follow forever).
+    """
+    loop = asyncio.get_running_loop()
+    idle = 0.0
+    while True:
+        line = await loop.run_in_executor(None, stream.readline)
+        if line:
+            idle = 0.0
+            record = parse_event(line)
+            if record is not None:
+                yield record
+            continue
+        if not follow:
+            return
+        if idle_timeout is not None and idle >= idle_timeout:
+            return
+        await asyncio.sleep(poll_interval)
+        idle += poll_interval
+
+
+async def feed_session(
+    session: StreamSession,
+    source: AsyncIterable[tuple[int, int, int]] | Iterable[tuple[int, int, int]],
+) -> int:
+    """Pump a record source into the session; returns the submitted count.
+
+    Backpressure propagates naturally: when the session queue is full the
+    pump (and therefore the source read) pauses until the applier drains.
+    """
+    return await session.submit_many(source)

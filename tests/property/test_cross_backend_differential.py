@@ -299,6 +299,79 @@ def test_incremental_matches_dict_reference(backend, seed, regular):
 
 
 # --------------------------------------------------------------------------- #
+# Streamed column: random micro-batch interleavings through StreamSession
+# --------------------------------------------------------------------------- #
+
+#: Backends of the ``streamed`` column; every one must serve estimates
+#: bit-identical to the dict-backend batch reference after ANY chopping of
+#: the stream into micro-batches (the streaming determinism contract of
+#: :mod:`repro.serve`).
+STREAMED_BACKENDS = ["dict", "dense", "sparse", "bitset"]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_streamed_microbatch_interleavings_bit_identical(seed):
+    """25-seed fuzz of the streaming path: shuffled response streams with
+    label revisions, chopped into random micro-batches by the session's
+    coalescing queue, with cache-warming reads interleaved at random
+    points, on all four backends — the final estimates must equal a
+    from-scratch batch build over the accumulated matrix, bit for bit."""
+    import asyncio
+
+    from repro.serve import StreamSession
+
+    rng = np.random.default_rng(9000 + seed)
+    m = int(rng.integers(6, 10))
+    n = int(rng.integers(25, 45))
+    matrix = random_matrix(seed, m, n, regular=bool(seed % 3 == 0))
+    records = list(matrix.iter_responses())
+    rng.shuffle(records)
+    # Revisions: re-submit a handful of cells with flipped labels mid-stream
+    # (the accumulated matrix keeps the last write, like the reference).
+    revisions = [
+        (worker, task, 1 - label)
+        for worker, task, label in rng.permutation(records)[:4].tolist()
+    ]
+    insert_at = sorted(
+        int(position) for position in rng.integers(0, len(records), size=4)
+    )
+    for position, revision in zip(insert_at, reversed(revisions)):
+        records.insert(position, tuple(revision))
+    read_points = set(
+        int(position) for position in rng.integers(0, len(records), size=2)
+    )
+    max_batch = int(rng.integers(1, 24))
+
+    async def stream(backend):
+        async with StreamSession(backend=backend, max_batch=max_batch) as session:
+            for index, record in enumerate(records):
+                await session.submit(*record)
+                if index in read_points:
+                    await session.evaluate_all()  # warm caches mid-stream
+            await session.flush()
+            return await session.evaluate_all(), session.evaluator.matrix.copy()
+
+    results = {
+        backend: asyncio.run(stream(backend)) for backend in STREAMED_BACKENDS
+    }
+    accumulated = results["dict"][1]
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(
+            confidence=0.95, backend="dict"
+        ).evaluate_all(accumulated)
+        if estimate.n_tasks > 0
+    }
+    for backend, (streamed, matrix_copy) in results.items():
+        assert matrix_copy == accumulated, backend
+        assert set(streamed) == set(reference), backend
+        for worker, ref in reference.items():
+            assert_estimates_bit_identical(
+                ref, streamed[worker], f"streamed-{backend}"
+            )
+
+
+# --------------------------------------------------------------------------- #
 # Composition contracts of the sparse/bitset backends
 # --------------------------------------------------------------------------- #
 

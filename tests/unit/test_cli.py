@@ -136,6 +136,72 @@ class TestEvaluateCommand:
         assert exit_code == 2
 
 
+class TestIngestCommand:
+    @pytest.fixture
+    def ndjson_dataset(self, tmp_path, rng):
+        """A shuffled NDJSON event stream paired with the equivalent CSV."""
+        import json
+
+        population = BinaryWorkerPopulation(
+            error_rates=np.array([0.1, 0.2, 0.3, 0.15])
+        )
+        matrix = population.generate(60, rng, densities=0.9)
+        records = list(matrix.iter_responses())
+        rng.shuffle(records)
+        events = tmp_path / "events.ndjson"
+        with events.open("w") as handle:
+            for worker, task, label in records:
+                handle.write(
+                    json.dumps({"worker": worker, "task": task, "label": label})
+                    + "\n"
+                )
+        responses = tmp_path / "responses.csv"
+        save_response_matrix_csv(matrix, responses)
+        return events, responses
+
+    def test_ingest_defaults(self):
+        args = build_parser().parse_args(["ingest", "events.ndjson"])
+        assert args.confidence == 0.9
+        assert args.batch_size == 256
+        assert not args.follow
+
+    def test_ingest_matches_batch_evaluate_byte_for_byte(
+        self, ndjson_dataset, capsys
+    ):
+        """The stream-smoke contract: the streamed table must be identical
+        to a from-scratch batch evaluate over the same responses, even
+        though the stream order is shuffled."""
+        events, responses = ndjson_dataset
+        assert main(["ingest", str(events)]) == 0
+        streamed_output = capsys.readouterr().out
+        assert main(["evaluate", str(responses), "--backend", "dense"]) == 0
+        assert streamed_output == capsys.readouterr().out
+
+    def test_ingest_stats_and_backend_knob(self, ndjson_dataset, capsys):
+        events, _ = ndjson_dataset
+        assert (
+            main(["ingest", str(events), "--stats", "--backend", "bitset",
+                  "--batch-size", "64"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "micro-batches" in output and "backend invalidations" in output
+
+    def test_ingest_rejects_bad_sizes(self, ndjson_dataset, capsys):
+        events, _ = ndjson_dataset
+        assert main(["ingest", str(events), "--batch-size", "0"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_ingest_malformed_event_is_an_error(self, tmp_path, capsys):
+        events = tmp_path / "bad.ndjson"
+        events.write_text('{"worker": 0, "task": 0}\n')
+        assert main(["ingest", str(events)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ingest_missing_file_is_an_error(self, capsys):
+        assert main(["ingest", "/nonexistent/events.ndjson"]) == 2
+
+
 class TestOtherCommands:
     def test_datasets_plain(self, capsys):
         assert main(["datasets"]) == 0

@@ -174,6 +174,68 @@ class TestIncrementalEvaluator:
         assert incremental.matrix.n_tasks == 10
         with pytest.raises(ConfigurationError):
             incremental.extend_tasks(0)
+        with pytest.raises(ConfigurationError):
+            incremental.extend_workers(0)
+
+    @pytest.mark.parametrize("backend", ["dense", "bitset"])
+    def test_unseen_ids_take_delta_path_without_rebuild(self, rng, backend):
+        """Regression: a response on a task/worker unseen at construction
+        used to force a full backend rebuild through ``extend_tasks``; it
+        must now take the delta growth path (zero rebuilds) and still serve
+        estimates equal to a fresh batch run over the grown matrix."""
+        matrix, _ = self._streamed(rng, n_workers=5, n_tasks=40)
+        incremental = IncrementalEvaluator(5, 40, confidence=0.9, backend=backend)
+        incremental.add_responses(matrix.iter_responses())
+        warmed = incremental.estimate_all()  # build every derived cache
+        assert warmed and incremental.backend_rebuilds == 0
+
+        # Unseen task id: routed through the extend_tasks delta path.
+        incremental.add_response(0, 55, 1)
+        assert incremental.matrix.n_tasks == 56
+        assert incremental.backend_rebuilds == 0
+        # The new task has no co-attempters: only worker 0 goes dirty, every
+        # other cached estimate survives the growth.
+        assert incremental.dirty_workers == {0}
+
+        # Unseen worker id (batch form): extend_workers delta path.
+        incremental.apply_batch([(7, 3, 1), (7, 5, 0), (7, 55, 1)])
+        assert incremental.matrix.n_workers == 8
+        assert incremental.backend_rebuilds == 0
+
+        served = incremental.estimate_all()
+        reference = MWorkerEstimator(confidence=0.9, backend="dict").evaluate_all(
+            incremental.matrix
+        )
+        for ref in reference:
+            if ref.n_tasks == 0:
+                continue
+            estimate = served[ref.worker]
+            assert estimate.interval.mean == ref.interval.mean
+            assert estimate.interval.lower == ref.interval.lower
+            assert estimate.interval.upper == ref.interval.upper
+            assert estimate.interval.deviation == ref.interval.deviation
+            assert estimate.weights == ref.weights
+            assert estimate.status is ref.status
+
+    def test_rebuild_counted_only_on_auto_backend_flip(self, rng, monkeypatch):
+        """Under ``backend="auto"`` growth rebuilds only when the cost model
+        flips the backend kind — and the counter records exactly that."""
+        import repro.data.dense_backend as dense_backend_module
+        import repro.data.sparse_backend as sparse_backend_module
+
+        monkeypatch.setattr(dense_backend_module, "AUTO_DENSE_CELL_LIMIT", 240)
+        monkeypatch.setattr(dense_backend_module, "AUTO_BITSET_CELL_LIMIT", 240)
+        # The empty matrix is maximally sparse; fence the sparse tier off so
+        # the grown grid lands on dict (cells beyond every scipy-free tier).
+        monkeypatch.setattr(sparse_backend_module, "_SCIPY_OVERRIDE", False)
+        incremental = IncrementalEvaluator(6, 30, backend="auto")
+        assert incremental._backend is not None  # dense below the limit
+        incremental.extend_tasks(5)  # 210 cells: still dense -> delta path
+        assert incremental.backend_rebuilds == 0
+        assert incremental._backend is not None
+        incremental.extend_tasks(30)  # 390 cells: flips to dict -> rebuild
+        assert incremental.backend_rebuilds == 1
+        assert incremental._backend is None
 
     def test_extend_tasks_across_auto_backend_threshold(self, rng, monkeypatch):
         """``extend_tasks`` under ``backend="auto"`` re-resolves the cost
