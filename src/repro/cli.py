@@ -40,6 +40,26 @@ from repro.types import EstimateStatus
 
 __all__ = ["main", "build_parser"]
 
+
+def _shard_spec(value: str) -> int | str:
+    """argparse type for ``--shards``: int, 'auto', 'thread:N', 'process:N'.
+
+    Malformed specs (0, negatives, garbage) abort parsing with a clear
+    usage error instead of silently evaluating serial.
+    """
+    from repro.core.parallel import parse_shard_spec
+    from repro.exceptions import ConfigurationError
+
+    try:
+        spec: int | str = int(value)
+    except ValueError:
+        spec = value
+    try:
+        parse_shard_spec(spec)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return spec
+
 #: figure name -> experiment function (all take only keyword arguments we pass).
 FIGURE_FUNCTIONS = {
     "fig1": experiment_module.figure1_old_vs_new,
@@ -105,11 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--shards",
-        type=int,
+        type=_shard_spec,
         default=1,
-        help="evaluate workers across this many processes over shared-memory "
-        "statistics (default 1 = in-process; results are identical; falls "
-        "back to serial for tiny matrices or the dict backend)",
+        metavar="SPEC",
+        help="execution spec for batch evaluation: an integer shard count "
+        "(default 1 = in-process; N>1 shards across N processes over "
+        "shared-memory statistics), 'auto' (cost-based serial/thread/"
+        "process choice), 'thread:N' or 'process:N'; results are identical "
+        "on every tier, and tiny matrices or the dict backend fall back to "
+        "serial",
     )
     evaluate.add_argument(
         "--no-batch-triples",
@@ -175,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print per-stream ingestion stats (batches, invalidations)",
     )
+    ingest.add_argument(
+        "--shards",
+        type=_shard_spec,
+        default=1,
+        metavar="SPEC",
+        help="execution spec forwarded to the session's estimator (same "
+        "grammar as evaluate --shards; incremental recomputes stay serial "
+        "regardless, so this is configuration passthrough)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the NDJSON TCP ingestion server"
@@ -197,6 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-size", type=int, default=4096,
         help="response queue bound (default 4096)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_shard_spec,
+        default=1,
+        metavar="SPEC",
+        help="execution spec forwarded to the session's estimator (same "
+        "grammar as evaluate --shards)",
     )
 
     datasets = subparsers.add_parser(
@@ -227,9 +268,6 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         return 2
     else:
         matrix = load_response_matrix_csv(args.responses, gold_path=args.gold)
-    if args.shards < 1:
-        print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
-        return 2
     evaluator = WorkerEvaluator(
         confidence=args.confidence,
         remove_spammers=args.remove_spammers,
@@ -311,6 +349,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 max_batch=args.batch_size,
                 maxsize=args.queue_size,
+                shards=args.shards,
             ) as session:
                 submitted = await feed_session(
                     session,
@@ -350,6 +389,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             max_batch=args.batch_size,
             maxsize=args.queue_size,
+            shards=args.shards,
         ) as session:
             await serve_ndjson(
                 session,

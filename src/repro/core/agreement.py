@@ -40,17 +40,32 @@ Backend capability matrix
 -------------------------
 
 Every vectorized backend serves the bulk reads behind ``batch_triples`` and
-``batch_lemma4``; only the dense backend can export its arrays over shared
-memory for ``shards=``:
+``batch_lemma4``, and every vectorized backend implements the shared-state
+export protocol behind process sharding
+(:meth:`~repro.data.dense_backend.AgreementBackendBase.export_shared_state`);
+only the dict path — which has no arrays to chunk or export — falls back to
+serial for every non-serial ``shards=`` spec:
 
-============  ===============  ==============  ====================  ==========
-backend       batch_triples    batch_lemma4    shards=               streaming
-============  ===============  ==============  ====================  ==========
-``dict``      no (scalar)      no (scalar)     no (serial fallback)  yes
-``dense``     yes              yes             yes                   yes
-``sparse``    yes              yes             no (serial fallback)  yes
-``bitset``    yes              yes             no (serial fallback)  yes
-============  ===============  ==============  ====================  ==========
+============  =============  ============  =============  ====================  =========
+backend       batch_triples  batch_lemma4  shared export  executor tiers        streaming
+============  =============  ============  =============  ====================  =========
+``dict``      no (scalar)    no (scalar)   no             serial only           yes
+``dense``     yes            yes           yes            thread + process      yes
+``sparse``    yes            yes           yes            thread + process      yes
+``bitset``    yes            yes           yes            thread + process      yes
+============  =============  ============  =============  ====================  =========
+
+The *shared export* column is the ``supports_shared_export`` flag: the
+backend can ship its precomputed state (packed planes, count matrices, vote
+table, triple tensor where cached) through ``multiprocessing.shared_memory``
+so process shards attach views instead of rebuilding.  The *executor tiers*
+column lists which :mod:`repro.core.parallel` tiers can engage: the thread
+tier needs only a vectorized backend (chunks share the parent's statistics
+object, with every lazy cache pre-materialized), the process tier
+additionally needs the shared export.  ``shards="auto"`` picks the tier
+from the :func:`~repro.core.parallel.auto_shard_choice` cost model; see the
+:class:`~repro.core.m_worker.MWorkerEstimator` determinism contract for the
+size thresholds and serial-fallback guards.
 
 The *streaming* column covers the delta-update protocol the incremental
 evaluator and the async ingestion subsystem (:mod:`repro.serve`) drive:

@@ -64,10 +64,14 @@ class WorkerEvaluator:
         evaluation (see :class:`~repro.core.m_worker.MWorkerEstimator`).
         Throughput only.
     shards:
-        Partition binary batch evaluation across this many processes over
-        shared-memory statistics arrays (see
-        :class:`~repro.core.m_worker.MWorkerEstimator` for the determinism
-        contract and serial-fallback guard).  ``1`` stays in-process.
+        Execution spec threaded into every stage this evaluator runs: an
+        integer shard count, ``"auto"``, ``"thread:N"`` or ``"process:N"``
+        (see :class:`~repro.core.m_worker.MWorkerEstimator` for the tier
+        thresholds and determinism contract).  Binary batch evaluation
+        shards the worker loop; the spammer filter thread-chunks its proxy
+        scan; the k-ary estimator validates the spec but always runs
+        serial (one triple — no worker loop).  ``1`` stays in-process
+        everywhere.
     """
 
     confidence: float = 0.95
@@ -80,13 +84,16 @@ class WorkerEvaluator:
     backend: str = "auto"
     batch_triples: bool = True
     batch_lemma4: bool = True
-    shards: int = 1
+    shards: int | str = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
             raise ConfigurationError(
                 f"confidence must lie strictly between 0 and 1, got {self.confidence}"
             )
+        from repro.core.parallel import parse_shard_spec
+
+        parse_shard_spec(self.shards)
 
     # ------------------------------------------------------------------ #
 
@@ -104,7 +111,10 @@ class WorkerEvaluator:
         id_map = list(range(matrix.n_workers))
         if self.remove_spammers:
             filtered = filter_spammers(
-                matrix, threshold=self.spammer_threshold, backend=self.backend
+                matrix,
+                threshold=self.spammer_threshold,
+                backend=self.backend,
+                shards=self.shards,
             )
             working_matrix = filtered.filtered
             id_map = list(filtered.kept_workers)
@@ -166,6 +176,7 @@ class WorkerEvaluator:
             confidence=self.confidence,
             epsilon=self.kary_epsilon,
             backend=self.backend,
+            shards=self.shards,
         )
         estimates = estimator.evaluate(matrix, workers=workers)
         return {estimate.worker: estimate for estimate in estimates}

@@ -213,6 +213,17 @@ class IncrementalEvaluator:
         delta-updated count structures (recommended), ``"dict"`` recomputes
         from the sparse store, ``"auto"`` applies the cost model over grid
         size and observed fill.  Results are identical either way.
+    shards:
+        Execution spec passed through to the wrapped
+        :class:`MWorkerEstimator` (validated here, so a malformed spec
+        fails at construction).  In practice incremental recomputes run
+        **serial regardless of the spec**: dirty workers are re-evaluated
+        one at a time under the dependency-tracking observer, and every
+        execution tier defers to serial while an observer is attached (the
+        tracker must see each read).  The knob exists so evaluator
+        configuration round-trips through streaming sessions unchanged; it
+        changes throughput only if a future bulk path evaluates without
+        the observer.
 
     Notes
     -----
@@ -231,6 +242,7 @@ class IncrementalEvaluator:
         confidence: float = 0.95,
         optimize_weights: bool = True,
         backend: str = "auto",
+        shards: int | str = 1,
     ) -> None:
         if n_workers < 3:
             raise ConfigurationError(
@@ -239,7 +251,10 @@ class IncrementalEvaluator:
             )
         self._matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=2)
         self._estimator = MWorkerEstimator(
-            confidence=confidence, optimize_weights=optimize_weights, backend=backend
+            confidence=confidence,
+            optimize_weights=optimize_weights,
+            backend=backend,
+            shards=shards,
         )
         self._backend_choice = backend
         self._backend: AgreementBackendBase | None = resolve_backend(

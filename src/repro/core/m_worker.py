@@ -325,10 +325,17 @@ class MWorkerEstimator:
         pinned-operation-order construction as ``batch_triples``; the knob
         exists so benchmarks and the differential suite can pin each path.
     shards:
-        Partition :meth:`evaluate_all` across this many worker processes.
-        The read-only statistics arrays are exported once via
-        ``multiprocessing.shared_memory`` and each shard evaluates a
-        contiguous worker range.  ``1`` (the default) stays in-process.
+        Execution spec for :meth:`evaluate_all` (parsed by
+        :func:`~repro.core.parallel.parse_shard_spec`).  ``1`` (the
+        default) stays serial; an integer ``N > 1`` partitions the worker
+        loop across ``N`` processes of the reusable
+        :class:`~repro.core.parallel.ShardExecutor`, with the backend's
+        precomputed statistics exported once via
+        ``multiprocessing.shared_memory``; ``"thread:N"`` uses the thread
+        tier (no export — the NumPy kernels release the GIL);
+        ``"process:N"`` names the process tier explicitly; ``"auto"``
+        picks serial/thread/process from the
+        :func:`~repro.core.parallel.auto_shard_choice` cost model.
 
     Shard/merge determinism contract
     --------------------------------
@@ -350,16 +357,35 @@ class MWorkerEstimator:
     count *within* the shard).  Because every batched operation is
     per-slice, group membership — and therefore shard membership — cannot
     influence any worker's numbers, so ``shards=N`` plus ``batch_lemma4``
-    remains bit-identical to the serial scalar path.
+    remains bit-identical to the serial scalar path.  The thread tier
+    shares the parent's statistics object outright (every lazily-built
+    cache is materialized before the fan-out), so it is bit-identical for
+    the same reason with even less machinery.
 
-    The sharded path falls back to serial whenever the contract cannot hold
-    or sharding cannot help: no backend whose arrays can be exported over
-    shared memory (only the dense backend sets
-    ``supports_shared_export`` — with the sparse and bitset backends
-    ``shards=`` silently evaluates serially, with identical results),
-    fewer workers than shards, a single shard's worth of work, or a custom
-    ``rng`` (the random pairing strategy consumes the generator
-    sequentially across workers, which a process pool cannot replicate).
+    Execution tiers and thresholds
+    ------------------------------
+    ``shards="auto"`` resolves through the
+    :func:`~repro.core.parallel.auto_shard_choice` cost model on the work
+    proxy ``m^2 * n * fill`` (the Lemma-4 term count): below
+    :data:`~repro.core.parallel.AUTO_SHARD_THREAD_MIN_WORK` (2^22) the
+    batch stays **serial** — chunking overhead dominates; up to
+    :data:`~repro.core.parallel.AUTO_SHARD_PROCESS_MIN_WORK` (2^27) it
+    uses the **thread** tier (no export, no spawn; the NumPy kernels
+    release the GIL); above that the **process** tier, whose per-call
+    shared-memory export amortizes against the evaluation.  Shard count is
+    ``min(usable cores, 8, m)``, and hosts with fewer than two usable
+    cores always resolve serial — no tier can beat serial without
+    parallel hardware.
+
+    Any tier falls back to serial whenever the contract cannot hold or
+    sharding cannot help: no vectorized backend (the dict path), fewer
+    workers than shards, a custom ``rng`` (the random pairing strategy
+    consumes the generator sequentially across workers, which no pool can
+    replicate), or an attached statistics observer (dependency tracking
+    must see every read).  The process tier additionally requires
+    ``supports_shared_export``, which every vectorized backend — dense,
+    sparse and bitset — now provides (see
+    :meth:`~repro.data.dense_backend.AgreementBackendBase.export_shared_state`).
     The batching knobs need no such fallback: ``batch_triples`` and
     ``batch_lemma4`` compose with every vectorized backend (see the
     capability matrix in :mod:`repro.core.agreement`).
@@ -374,7 +400,7 @@ class MWorkerEstimator:
     backend: str = "auto"
     batch_triples: bool = True
     batch_lemma4: bool = True
-    shards: int = 1
+    shards: int | str = 1
 
     def __post_init__(self) -> None:
         if not (0.0 < self.confidence < 1.0):
@@ -385,10 +411,12 @@ class MWorkerEstimator:
             raise ConfigurationError(
                 f"min_overlap must be at least 1, got {self.min_overlap}"
             )
-        if self.shards < 1:
-            raise ConfigurationError(
-                f"shards must be at least 1, got {self.shards}"
-            )
+        # Reject malformed specs at construction, not at the first
+        # evaluate_all (imported lazily: parallel imports this module in
+        # its shard workers).
+        from repro.core.parallel import parse_shard_spec
+
+        parse_shard_spec(self.shards)
 
     # ------------------------------------------------------------------ #
 
@@ -529,15 +557,24 @@ class MWorkerEstimator:
     def evaluate_all(self, matrix: ResponseMatrix) -> list[WorkerErrorEstimate]:
         """Confidence intervals for every worker in the matrix.
 
-        With ``shards > 1`` the worker loop is partitioned across a process
-        pool over shared-memory statistics arrays; see the class docstring
-        for the determinism contract and the serial-fallback guard.
+        The ``shards`` spec selects the execution tier — serial,
+        thread-chunked, or process-sharded over shared-memory statistics
+        arrays through the reusable executor; see the class docstring for
+        the tier thresholds, the determinism contract and the
+        serial-fallback guards.
         """
-        stats = compute_agreement_statistics(matrix, backend=self.backend)
-        if self._shardable(matrix, stats):
-            from repro.core.sharded import evaluate_all_sharded
+        from repro.core.parallel import (
+            evaluate_all_process,
+            evaluate_all_threaded,
+            resolve_execution,
+        )
 
-            return evaluate_all_sharded(self, matrix, stats)
+        stats = compute_agreement_statistics(matrix, backend=self.backend)
+        tier, shards = resolve_execution(self, matrix, stats)
+        if tier == "process":
+            return evaluate_all_process(self, matrix, stats, shards)
+        if tier == "thread":
+            return evaluate_all_threaded(self, matrix, stats, shards)
         return self.evaluate_worker_range(
             matrix, stats, list(range(matrix.n_workers))
         )
@@ -825,22 +862,18 @@ class MWorkerEstimator:
         return estimates
 
     def _shardable(self, matrix: ResponseMatrix, stats: AgreementStatistics) -> bool:
-        """Whether the sharded path applies (else fall back to serial).
+        """Whether the process-sharded path applies (else another tier).
 
-        Guards: a single shard, a backend without shared-memory export
-        (only the dense backend sets ``supports_shared_export``; the
-        sparse/bitset backends evaluate serially with identical results),
-        fewer workers than shards (tiny matrices must not deadlock in a
-        near-empty pool or drop workers), and a custom ``rng`` (sequential
-        generator consumption cannot be replicated across processes).
+        Compatibility wrapper over
+        :func:`~repro.core.parallel.resolve_execution`, which owns the
+        guard list (no exportable backend, fewer workers than shards, a
+        custom ``rng``, an attached observer) and the ``"auto"`` cost
+        model; kept because the shard-guard tests pin its semantics for
+        integer specs.
         """
-        return (
-            self.shards > 1
-            and stats.has_dense_backend
-            and getattr(stats.backend, "supports_shared_export", False)
-            and matrix.n_workers >= self.shards
-            and self.rng is None
-        )
+        from repro.core.parallel import resolve_execution
+
+        return resolve_execution(self, matrix, stats)[0] == "process"
 
     # ------------------------------------------------------------------ #
 
@@ -949,7 +982,7 @@ def evaluate_all_workers(
     pairing_strategy: str = "greedy",
     rng: np.random.Generator | None = None,
     backend: str = "auto",
-    shards: int = 1,
+    shards: int | str = 1,
 ) -> list[WorkerErrorEstimate]:
     """One-call wrapper around :class:`MWorkerEstimator` for all workers."""
     estimator = MWorkerEstimator(

@@ -1,239 +1,40 @@
-"""Sharded ``evaluate_all``: the m-worker batch across a process pool.
+"""Compatibility shim over :mod:`repro.core.parallel`.
 
-After the per-triple stage was batched, one Python process spends most of a
-large ``evaluate_all`` inside per-worker NumPy kernels that parallelize
-cleanly across workers.  This module partitions the worker loop into
-contiguous shards and evaluates each shard in its own process:
-
-* the parent builds the dense statistics once (attempt/label matrices plus
-  the precomputed pairwise common/agreement count matrices) and exports the
-  arrays read-only via ``multiprocessing.shared_memory`` — shards never
-  re-run the O(m^2 n) matrix products and the per-process footprint is the
-  map of the shared segments, not a copy;
-* each shard process reconstructs a
-  :class:`~repro.data.dense_backend.DenseAgreementBackend` view over the
-  shared buffers (:meth:`~repro.data.dense_backend.DenseAgreementBackend.from_arrays`)
-  and runs the ordinary serial estimator — including the cross-worker
-  batched triple stage and the grouped Lemma-4/5 aggregation when enabled —
-  over its worker range;
-* the parent concatenates the per-shard estimate lists in shard order,
-  which equals worker order because shards are contiguous index ranges.
-
-Every statistic a shard reads is identical to what the serial path reads,
-so sharded results are bit-identical to serial results; the differential
-test suite enforces this.  See :class:`~repro.core.m_worker.MWorkerEstimator`
-for the full determinism contract and the guard conditions under which
-``evaluate_all`` silently falls back to serial evaluation.
-
-The ``"spawn"`` start method is used so the pool behaves the same on every
-platform and never inherits ambient state from the parent (thread pools,
-BLAS handles) the way ``fork`` would.
+The original one-shot sharded implementation lived here: it spawned a fresh
+process pool per ``evaluate_all`` call and rebuilt the count matrices, vote
+table and triple tensor in every shard, which made sharding lose to serial
+on the benchmarks it was meant to win.  The machinery was replaced by the
+reusable execution layer in :mod:`repro.core.parallel` (cached
+:class:`~repro.core.parallel.ShardExecutor` pools, the backend-agnostic
+shared-state export protocol, a thread tier and the ``shards="auto"`` cost
+model); this module keeps the old import surface alive for external
+callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from multiprocessing import get_context
-from multiprocessing.shared_memory import SharedMemory
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.core.agreement import AgreementStatistics
-from repro.data.dense_backend import DenseAgreementBackend
+from repro.core.parallel import SharedMatrixView, evaluate_all_process
 from repro.types import WorkerErrorEstimate
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agreement import AgreementStatistics
     from repro.core.m_worker import MWorkerEstimator
     from repro.data.response_matrix import ResponseMatrix
 
-__all__ = ["evaluate_all_sharded", "SharedMatrixView"]
-
-
-@dataclass(frozen=True)
-class _ArraySpec:
-    """Name/shape/dtype triplet describing one shared-memory array."""
-
-    name: str
-    shape: tuple[int, ...]
-    dtype: str
-
-
-class SharedMatrixView:
-    """The slice of the :class:`ResponseMatrix` interface shards need.
-
-    Worker evaluation only consults the matrix for its dimensions, arity
-    and per-worker response counts — everything else flows through the
-    statistics backend.  Serving those few queries from the shared attempt
-    matrix avoids pickling (or rebuilding) the sparse response store in
-    every shard process.
-    """
-
-    def __init__(self, attempts: np.ndarray, arity: int) -> None:
-        self._attempts = attempts
-        self._arity = arity
-
-    @property
-    def n_workers(self) -> int:
-        return self._attempts.shape[0]
-
-    @property
-    def n_tasks(self) -> int:
-        return self._attempts.shape[1]
-
-    @property
-    def arity(self) -> int:
-        return self._arity
-
-    @property
-    def is_binary(self) -> bool:
-        return self._arity == 2
-
-    def n_tasks_of(self, worker: int) -> int:
-        return int(self._attempts[worker].sum())
-
-
-def _export_array(array: np.ndarray) -> tuple[SharedMemory, _ArraySpec]:
-    """Copy ``array`` into a fresh shared-memory segment."""
-    array = np.ascontiguousarray(array)
-    segment = SharedMemory(create=True, size=max(array.nbytes, 1))
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-    view[...] = array
-    return segment, _ArraySpec(segment.name, array.shape, array.dtype.str)
-
-
-def _attach_array(spec: _ArraySpec) -> tuple[SharedMemory, np.ndarray]:
-    """Map an exported segment without adopting ownership of it.
-
-    Before Python 3.13 every ``SharedMemory`` attachment registers with the
-    resource tracker, which then unlinks the segment when *any* attaching
-    process exits; the parent owns these segments, so child attachments are
-    de-registered (or created with ``track=False`` where available).
-    """
-    try:
-        segment = SharedMemory(name=spec.name, track=False)  # type: ignore[call-arg]
-    except TypeError:  # Python < 3.13: no track parameter
-        from multiprocessing import resource_tracker
-
-        # Suppress registration during the attach instead of registering and
-        # unregistering: with several shards attaching the same segment, the
-        # register/unregister pairs race in the shared tracker process and
-        # spray KeyError tracebacks on exit.
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
-        try:
-            segment = SharedMemory(name=spec.name)
-        finally:
-            resource_tracker.register = original_register  # type: ignore[assignment]
-    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
-    return segment, array
-
-
-# Per-process state installed by the pool initializer: the attached segments
-# (kept alive for the shard's lifetime), the backend view, and the
-# reconstructed estimator.
-_SHARD_STATE: dict[str, object] = {}
-
-
-def _init_shard(
-    specs: dict[str, _ArraySpec], arity: int, estimator_config: dict[str, object]
-) -> None:
-    """Pool initializer: attach the shared arrays and rebuild the estimator."""
-    from repro.core.m_worker import MWorkerEstimator
-
-    segments = []
-    arrays = {}
-    for key, spec in specs.items():
-        segment, array = _attach_array(spec)
-        segments.append(segment)
-        arrays[key] = array
-    backend = DenseAgreementBackend.from_arrays(
-        attempts=arrays["attempts"],
-        labels=arrays["labels"],
-        arity=arity,
-        common_counts=arrays["common"],
-        agreement_counts=arrays["agree"],
-    )
-    _SHARD_STATE["segments"] = segments
-    _SHARD_STATE["matrix"] = SharedMatrixView(arrays["attempts"], arity)
-    _SHARD_STATE["stats"] = AgreementStatistics(matrix=None, backend=backend)
-    _SHARD_STATE["estimator"] = MWorkerEstimator(shards=1, **estimator_config)
-
-
-def _evaluate_shard(worker_range: tuple[int, int]) -> list[WorkerErrorEstimate]:
-    """Evaluate the contiguous worker range ``[start, stop)`` in this shard.
-
-    Delegates to :meth:`MWorkerEstimator.evaluate_worker_range`, so a shard
-    runs the same cross-worker batched stage — and, with ``batch_lemma4``,
-    the same grouped Lemma-4/5 aggregation — over its range that the serial
-    path runs over all workers; results are identical either way because
-    every batched operation is per-slice.
-    """
-    start, stop = worker_range
-    estimator = _SHARD_STATE["estimator"]
-    matrix = _SHARD_STATE["matrix"]
-    stats = _SHARD_STATE["stats"]
-    return estimator.evaluate_worker_range(matrix, stats, list(range(start, stop)))
+__all__ = ["SharedMatrixView", "evaluate_all_sharded"]
 
 
 def evaluate_all_sharded(
     estimator: "MWorkerEstimator",
     matrix: "ResponseMatrix",
-    stats: AgreementStatistics,
+    stats: "AgreementStatistics",
 ) -> list[WorkerErrorEstimate]:
-    """Evaluate every worker, sharded across ``estimator.shards`` processes.
+    """Historical entry point: process-sharded evaluation at ``estimator.shards``.
 
-    Callers must have checked :meth:`MWorkerEstimator._shardable`; in
-    particular ``stats`` must carry a dense backend (the only backend with
-    ``supports_shared_export`` — sparse/bitset statistics take the serial
-    fallback) and ``matrix.n_workers >= estimator.shards``.
+    Delegates to :func:`repro.core.parallel.evaluate_all_process` (the
+    reusable-executor implementation); ``estimator.shards`` must be a plain
+    integer shard count, as it always was for callers of this function.
     """
-    backend = stats.backend
-    assert backend is not None and backend.supports_shared_export, (
-        "sharded evaluation requires the dense backend's shared-memory export"
-    )
-    # Materialize the lazy caches once in the parent so shards share them.
-    exports = {
-        "attempts": backend._attempts,
-        "labels": backend._labels,
-        "common": backend.common_counts,
-        "agree": backend.agreement_counts,
-    }
-    # Every estimator field ships to the shards except the ones the sharded
-    # path redefines: `shards` (children must stay serial) and `rng` (guarded
-    # to None by _shardable — generators cannot be consumed in a pool
-    # without diverging from the serial sequence).  Deriving the set from
-    # dataclasses.fields keeps future fields from being silently dropped.
-    estimator_config = {
-        field.name: getattr(estimator, field.name)
-        for field in fields(estimator)
-        if field.name not in ("shards", "rng")
-    }
-    boundaries = np.linspace(0, matrix.n_workers, estimator.shards + 1).astype(int)
-    ranges = [
-        (int(boundaries[index]), int(boundaries[index + 1]))
-        for index in range(estimator.shards)
-    ]
-    segments: list[SharedMemory] = []
-    specs: dict[str, _ArraySpec] = {}
-    try:
-        for key, array in exports.items():
-            segment, spec = _export_array(array)
-            segments.append(segment)
-            specs[key] = spec
-        context = get_context("spawn")
-        with context.Pool(
-            processes=estimator.shards,
-            initializer=_init_shard,
-            initargs=(specs, matrix.arity, estimator_config),
-        ) as pool:
-            shard_results = pool.map(_evaluate_shard, ranges)
-    finally:
-        for segment in segments:
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reclaimed
-                pass
-    # Contiguous ranges concatenated in shard order == worker order 0..m-1.
-    return [estimate for shard in shard_results for estimate in shard]
+    return evaluate_all_process(estimator, matrix, stats, int(estimator.shards))

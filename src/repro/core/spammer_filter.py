@@ -66,6 +66,7 @@ def filter_spammers(
     threshold: float = DEFAULT_SPAMMER_THRESHOLD,
     min_remaining: int = 3,
     backend: str | AgreementBackendBase | None = "auto",
+    shards: int | str = 1,
 ) -> SpammerFilterResult:
     """Remove near-spammer workers before confidence-interval estimation.
 
@@ -84,12 +85,30 @@ def filter_spammers(
         uses the original per-worker loops, ``"auto"`` applies the cost
         model over grid size and observed fill.  The proxies (and hence the
         filtering decision) are identical either way.
+    shards:
+        Execution spec for the proxy scan, same grammar as the estimators'
+        knob (:func:`~repro.core.parallel.parse_shard_spec`).  The scan is
+        a single O(responses) pass over a vote table built once, so
+        exporting state to a process pool can never pay for itself here:
+        every non-serial tier (including ``"process:N"`` and a non-serial
+        ``"auto"`` resolution) runs as *thread* chunks over
+        :meth:`~repro.data.dense_backend.AgreementBackendBase.majority_disagreement_rates`
+        with the vote table pre-built.  Rates are concatenated in chunk
+        order — worker order — so the result is bit-identical to serial;
+        ignored on the dict path (no vote table to chunk over).
 
     Returns
     -------
     SpammerFilterResult
         The filtered matrix plus bookkeeping for mapping ids back.
     """
+    from repro.core.parallel import (
+        auto_shard_choice,
+        contiguous_ranges,
+        get_executor,
+        parse_shard_spec,
+    )
+
     if not (0.0 < threshold < 1.0):
         raise ConfigurationError(
             f"threshold must lie strictly between 0 and 1, got {threshold}"
@@ -98,10 +117,29 @@ def filter_spammers(
         raise ConfigurationError(
             f"min_remaining must be at least 3, got {min_remaining}"
         )
+    tier, n_shards = parse_shard_spec(shards)
     dense = resolve_backend(matrix, backend)
     proxies: dict[int, float | None] = {}
     if dense is not None:
-        proxies = dict(enumerate(dense.majority_disagreement_rates()))
+        if tier == "auto":
+            tier, n_shards = auto_shard_choice(
+                matrix.n_workers, matrix.n_tasks, matrix.n_responses
+            )
+        if tier != "serial" and matrix.n_workers >= n_shards:
+            dense.task_votes  # build once, before the fan-out
+            pool = get_executor().thread_pool(n_shards)
+            futures = [
+                pool.submit(
+                    dense.majority_disagreement_rates, range(start, stop)
+                )
+                for start, stop in contiguous_ranges(matrix.n_workers, n_shards)
+            ]
+            rates: list[float | None] = []
+            for future in futures:
+                rates.extend(future.result())
+        else:
+            rates = dense.majority_disagreement_rates()
+        proxies = dict(enumerate(rates))
     else:
         for worker in range(matrix.n_workers):
             try:

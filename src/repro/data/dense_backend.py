@@ -161,11 +161,14 @@ class AgreementBackendBase:
     Capability flags
     ----------------
     ``supports_shared_export``
-        Whether the backend's arrays can be exported through
-        ``multiprocessing.shared_memory`` for sharded evaluation
-        (:mod:`repro.core.sharded`).  Only the dense backend supports this;
-        with any other backend ``shards=`` silently falls back to serial
-        evaluation (results are identical — the knob is throughput-only).
+        Whether the backend implements the shared-state export protocol
+        (:meth:`export_shared_state` / :meth:`attach_shared_state`) that
+        process-sharded evaluation uses to ship precomputed state through
+        ``multiprocessing.shared_memory`` (:mod:`repro.core.parallel`).
+        Every vectorized backend — dense, sparse and bitset — supports it;
+        only the dict path (no backend at all) forces ``shards=`` back to
+        serial evaluation (results are identical — the knob is
+        throughput-only).
 
     Subclass contract
     -----------------
@@ -187,7 +190,8 @@ class AgreementBackendBase:
     #: Knob value the backend answers to (``resolve_backend`` choice name).
     name: str = "base"
 
-    #: See the class docstring; only the dense backend can be sharded.
+    #: See the class docstring; every concrete vectorized backend flips
+    #: this on by implementing the shared-state export protocol below.
     supports_shared_export: bool = False
 
     #: Cap on the Python-list mirror of the pair-count matrix (~28 bytes per
@@ -427,6 +431,47 @@ class AgreementBackendBase:
         return None
 
     # ------------------------------------------------------------------ #
+    # Shared-state export (process-sharded evaluation)
+    # ------------------------------------------------------------------ #
+
+    def export_shared_state(self) -> dict[str, np.ndarray]:
+        """Every array a shard needs, keyed for :meth:`attach_shared_state`.
+
+        The export protocol behind ``supports_shared_export``: the parent
+        process materializes its precomputed state (storage planes, count
+        matrices, vote table, the triple tensor where cached) and returns
+        the arrays by name; :mod:`repro.core.parallel` copies each into a
+        ``multiprocessing.shared_memory`` segment and shard processes
+        rebuild an equivalent backend over zero-copy views with
+        :meth:`attach_shared_state` — no count is ever recomputed in a
+        shard.  Keys are backend-specific; the only contract is that
+        ``attach_shared_state`` of the same class understands them.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support shared-state export"
+        )
+
+    @classmethod
+    def attach_shared_state(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        n_workers: int,
+        n_tasks: int,
+        arity: int,
+    ) -> "AgreementBackendBase":
+        """Rebuild a backend over the views of an exported state.
+
+        Inverse of :meth:`export_shared_state`, run inside shard processes;
+        ``arrays`` are read-only shared-memory views that must not be
+        mutated (and must outlive the backend — the caller keeps the
+        segments mapped).
+        """
+        raise NotImplementedError(
+            f"backend {cls.name!r} does not support shared-state export"
+        )
+
+    # ------------------------------------------------------------------ #
     # Derived float caches (shared)
     # ------------------------------------------------------------------ #
 
@@ -600,18 +645,26 @@ class AgreementBackendBase:
     # Spammer-filter proxy (shared, via the row accessors)
     # ------------------------------------------------------------------ #
 
-    def majority_disagreement_rates(self) -> list[float | None]:
-        """Majority-disagreement proxy for every worker, vectorized.
+    def majority_disagreement_rates(
+        self, workers: Sequence[int] | None = None
+    ) -> list[float | None]:
+        """Majority-disagreement proxy per worker, vectorized.
 
         Mirrors :meth:`ResponseMatrix.disagreement_with_majority` exactly
         (own vote excluded, ties count as agreement) but computes the vote
         table once for all workers.  Workers that cannot be scored — no
         responses, or no task shared with anyone — map to ``None`` instead of
-        raising.
+        raising.  ``workers`` restricts the scan to a subset (rates returned
+        in the given order); the sharded spammer filter chunks the worker
+        range with it, with the vote table built once up front.
         """
+        if workers is None:
+            workers = range(self._n_workers)
+        else:
+            self._validate_workers(*workers)
         votes = self.task_votes
         rates: list[float | None] = []
-        for worker in range(self._n_workers):
+        for worker in workers:
             tasks = np.nonzero(self._attempt_row(worker))[0]
             if tasks.size == 0:
                 rates.append(None)
@@ -729,6 +782,51 @@ class DenseAgreementBackend(AgreementBackendBase):
         self._init_caches(
             common_counts=common_counts, agreement_counts=agreement_counts
         )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Shared-state export
+    # ------------------------------------------------------------------ #
+
+    def export_shared_state(self) -> dict[str, np.ndarray]:
+        """Storage, count matrices, packed rows, votes and (when cached
+        or cacheable) the triple tensor — everything shards would
+        otherwise rebuild.  Materializes lazily-built state as a side
+        effect, which is the point: pay each build once in the parent
+        instead of once per shard.
+        """
+        exports = {
+            "attempts": self._attempts,
+            "labels": self._labels,
+            "common": self.common_counts,
+            "agree": self.agreement_counts,
+            "packed": self._packed_rows,
+            "task_votes": self.task_votes,
+        }
+        tensor = self.triple_count_tensor()
+        if tensor is not None:
+            exports["triple_tensor"] = tensor
+        return exports
+
+    @classmethod
+    def attach_shared_state(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        n_workers: int,
+        n_tasks: int,
+        arity: int,
+    ) -> "DenseAgreementBackend":
+        self = cls.from_arrays(
+            arrays["attempts"],
+            arrays["labels"],
+            arity,
+            common_counts=arrays["common"],
+            agreement_counts=arrays["agree"],
+        )
+        self._packed = arrays["packed"]
+        self._task_votes = arrays["task_votes"]
+        self._triple_tensor = arrays.get("triple_tensor")
         return self
 
     # ------------------------------------------------------------------ #

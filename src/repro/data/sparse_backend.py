@@ -36,9 +36,13 @@ Both backends inherit every shared query (scalar pairs/triples, the clamped
 rate caches, vote table, majority-disagreement proxy, A3 count tensor) from
 :class:`~repro.data.dense_backend.AgreementBackendBase` and implement the
 same O(row) ``apply_response`` delta update the incremental evaluator uses.
-Neither supports the shared-memory export behind ``shards=`` (that path
-needs the dense arrays); sharded evaluation silently falls back to serial —
-see the :class:`~repro.core.m_worker.MWorkerEstimator` determinism contract.
+Both also implement the shared-state export protocol behind ``shards=``
+(:mod:`repro.core.parallel`): the packed bit planes, count matrices and
+vote table ship through shared memory, so process shards attach views of
+the precomputed state instead of rebuilding it — the sparse backend's CSR
+index never leaves the parent (it is consumed building the count matrices
+before export).  See the :class:`~repro.core.m_worker.MWorkerEstimator`
+determinism contract.
 
 New backends (like these two) must register in the differential suite's
 path tables (``tests/property/test_cross_backend_differential.py``) so the
@@ -107,6 +111,7 @@ class BitsetAgreementBackend(AgreementBackendBase):
     """
 
     name = "bitset"
+    supports_shared_export = True
 
     def __init__(self, matrix: ResponseMatrix) -> None:
         self._n_workers = matrix.n_workers
@@ -147,6 +152,47 @@ class BitsetAgreementBackend(AgreementBackendBase):
     def from_matrix(cls, matrix: ResponseMatrix) -> "BitsetAgreementBackend":
         """Build a backend snapshot of ``matrix``."""
         return cls(matrix)
+
+    # ------------------------------------------------------------------ #
+    # Shared-state export
+    # ------------------------------------------------------------------ #
+
+    def export_shared_state(self) -> dict[str, np.ndarray]:
+        """The packed planes plus every precomputed count a shard reads.
+
+        Materializes the count matrices and vote table as a side effect
+        (once, in the parent) so shards never pay the popcount/CSR builds;
+        for the sparse subclass this also consumes and releases the CSR
+        index, which therefore never needs exporting.
+        """
+        return {
+            "packed": self._packed,
+            "packed_labels": self._packed_labels,
+            "common": self.common_counts,
+            "agree": self.agreement_counts,
+            "task_votes": self.task_votes,
+        }
+
+    @classmethod
+    def attach_shared_state(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        n_workers: int,
+        n_tasks: int,
+        arity: int,
+    ) -> "BitsetAgreementBackend":
+        self = cls.__new__(cls)
+        self._n_workers = n_workers
+        self._n_tasks = n_tasks
+        self._arity = arity
+        self._packed = arrays["packed"]
+        self._packed_labels = arrays["packed_labels"]
+        self._init_caches(
+            common_counts=arrays["common"], agreement_counts=arrays["agree"]
+        )
+        self._task_votes = arrays["task_votes"]
+        return self
 
     # ------------------------------------------------------------------ #
     # Storage hooks
@@ -415,6 +461,30 @@ class SparseAgreementBackend(BitsetAgreementBackend):
 
     def _ingest_row(self, worker: int, tasks: np.ndarray, labels: np.ndarray) -> None:
         self._pending_rows.append((worker, tasks, labels))
+
+    @classmethod
+    def attach_shared_state(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        n_workers: int,
+        n_tasks: int,
+        arity: int,
+    ) -> "SparseAgreementBackend":
+        """Attach with the CSR index marked consumed.
+
+        The exported state already contains the CSR-built count matrices,
+        so an attached backend never runs a sparse product — it does not
+        even need scipy, which keeps shard processes importable on
+        scipy-free hosts evaluating a parent-side sparse backend.
+        """
+        self = super().attach_shared_state(
+            arrays, n_workers=n_workers, n_tasks=n_tasks, arity=arity
+        )
+        self._csr_indptr = None
+        self._csr_indices = None
+        self._csr_labels = None
+        return self
 
     def _csr_pair_product(
         self, indices: np.ndarray, indptr: np.ndarray

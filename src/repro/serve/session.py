@@ -84,6 +84,14 @@ class StreamSession:
         Grow the evaluator for unseen worker/task ids (default).  With
         ``False`` an out-of-range event fails the session (surfaced at the
         next ``submit``/``flush``).
+    shards:
+        Execution spec forwarded to the default evaluator's wrapped
+        estimator (validated at construction; ignored when an explicit
+        ``evaluator`` is passed — configure that evaluator directly).
+        Incremental recomputes stay serial regardless — see
+        :class:`~repro.core.incremental.IncrementalEvaluator` — so this is
+        configuration passthrough, not a throughput lever for live
+        streams.
 
     Use as an async context manager::
 
@@ -102,10 +110,15 @@ class StreamSession:
         auto_extend: bool = True,
         confidence: float = 0.95,
         backend: str = "auto",
+        shards: int | str = 1,
     ) -> None:
         if evaluator is None:
             evaluator = IncrementalEvaluator(
-                n_workers=3, n_tasks=1, confidence=confidence, backend=backend
+                n_workers=3,
+                n_tasks=1,
+                confidence=confidence,
+                backend=backend,
+                shards=shards,
             )
         self._evaluator = evaluator
         self._queue = ResponseQueue(maxsize=maxsize, max_batch=max_batch)

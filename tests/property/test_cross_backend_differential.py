@@ -4,10 +4,12 @@ The library promises that its performance knobs never change results: the
 ``backend=`` choice (dict-of-dicts vs dense NumPy vs scipy.sparse CSR vs
 packed-bitset low-memory), the batched per-triple stage
 (``batch_triples=``), the grouped Lemma-4/5 aggregation (``batch_lemma4=``)
-and process sharding (``shards=``) are throughput features only.  This
-suite enforces the promise end to end — every public entry point is run
-under every applicable execution path (dict / dense-scalar / dense-batched
-/ batched-lemma4 / sharded / sparse / bitset) on randomized regular and
+and the execution tiers behind ``shards=`` (process sharding over shared
+memory, the thread tier, the ``"auto"`` cost model) are throughput features
+only.  This suite enforces the promise end to end — every public entry
+point is run under every applicable execution path (dict / dense-scalar /
+dense-batched / batched-lemma4 / thread-tier / process-sharded over each
+exportable backend / sparse / bitset) on randomized regular and
 non-regular matrices, and the produced intervals, weights and statuses are
 compared for *exact* floating-point equality against the original
 dict-of-dicts reference.
@@ -15,10 +17,11 @@ dict-of-dicts reference.
 Any future fast path should be added to :data:`EVALUATE_ALL_PATHS` and
 :data:`TRIPLE_SCOPED_BACKENDS` (or the entry-point-specific lists below)
 to inherit the same lockdown.  The suite also pins the composition
-contract of the new backends: ``shards=`` falls back to serial for
-sparse/bitset statistics (their arrays have no shared-memory export), and
-a ``backend="sparse"`` request degrades to a scipy-free backend with
-identical results when scipy is absent.
+contracts: every vectorized backend — dense, sparse *and* bitset — shards
+through the shared-state export protocol, only the dict path (no backend)
+falls back to serial for ``shards=``, and a ``backend="sparse"`` request
+degrades to a scipy-free backend with identical results when scipy is
+absent.
 """
 
 from __future__ import annotations
@@ -110,13 +113,35 @@ EVALUATE_ALL_PATHS: dict[str, dict] = {
         "batch_lemma4": True,
         "shards": 2,
     },
+    "thread-tier": {
+        "backend": "dense",
+        "batch_triples": True,
+        "batch_lemma4": True,
+        "shards": "thread:2",
+    },
     "sparse": {
         "backend": "sparse", "batch_triples": True, "batch_lemma4": True,
     },
     "bitset": {
         "backend": "bitset", "batch_triples": True, "batch_lemma4": True,
     },
+    "sparse-sharded": {
+        "backend": "sparse",
+        "batch_triples": True,
+        "batch_lemma4": True,
+        "shards": 2,
+    },
+    "bitset-sharded": {
+        "backend": "bitset",
+        "batch_triples": True,
+        "batch_lemma4": True,
+        "shards": 2,
+    },
 }
+
+#: The process-pool columns are slow to spin up; the grid test exercises
+#: them on a subset of cases (the in-process columns run everywhere).
+PROCESS_POOL_PATHS = frozenset({"sharded", "sparse-sharded", "bitset-sharded"})
 
 #: Backends exercised on the triple-scoped entry points (Algorithm A1/A3,
 #: the spammer filter, incremental evaluation); "dict" is the reference.
@@ -153,12 +178,13 @@ def test_evaluate_all_paths_bit_identical(seed, m, n, regular, optimize_weights)
     reference = MWorkerEstimator(
         confidence=0.9, optimize_weights=optimize_weights, **EVALUATE_ALL_PATHS["dict"]
     ).evaluate_all(matrix)
-    # The process-pool path is slow to spin up; exercise it on a subset of
-    # the grid (one regular and one non-regular matrix) and the in-process
-    # paths everywhere.
+    # The process-pool paths are slow to spin up (the executor's cached
+    # pool amortizes the spawn, but each call still pays the export);
+    # exercise them on a subset of the grid (one regular and one
+    # non-regular matrix) and the in-process paths everywhere.
     shard_this_case = optimize_weights and seed in (101, 104)
     for path, config in EVALUATE_ALL_PATHS.items():
-        if path == "dict" or (path == "sharded" and not shard_this_case):
+        if path == "dict" or (path in PROCESS_POOL_PATHS and not shard_this_case):
             continue
         candidate = MWorkerEstimator(
             confidence=0.9, optimize_weights=optimize_weights, **config
@@ -226,12 +252,16 @@ def test_three_worker_paths_bit_identical(seed, regular, backend):
 # --------------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("shards", [1, "thread:3", 4])
 @pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
 @pytest.mark.parametrize("seed,regular", [(301, True), (302, False)])
-def test_filter_spammers_paths_identical(seed, regular, backend):
+def test_filter_spammers_paths_identical(seed, regular, backend, shards):
+    # Every shards spec (including the process grammar, which the filter
+    # documents as running thread-chunked) must reproduce the serial dict
+    # reference exactly on every backend.
     matrix = random_matrix(seed, 10, 50, regular=regular, spammers=3)
     reference = filter_spammers(matrix, backend="dict")
-    candidate = filter_spammers(matrix, backend=backend)
+    candidate = filter_spammers(matrix, backend=backend, shards=shards)
     assert candidate.kept_workers == reference.kept_workers
     assert candidate.removed_workers == reference.removed_workers
     assert candidate.approximate_error_rates == reference.approximate_error_rates
@@ -243,16 +273,19 @@ def test_filter_spammers_paths_identical(seed, regular, backend):
 # --------------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("shards", [1, "auto", 2])
 @pytest.mark.parametrize("backend", TRIPLE_SCOPED_BACKENDS)
 @pytest.mark.parametrize("seed,arity,regular", [(401, 3, True), (402, 4, False)])
-def test_kary_paths_bit_identical(seed, arity, regular, backend):
+def test_kary_paths_bit_identical(seed, arity, regular, backend, shards):
+    # The k-ary estimator accepts every shards spec and always evaluates
+    # serially (one triple, no worker loop) — results must be unaffected.
     matrix = random_matrix(seed, 5, 150, arity=arity, regular=regular)
     reference = KaryEstimator(confidence=0.9, backend="dict").evaluate(
         matrix, workers=(0, 1, 2)
     )
-    candidate = KaryEstimator(confidence=0.9, backend=backend).evaluate(
-        matrix, workers=(0, 1, 2)
-    )
+    candidate = KaryEstimator(
+        confidence=0.9, backend=backend, shards=shards
+    ).evaluate(matrix, workers=(0, 1, 2))
     for ref, cand in zip(reference, candidate):
         assert cand.worker == ref.worker
         assert cand.status is ref.status
@@ -376,39 +409,29 @@ def test_streamed_microbatch_interleavings_bit_identical(seed):
 # --------------------------------------------------------------------------- #
 
 
-@pytest.mark.parametrize(
-    "backend",
-    [
-        # Without scipy a "sparse" request degrades to the dense backend,
-        # which legitimately shards — the fallback contract under test only
-        # applies to the real sparse backend.
-        pytest.param(
-            "sparse",
-            marks=pytest.mark.skipif(
-                not sparse_backend_module.scipy_available(),
-                reason="scipy not installed",
-            ),
-        ),
-        "bitset",
-    ],
-)
-def test_shards_with_sparse_backends_fall_back_to_serial(backend, monkeypatch):
-    """``shards=`` composes with sparse/bitset via the documented serial
-    fallback: their arrays have no shared-memory export, so the pool must
-    never spin up and results must still equal the dict reference."""
-    import repro.core.sharded as sharded_module
+@pytest.mark.parametrize("shards", [4, "thread:2", "auto"])
+def test_shards_with_dict_backend_falls_back_to_serial(shards, monkeypatch):
+    """``shards=`` composes with the dict backend via the documented serial
+    fallback: it is the only backend without a vectorized dense view, so no
+    execution tier may engage and results must still equal the reference.
+
+    (Sparse and bitset now export shared state and genuinely shard — their
+    bit-identity is covered by the sparse-sharded/bitset-sharded columns of
+    the path matrix above.)"""
+    import repro.core.parallel as parallel_module
 
     def _forbidden(*args, **kwargs):  # pragma: no cover - failure path
-        raise AssertionError("sharded pool must not start for " + backend)
+        raise AssertionError(f"no tier may engage for dict + shards={shards!r}")
 
-    monkeypatch.setattr(sharded_module, "evaluate_all_sharded", _forbidden)
+    monkeypatch.setattr(parallel_module, "evaluate_all_process", _forbidden)
+    monkeypatch.setattr(parallel_module, "evaluate_all_threaded", _forbidden)
     matrix = random_matrix(104, 14, 40, regular=False)
     reference = MWorkerEstimator(confidence=0.9, backend="dict").evaluate_all(matrix)
     candidate = MWorkerEstimator(
-        confidence=0.9, backend=backend, shards=4
+        confidence=0.9, backend="dict", shards=shards
     ).evaluate_all(matrix)
     for ref, cand in zip(reference, candidate):
-        assert_estimates_bit_identical(ref, cand, backend + "+shards")
+        assert_estimates_bit_identical(ref, cand, f"dict+shards={shards!r}")
 
 
 def test_sparse_request_degrades_gracefully_without_scipy(monkeypatch):

@@ -164,11 +164,13 @@ class TestResolveBackend:
         assert {"auto", "dense", "dict", "sparse", "bitset"} == set(BACKEND_CHOICES)
 
     def test_capability_flags(self):
+        # Every vectorized backend ships shared-state export now; only the
+        # dict path (no backend object at all) falls back serial.
         matrix = random_matrix(10, 5, 20)
         assert DenseAgreementBackend(matrix).supports_shared_export
-        assert not BitsetAgreementBackend(matrix).supports_shared_export
+        assert BitsetAgreementBackend(matrix).supports_shared_export
         assert BitsetAgreementBackend(matrix).name == "bitset"
-        assert not SparseAgreementBackend.supports_shared_export
+        assert SparseAgreementBackend.supports_shared_export
         assert SparseAgreementBackend.name == "sparse"
 
     def test_sparse_without_scipy_degrades_to_dense(self, monkeypatch):
