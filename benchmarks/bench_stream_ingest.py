@@ -18,6 +18,14 @@ paths must cut the backend invalidation events by at least
 ``--min-invalidation-ratio`` (default 3x, the locked acceptance bound; the
 unit suite pins the same bound in ``tests/unit/test_serve.py``).
 
+``--durable-resume`` adds the durability scenario: the same stream is
+persisted into two directories — one with periodic snapshots, one pure WAL
+— and ``StreamSession.resume`` is timed on each.  Snapshot resume must be
+at least ``--min-resume-speedup`` (default 5x) faster than the full WAL
+replay on the 5k fixture, both resumes bit-identical to the batch build;
+``--trajectory`` appends the result as a ``stream-resume`` entry to the
+committed ``BENCH_agreement.json`` trend file.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_stream_ingest.py          # full
@@ -29,13 +37,17 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import platform
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.core.incremental import IncrementalEvaluator
 from repro.core.m_worker import MWorkerEstimator
+from repro.serve.durable import DurableStore
 from repro.serve.session import StreamSession
 
 
@@ -180,6 +192,137 @@ def run(
     }
 
 
+def _build_durable_dir(
+    directory: str,
+    stream: list[tuple[int, int, int]],
+    batch_size: int,
+    backend: str,
+    snapshot_every: int | None,
+) -> None:
+    """Persist ``stream`` into ``directory`` as a clean durable session would.
+
+    Writes the WAL batch-by-batch and, when ``snapshot_every`` is set, the
+    periodic snapshots the session applier would have produced — giving the
+    resume benchmark one snapshotted directory and one pure-WAL twin over
+    the identical event sequence.
+    """
+    store = DurableStore(directory, snapshot_every=snapshot_every, fsync=False)
+    store.open()
+    try:
+        evaluator = IncrementalEvaluator(3, 1, backend=backend)
+        applied = 0
+        for offset in range(0, len(stream), batch_size):
+            batch = stream[offset : offset + batch_size]
+            store.append_batch(applied + 1, applied + len(batch), batch)
+            evaluator.apply_batch(batch, auto_extend=True)
+            applied += len(batch)
+            store.record_applied(evaluator, applied)
+    finally:
+        store.close()
+
+
+def run_durable_resume(
+    n_events: int,
+    n_workers: int,
+    n_tasks: int,
+    seed: int,
+    batch_size: int = 32,
+    backend: str = "dense",
+    snapshot_every: int = 8,
+    repeats: int = 3,
+) -> dict:
+    """Time ``StreamSession.resume`` with snapshots vs full WAL replay.
+
+    Only the resume itself is timed — both paths pay the identical
+    ``estimate_all`` cost afterwards, so folding it in would just compress
+    the ratio the snapshot is meant to expose.  Reported speedup is
+    best-of-``repeats`` full-replay seconds over best-of snapshot seconds.
+    """
+    stream = make_stream(n_events, n_workers, n_tasks, seed)
+    print(
+        f"durable-resume: {len(stream)} events over {n_workers} workers x "
+        f"{n_tasks} tasks ({backend} backend, micro-batch {batch_size}, "
+        f"snapshot every {snapshot_every} batches vs pure WAL)"
+    )
+
+    reference_evaluator = IncrementalEvaluator(3, 1, backend="dict")
+    reference_evaluator.apply_batch(stream, auto_extend=True)
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(backend="dict").evaluate_all(
+            reference_evaluator.matrix
+        )
+        if estimate.n_tasks > 0
+    }
+
+    def timed_resume(directory: str) -> tuple[float, bool]:
+        best = float("inf")
+        identical = False
+        for _ in range(repeats):
+            start = time.perf_counter()
+            session = StreamSession.resume(directory, backend=backend, fsync=False)
+            best = min(best, time.perf_counter() - start)
+            estimates = session.evaluator.estimate_all()
+            identical = set(estimates) == set(reference) and all(
+                _identical(estimates[w], reference[w]) for w in reference
+            )
+            session.durable.close()
+        return best, identical
+
+    with tempfile.TemporaryDirectory() as root:
+        snapshot_dir = os.path.join(root, "snapshots")
+        wal_dir = os.path.join(root, "pure-wal")
+        _build_durable_dir(snapshot_dir, stream, batch_size, backend, snapshot_every)
+        _build_durable_dir(wal_dir, stream, batch_size, backend, None)
+        resume_seconds, resume_identical = timed_resume(snapshot_dir)
+        replay_seconds, replay_identical = timed_resume(wal_dir)
+
+    speedup = replay_seconds / resume_seconds if resume_seconds > 0 else float("inf")
+    identical = resume_identical and replay_identical
+    print(
+        f"  snapshot resume: {resume_seconds * 1000:8.2f} ms   "
+        f"full WAL replay: {replay_seconds * 1000:8.2f} ms   "
+        f"resume speedup: {speedup:.1f}x   bit-identical: {identical}"
+    )
+    return {
+        "scenario": "stream-resume",
+        "n_events": n_events,
+        "n_workers": n_workers,
+        "n_tasks": n_tasks,
+        "batch_size": batch_size,
+        "backend": backend,
+        "snapshot_every": snapshot_every,
+        "resume_seconds": resume_seconds,
+        "full_replay_seconds": replay_seconds,
+        "resume_speedup": speedup,
+        "bit_identical": identical,
+    }
+
+
+def _append_trajectory(path: str, result: dict, smoke: bool) -> None:
+    """Append the resume result to the committed trend file's trajectory.
+
+    Entries are scenario-keyed (``bench_scaling_agreement._comparable``
+    only trends entries whose ``scenario`` matches), so ``stream-resume``
+    rows ride in the same list without perturbing the scaling trend gate.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entry = dict(result)
+    entry.update(
+        {
+            "python": platform.python_version(),
+            "smoke": smoke,
+            "date": time.strftime("%Y-%m-%d"),
+        }
+    )
+    data.setdefault("trajectory", []).append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print(f"appended stream-resume trajectory entry to {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=10_000)
@@ -200,6 +343,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default=None,
                         help="optional JSON output path")
+    parser.add_argument(
+        "--durable-resume", action="store_true",
+        help="also run the durability scenario: snapshot resume vs full WAL "
+        "replay on a 5k-event stream (see --min-resume-speedup)",
+    )
+    parser.add_argument(
+        "--resume-events", type=int, default=5000,
+        help="stream length for the durable-resume scenario (default 5000, "
+        "the locked fixture size; independent of --events/--smoke)",
+    )
+    parser.add_argument(
+        "--min-resume-speedup", type=float, default=5.0,
+        help="exit non-zero unless snapshot resume beats full WAL replay by "
+        "this factor (default 5; only with --durable-resume)",
+    )
+    parser.add_argument(
+        "--trajectory", default=None,
+        help="trend file (BENCH_agreement.json) to append the stream-resume "
+        "entry to (only with --durable-resume)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.events, args.workers, args.tasks = 3000, 30, 250
@@ -208,6 +371,15 @@ def main(argv: list[str] | None = None) -> int:
         args.events, args.workers, args.tasks, args.seed,
         args.batch_size, backend=args.backend,
     )
+    resume_result = None
+    if args.durable_resume:
+        resume_result = run_durable_resume(
+            args.resume_events, args.workers, args.tasks, args.seed,
+            backend="dense" if args.backend in ("dict", "auto") else args.backend,
+        )
+        result["durable_resume"] = resume_result
+        if args.trajectory:
+            _append_trajectory(args.trajectory, resume_result, args.smoke)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2)
@@ -226,6 +398,20 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if resume_result is not None:
+        if not resume_result["bit_identical"]:
+            print(
+                "FAIL: resumed sessions disagree with the batch build",
+                file=sys.stderr,
+            )
+            return 1
+        if resume_result["resume_speedup"] < args.min_resume_speedup:
+            print(
+                f"FAIL: resume speedup {resume_result['resume_speedup']:.1f}x "
+                f"below required {args.min_resume_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -74,6 +74,30 @@ FIGURE_FUNCTIONS = {
 }
 
 
+def _add_durable_arguments(subparser: argparse.ArgumentParser) -> None:
+    """``--durable`` / ``--snapshot-every``, shared by ingest and serve."""
+    subparser.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help="persist the stream into DIR: each micro-batch is written to a "
+        "fsynced write-ahead log before it is applied, and the session "
+        "resumes from DIR in O(delta) after a crash or restart (the same "
+        "command over an existing DIR resumes it); estimates after a "
+        "resume are bit-identical to an uninterrupted run",
+    )
+    subparser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --durable: checkpoint the full evaluator state every N "
+        "applied micro-batches (atomic temp-file + rename snapshots), "
+        "bounding the WAL replay a resume pays; default: no snapshots "
+        "(pure WAL replay)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -208,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grammar as evaluate --shards; incremental recomputes stay serial "
         "regardless, so this is configuration passthrough)",
     )
+    _add_durable_arguments(ingest)
 
     serve = subparsers.add_parser(
         "serve", help="run the NDJSON TCP ingestion server"
@@ -239,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution spec forwarded to the session's estimator (same "
         "grammar as evaluate --shards)",
     )
+    _add_durable_arguments(serve)
 
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
@@ -327,44 +353,69 @@ def _print_estimate_table(estimates) -> None:
     print(format_table(header, rows))
 
 
-def _command_ingest(args: argparse.Namespace) -> int:
+def _make_session(args: argparse.Namespace):
+    """Build the (optionally durable) session ingest and serve share.
+
+    With ``--durable`` the session resumes the directory when it already
+    holds state and starts fresh otherwise; without it, plain in-memory.
+    """
     from repro.serve.session import StreamSession
+
+    if args.durable is not None:
+        return StreamSession.open_durable(
+            args.durable,
+            confidence=args.confidence,
+            backend=args.backend,
+            max_batch=args.batch_size,
+            maxsize=args.queue_size,
+            shards=args.shards,
+            snapshot_every=args.snapshot_every,
+        )
+    return StreamSession(
+        confidence=args.confidence,
+        backend=args.backend,
+        max_batch=args.batch_size,
+        maxsize=args.queue_size,
+        shards=args.shards,
+    )
+
+
+def _validate_stream_args(args: argparse.Namespace) -> str | None:
+    if args.batch_size < 1 or args.queue_size < 1:
+        return "--batch-size and --queue-size must be positive"
+    if args.snapshot_every is not None:
+        if args.durable is None:
+            return "--snapshot-every requires --durable"
+        if args.snapshot_every < 1:
+            return "--snapshot-every must be positive"
+    return None
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
     from repro.serve.sources import feed_session, iter_ndjson
 
-    if args.batch_size < 1 or args.queue_size < 1:
-        print("error: --batch-size and --queue-size must be positive",
-              file=sys.stderr)
+    problem = _validate_stream_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
 
     async def run() -> int:
-        if args.events == "-":
-            stream = sys.stdin
-            close = False
-        else:
-            stream = open(args.events, "r", encoding="utf-8")
-            close = True
-        try:
-            async with StreamSession(
-                confidence=args.confidence,
-                backend=args.backend,
-                max_batch=args.batch_size,
-                maxsize=args.queue_size,
-                shards=args.shards,
-            ) as session:
-                submitted = await feed_session(
-                    session,
-                    iter_ndjson(
-                        stream,
-                        follow=args.follow,
-                        idle_timeout=args.idle_timeout,
-                    ),
-                )
-                await session.flush()
-                estimates = await session.evaluate_all()
-                batches = session.applied_batches
-        finally:
-            if close:
-                stream.close()
+        # A path is handed to iter_ndjson directly: the iterator owns the
+        # handle and closes it on every exit path (including mid-stream
+        # parse errors), which the old open-here/close-there split leaked.
+        source = sys.stdin if args.events == "-" else args.events
+        async with _make_session(args) as session:
+            submitted = await feed_session(
+                session,
+                iter_ndjson(
+                    source,
+                    follow=args.follow,
+                    idle_timeout=args.idle_timeout,
+                ),
+            )
+            await session.flush()
+            estimates = await session.evaluate_all()
+            batches = session.applied_batches
         _print_estimate_table(estimates)
         if args.stats:
             invalidations = sum(b.stats.backend_invalidations for b in batches)
@@ -381,16 +432,14 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import serve_ndjson
-    from repro.serve.session import StreamSession
+
+    problem = _validate_stream_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
 
     async def run() -> int:
-        async with StreamSession(
-            confidence=args.confidence,
-            backend=args.backend,
-            max_batch=args.batch_size,
-            maxsize=args.queue_size,
-            shards=args.shards,
-        ) as session:
+        async with _make_session(args) as session:
             await serve_ndjson(
                 session,
                 host=args.host,

@@ -46,14 +46,14 @@ export protocol behind process sharding
 only the dict path — which has no arrays to chunk or export — falls back to
 serial for every non-serial ``shards=`` spec:
 
-============  =============  ============  =============  ====================  =========
-backend       batch_triples  batch_lemma4  shared export  executor tiers        streaming
-============  =============  ============  =============  ====================  =========
-``dict``      no (scalar)    no (scalar)   no             serial only           yes
-``dense``     yes            yes           yes            thread + process      yes
-``sparse``    yes            yes           yes            thread + process      yes
-``bitset``    yes            yes           yes            thread + process      yes
-============  =============  ============  =============  ====================  =========
+============  =============  ============  =============  ====================  =========  ==========
+backend       batch_triples  batch_lemma4  shared export  executor tiers        streaming  durability
+============  =============  ============  =============  ====================  =========  ==========
+``dict``      no (scalar)    no (scalar)   no             serial only           yes        WAL replay
+``dense``     yes            yes           yes            thread + process      yes        snapshots
+``sparse``    yes            yes           yes            thread + process      yes        snapshots
+``bitset``    yes            yes           yes            thread + process      yes        snapshots
+============  =============  ============  =============  ====================  =========  ==========
 
 The *shared export* column is the ``supports_shared_export`` flag: the
 backend can ship its precomputed state (packed planes, count matrices, vote
@@ -74,6 +74,20 @@ O(row) ``apply_response`` singleton deltas plus the micro-batched
 grouped per-worker-row storage writes while no count matrix is
 materialized) and the O(added ids) ``extend`` growth for worker/task ids
 unseen at construction.
+
+The *durability* column describes how a crashed durable session
+(:mod:`repro.serve.durable`) gets its statistics back.  The vectorized
+backends persist their full precomputed state in the periodic snapshots —
+the same packed planes / count matrices / vote tables the shared-export
+protocol ships between processes, restored through
+``attach_shared_state`` with no count recomputation — so resume pays only
+the WAL delta beyond the newest snapshot.  The dict path has no arrays to
+snapshot; its statistics are rebuilt by replaying responses (the response
+triples themselves *are* snapshotted, so a dict-backed resume is still
+O(delta) over the WAL, it just re-derives pair counts from the restored
+matrix).  Either way the restored backend keeps delta-updating in place,
+and — per the resume contract below — serves the same bits it would have
+without the crash.
 
 Streaming determinism contract
 ------------------------------
@@ -97,12 +111,47 @@ guarantees locked by the differential suite's ``streamed`` column
   :class:`~repro.core.incremental.IncrementalEvaluator` guarantees no
   stale interval survives a statistic its computation read).
 
+Resume determinism contract
+---------------------------
+
+Durable sessions extend the streaming contract across process death: a
+session resumed with :meth:`~repro.serve.session.StreamSession.resume`
+serves estimates **bit-identical** to a session that was never
+interrupted, on every backend.  The guarantee decomposes into:
+
+* **acknowledged writes survive** — each micro-batch is appended to the
+  write-ahead log and fsynced *before* ``apply_batch`` runs, so any event
+  whose ``flush()`` was acknowledged is on disk (WAL format: one
+  versioned NDJSON header line, then per-batch records carrying the
+  inclusive sequence range, the events, and a CRC-32 over the canonical
+  encoding — see :mod:`repro.serve.durable`);
+* **crash residue is inert** — a torn WAL tail (truncated line, flipped
+  bytes, missing newline) is detected by the record CRC and discarded;
+  a snapshot killed mid-write is invisible (atomic temp-file + rename)
+  or fails its SHA-256 footer and falls back to an older snapshot, down
+  to pure WAL replay;
+* **replay is idempotent** — WAL records whose sequence range is already
+  covered by the restored snapshot are skipped, and a record straddling
+  the snapshot boundary is sliced to its uncovered suffix, so duplicated
+  batches or a double replay cannot double-apply (a true sequence *gap*
+  raises :class:`~repro.exceptions.DurableStateError` instead — that is
+  data loss, not crash residue);
+* **bit-identity** — estimates depend only on the accumulated counts,
+  never on how application was chopped across the crash, so the
+  batch-boundary invariance above carries the promise across resume.
+
+The contract is locked by the differential suite's ``resumed`` column
+(kill/resume fuzz over every backend with random cut points, snapshot
+cadences and corruption modes) and the crash-smoke CI job, which SIGKILLs
+a live durable ingest process and byte-compares the resumed output table.
+
 A new backend implements the
 :class:`~repro.data.dense_backend.AgreementBackendBase` contract, gets the
-bulk fast paths (and the streaming protocol's shared machinery) for free,
-and **must** register in the differential suite's path tables — including
-the ``streamed`` column — so the bit-identity promise is enforced for it
-on every public entry point.
+bulk fast paths (and the streaming protocol's shared machinery, including
+snapshot persistence through the shared-export shapes) for free, and
+**must** register in the differential suite's path tables — including the
+``streamed`` and ``resumed`` columns — so the bit-identity promise is
+enforced for it on every public entry point.
 
 An optional ``observer`` receives every pair key whose statistics are read;
 the incremental evaluator uses this to record, per cached estimate, the

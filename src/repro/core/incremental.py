@@ -120,6 +120,32 @@ class BatchApplyStats:
     backend_invalidations: int
 
 
+def _backend_class(kind: str) -> type[AgreementBackendBase]:
+    """Concrete backend class for a persisted ``backend_kind`` name.
+
+    Imported lazily so the snapshot-restore path does not widen this
+    module's import graph; attaching never needs scipy, even for a
+    persisted sparse backend (its CSR index is consumed before export).
+    """
+    from repro.data.dense_backend import DenseAgreementBackend
+    from repro.data.sparse_backend import (
+        BitsetAgreementBackend,
+        SparseAgreementBackend,
+    )
+
+    classes: dict[str, type[AgreementBackendBase]] = {
+        "dense": DenseAgreementBackend,
+        "sparse": SparseAgreementBackend,
+        "bitset": BitsetAgreementBackend,
+    }
+    try:
+        return classes[kind]
+    except KeyError:
+        raise DataValidationError(
+            f"unknown persisted backend kind {kind!r}"
+        ) from None
+
+
 class _DependencyTracker:
     """Records which pair statistics each cached estimate depended on.
 
@@ -471,6 +497,139 @@ class IncrementalEvaluator:
             cached_invalidated=cached_invalidated,
             backend_invalidations=backend_invalidations,
         )
+
+    # ------------------------------------------------------------------ #
+    # State (de)serialization — the durable-session snapshot hooks
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serializable snapshot: ``(JSON-safe meta, named arrays)``.
+
+        The arrays are the response records and gold labels of the matrix
+        plus — when a vectorized backend is live — its full
+        ``export_shared_state()`` payload (packed planes, count matrices,
+        vote table, dense triple tensor where cacheable) under
+        ``backend.``-prefixed keys, so :meth:`from_state` restores the
+        derived caches without rebuilding any count.  Estimate caches and
+        dependency tracking are deliberately *not* persisted: they are
+        recomputed deterministically from the counts, so omitting them
+        cannot change a served interval (only when it is recomputed).
+        Exporting materializes the backend's lazy caches as a side effect,
+        exactly like the process-sharding export this reuses.
+        """
+        matrix = self._matrix
+        count = matrix.n_responses
+        workers = np.empty(count, dtype=np.int64)
+        tasks = np.empty(count, dtype=np.int64)
+        labels = np.empty(count, dtype=np.int64)
+        for position, (worker, task, label) in enumerate(matrix.iter_responses()):
+            workers[position] = worker
+            tasks[position] = task
+            labels[position] = label
+        gold = matrix.gold_labels
+        arrays: dict[str, np.ndarray] = {
+            "resp_worker": workers,
+            "resp_task": tasks,
+            "resp_label": labels,
+            "gold_task": np.fromiter(gold.keys(), dtype=np.int64, count=len(gold)),
+            "gold_label": np.fromiter(gold.values(), dtype=np.int64, count=len(gold)),
+        }
+        backend_kind = "dict" if self._backend is None else self._backend.name
+        if self._backend is not None:
+            for key, array in self._backend.export_shared_state().items():
+                arrays[f"backend.{key}"] = array
+        meta = {
+            "n_workers": matrix.n_workers,
+            "n_tasks": matrix.n_tasks,
+            "arity": matrix.arity,
+            "confidence": self._estimator.confidence,
+            "optimize_weights": self._estimator.optimize_weights,
+            "backend_choice": self._backend_choice,
+            "backend_kind": backend_kind,
+            "responses_seen": self._responses_seen,
+            "backend_rebuilds": self._backend_rebuilds,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        *,
+        confidence: float | None = None,
+        optimize_weights: bool | None = None,
+        backend: str | None = None,
+        shards: int | str = 1,
+    ) -> "IncrementalEvaluator":
+        """Rebuild an evaluator from :meth:`export_state` output.
+
+        The matrix is bulk-loaded via
+        :meth:`~repro.data.response_matrix.ResponseMatrix.from_arrays` and
+        the backend re-attached from its exported caches
+        (``attach_shared_state`` — no count is recomputed, which is what
+        makes resuming O(delta)).  Arrays are adopted as-is and must be
+        writable (the durable snapshot loader hands out fresh copies);
+        every estimate cache starts cold and is recomputed on demand,
+        bit-identical to an uninterrupted evaluator by the determinism
+        contract.  ``confidence`` / ``optimize_weights`` / ``backend``
+        default to the persisted configuration; passing a different
+        ``backend`` choice rebuilds the backend from the restored matrix
+        instead of re-attaching (results are identical either way).
+        """
+        self = cls.__new__(cls)
+        n_workers = int(meta["n_workers"])
+        n_tasks = int(meta["n_tasks"])
+        arity = int(meta["arity"])
+        self._matrix = ResponseMatrix.from_arrays(
+            arrays["resp_worker"],
+            arrays["resp_task"],
+            arrays["resp_label"],
+            n_workers=n_workers,
+            n_tasks=n_tasks,
+            arity=arity,
+            gold_tasks=arrays.get("gold_task"),
+            gold_labels=arrays.get("gold_label"),
+        )
+        confidence = (
+            float(meta["confidence"]) if confidence is None else float(confidence)
+        )
+        optimize_weights = (
+            bool(meta["optimize_weights"])
+            if optimize_weights is None
+            else bool(optimize_weights)
+        )
+        choice = meta["backend_choice"] if backend is None else backend
+        self._estimator = MWorkerEstimator(
+            confidence=confidence,
+            optimize_weights=optimize_weights,
+            backend=choice,
+            shards=shards,
+        )
+        self._backend_choice = choice
+        kind = meta["backend_kind"]
+        if choice != meta["backend_choice"]:
+            self._backend = resolve_backend(self._matrix, choice)
+        elif kind == "dict":
+            self._backend = None
+        else:
+            backend_arrays = {
+                key.split(".", 1)[1]: value
+                for key, value in arrays.items()
+                if key.startswith("backend.")
+            }
+            self._backend = _backend_class(kind).attach_shared_state(
+                backend_arrays,
+                n_workers=n_workers,
+                n_tasks=n_tasks,
+                arity=arity,
+            )
+        self._tracker = _DependencyTracker()
+        self._cache = {}
+        self._dirty = set(range(n_workers))
+        self._responses_seen = int(meta["responses_seen"])
+        self._backend_rebuilds = int(meta["backend_rebuilds"])
+        return self
 
     def add_responses(self, records: Iterable[tuple[int, int, int]]) -> int:
         """Ingest a batch of ``(worker, task, label)`` records; returns the count.

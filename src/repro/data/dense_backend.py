@@ -446,6 +446,13 @@ class AgreementBackendBase:
         :meth:`attach_shared_state` — no count is ever recomputed in a
         shard.  Keys are backend-specific; the only contract is that
         ``attach_shared_state`` of the same class understands them.
+
+        The durable streaming layer (:mod:`repro.serve.durable`) reuses the
+        same export shapes as its snapshot payload: the arrays land on disk
+        (prefixed ``backend.`` in the snapshot manifest) and a resume hands
+        *writable copies* back to ``attach_shared_state``, so the restored
+        backend skips the from-scratch count rebuild and keeps
+        delta-updating the attached arrays in place.
         """
         raise NotImplementedError(
             f"backend {self.name!r} does not support shared-state export"
@@ -462,10 +469,12 @@ class AgreementBackendBase:
     ) -> "AgreementBackendBase":
         """Rebuild a backend over the views of an exported state.
 
-        Inverse of :meth:`export_shared_state`, run inside shard processes;
-        ``arrays`` are read-only shared-memory views that must not be
-        mutated (and must outlive the backend — the caller keeps the
-        segments mapped).
+        Inverse of :meth:`export_shared_state`.  Run inside shard
+        processes, ``arrays`` are read-only shared-memory views that must
+        not be mutated (and must outlive the backend — the caller keeps
+        the segments mapped).  Run on a durable-snapshot restore, they are
+        the loader's fresh writable copies and the attached backend
+        resumes streaming deltas against them directly.
         """
         raise NotImplementedError(
             f"backend {cls.name!r} does not support shared-state export"

@@ -154,6 +154,75 @@ class ResponseMatrix:
             rm.set_gold_labels(gold)
         return rm
 
+    @classmethod
+    def from_arrays(
+        cls,
+        workers: np.ndarray,
+        tasks: np.ndarray,
+        labels: np.ndarray,
+        *,
+        n_workers: int,
+        n_tasks: int,
+        arity: int = 2,
+        gold_tasks: np.ndarray | None = None,
+        gold_labels: np.ndarray | None = None,
+    ) -> "ResponseMatrix":
+        """Bulk-load from parallel record arrays (the snapshot-restore path).
+
+        Equivalent to ``n`` :meth:`add_response` calls in array order (later
+        records overwrite earlier ones for the same cell), but the two
+        dict-of-dicts indexes are assembled from one stable sort per axis —
+        O(n log n) NumPy work plus one dict build per non-empty row — which
+        is what keeps resuming a durable streaming session from a snapshot
+        (:mod:`repro.serve.durable`) cheap relative to replaying history.
+        """
+        workers = np.ascontiguousarray(workers, dtype=np.int64)
+        tasks = np.ascontiguousarray(tasks, dtype=np.int64)
+        labels = np.ascontiguousarray(labels, dtype=np.int64)
+        if not (workers.shape == tasks.shape == labels.shape) or workers.ndim != 1:
+            raise DataValidationError(
+                "workers/tasks/labels must be 1-D arrays of identical length"
+            )
+        rm = cls(n_workers=n_workers, n_tasks=n_tasks, arity=arity)
+        if workers.size:
+            for name, values, bound in (
+                ("worker", workers, n_workers),
+                ("task", tasks, n_tasks),
+                ("label", labels, arity),
+            ):
+                low, high = int(values.min()), int(values.max())
+                if low < 0 or high >= bound:
+                    raise DataValidationError(
+                        f"{name} ids must lie in [0, {bound}), "
+                        f"got range [{low}, {high}]"
+                    )
+            for axis_values, index in (
+                (workers, rm._responses),
+                (tasks, rm._task_responses),
+            ):
+                other = tasks if axis_values is workers else workers
+                order = np.argsort(axis_values, kind="stable")
+                sorted_axis = axis_values[order]
+                sorted_other = other[order].tolist()
+                sorted_labels = labels[order].tolist()
+                boundaries = np.flatnonzero(np.diff(sorted_axis)) + 1
+                starts = np.concatenate(([0], boundaries))
+                ends = np.concatenate((boundaries, [sorted_axis.size]))
+                for start, end in zip(starts.tolist(), ends.tolist()):
+                    index[int(sorted_axis[start])] = dict(
+                        zip(sorted_other[start:end], sorted_labels[start:end])
+                    )
+        if gold_tasks is not None and gold_labels is not None:
+            rm.set_gold_labels(
+                dict(
+                    zip(
+                        np.asarray(gold_tasks, dtype=np.int64).tolist(),
+                        np.asarray(gold_labels, dtype=np.int64).tolist(),
+                    )
+                )
+            )
+        return rm
+
     def copy(self) -> "ResponseMatrix":
         """Deep copy of the matrix, including gold labels."""
         clone = ResponseMatrix(self._n_workers, self._n_tasks, self._arity)

@@ -163,7 +163,12 @@ class BitsetAgreementBackend(AgreementBackendBase):
         Materializes the count matrices and vote table as a side effect
         (once, in the parent) so shards never pay the popcount/CSR builds;
         for the sparse subclass this also consumes and releases the CSR
-        index, which therefore never needs exporting.
+        index, which therefore never needs exporting.  The durable
+        snapshot layer (:mod:`repro.serve.durable`) persists exactly these
+        keys, which is also why a sparse-backed session restores without
+        scipy present: the CSR index was consumed before export, so
+        :meth:`attach_shared_state` needs only the packed planes and
+        counts.
         """
         return {
             "packed": self._packed,

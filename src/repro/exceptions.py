@@ -51,3 +51,15 @@ class ConvergenceError(CrowdAssessmentError):
 class ConfigurationError(CrowdAssessmentError):
     """Raised when an estimator or experiment is configured inconsistently
     (e.g. a confidence level outside (0, 1), a negative density)."""
+
+
+class DurableStateError(CrowdAssessmentError):
+    """Raised when persisted streaming state cannot be trusted or reused.
+
+    Examples: a write-ahead log whose versioned header is missing or from an
+    unsupported future version, a sequence gap between a snapshot and the
+    surviving WAL records, or an attempt to open a fresh durable session on
+    a directory that already holds state (which must be resumed instead).
+    Truncated or corrupt WAL *tails* and snapshots that fail their checksum
+    are NOT errors — they are the expected residue of a crash and are
+    discarded cleanly during replay (see :mod:`repro.serve.durable`)."""

@@ -14,25 +14,37 @@ invalidation in :class:`~repro.core.incremental.IncrementalEvaluator`):
   under a writer lock, snapshot-consistent reads, per-batch invalidation
   stats (see its module docstring for the determinism contract);
 * :mod:`~repro.serve.sources` — NDJSON / async-iterator adapters;
+* :mod:`~repro.serve.durable` — write-ahead log + atomic snapshots behind
+  ``StreamSession(durable=...)`` / ``StreamSession.resume(...)``;
 * :mod:`~repro.serve.server` — the ``repro-crowd serve`` TCP front-end.
 
 The locked contract: estimates served from any interleaving of
 micro-batches equal a from-scratch batch build over the accumulated data,
 bit for bit, on every backend (``tests/property/
-test_cross_backend_differential.py``, ``streamed`` column).
+test_cross_backend_differential.py``, ``streamed`` column) — and a durable
+session resumed after a kill serves the same bits as one that was never
+interrupted (the ``resumed`` column plus the crash-smoke CI job).
 """
 
+from repro.serve.durable import (
+    DurableStore,
+    load_snapshot_file,
+    write_snapshot_file,
+)
 from repro.serve.queue import QueueClosed, ResponseQueue
 from repro.serve.session import BatchRecord, SessionSnapshot, StreamSession
 from repro.serve.sources import feed_session, iter_ndjson, parse_event
 
 __all__ = [
     "BatchRecord",
+    "DurableStore",
     "QueueClosed",
     "ResponseQueue",
     "SessionSnapshot",
     "StreamSession",
     "feed_session",
     "iter_ndjson",
+    "load_snapshot_file",
     "parse_event",
+    "write_snapshot_file",
 ]

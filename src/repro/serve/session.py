@@ -31,6 +31,22 @@ column)
 Unseen worker/task ids grow the evaluator through the delta extension path
 (no backend rebuild) once per batch, so a live stream never needs
 pre-declared dimensions.
+
+Durability (``durable=...`` / :meth:`StreamSession.resume`)
+-----------------------------------------------------------
+
+A session given a durable directory (or a
+:class:`~repro.serve.durable.DurableStore`) appends every micro-batch to a
+write-ahead log — fsynced *before* ``apply_batch`` — and, when
+``snapshot_every`` is set, periodically checkpoints the full evaluator
+state with atomic temp-file + rename snapshots.  After a crash,
+:meth:`StreamSession.resume` restores the newest valid snapshot, replays
+only the WAL records beyond it (idempotently — duplicated or
+partially-covered records cannot double-apply) and reopens the log,
+restarting in O(delta).  The resumed session serves estimates bit-identical
+to a session that was never interrupted; the contract and on-disk formats
+are documented in :mod:`repro.serve.durable` and the capability matrix in
+:mod:`repro.core.agreement`.
 """
 
 from __future__ import annotations
@@ -38,11 +54,17 @@ from __future__ import annotations
 import asyncio
 from collections.abc import AsyncIterable, Iterable
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.incremental import BatchApplyStats, IncrementalEvaluator
 from repro.core.spammer_filter import DEFAULT_SPAMMER_THRESHOLD
 from repro.data.response_matrix import ResponseMatrix
-from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.exceptions import (
+    ConfigurationError,
+    DurableStateError,
+    InsufficientDataError,
+)
+from repro.serve.durable import DurableStore
 from repro.serve.queue import ResponseQueue
 from repro.types import WorkerErrorEstimate
 
@@ -92,6 +114,18 @@ class StreamSession:
         :class:`~repro.core.incremental.IncrementalEvaluator` — so this is
         configuration passthrough, not a throughput lever for live
         streams.
+    durable:
+        A directory path (or prepared :class:`~repro.serve.durable.DurableStore`)
+        to persist the stream into: every micro-batch is WAL-logged before
+        it is applied, so acknowledged ``flush()`` results survive a crash
+        and :meth:`resume` restarts in O(delta).  A *fresh* session refuses
+        a directory that already holds state — resume it instead (or use
+        :meth:`open_durable` for create-or-resume semantics).
+    snapshot_every, fsync:
+        Forwarded to the :class:`~repro.serve.durable.DurableStore` when
+        ``durable`` is a path (ignored when a store instance is passed):
+        snapshot cadence in applied batches (``None`` = pure WAL) and
+        whether each WAL append is fsynced before the apply.
 
     Use as an async context manager::
 
@@ -111,6 +145,9 @@ class StreamSession:
         confidence: float = 0.95,
         backend: str = "auto",
         shards: int | str = 1,
+        durable: DurableStore | str | Path | None = None,
+        snapshot_every: int | None = None,
+        fsync: bool = True,
     ) -> None:
         if evaluator is None:
             evaluator = IncrementalEvaluator(
@@ -120,9 +157,14 @@ class StreamSession:
                 backend=backend,
                 shards=shards,
             )
+        if durable is not None and not isinstance(durable, DurableStore):
+            durable = DurableStore(
+                durable, snapshot_every=snapshot_every, fsync=fsync
+            )
         self._evaluator = evaluator
         self._queue = ResponseQueue(maxsize=maxsize, max_batch=max_batch)
         self._auto_extend = auto_extend
+        self._durable = durable
         self._lock = asyncio.Lock()
         self._applied = asyncio.Condition()
         self._submitted_seq = 0
@@ -143,24 +185,59 @@ class StreamSession:
         if exc_type is not None:
             # An exception is already propagating out of the block (often
             # the applier's own error, re-raised at submit()/flush()):
-            # drain and stop without masking it with a second raise.
+            # drain and stop without masking it with a second raise.  The
+            # durable log is closed without a final snapshot — the WAL
+            # already holds everything applied, and a snapshot taken on a
+            # failing path could checkpoint state the caller considers bad.
             await self._drain_and_stop()
+            if self._durable is not None:
+                self._durable.close()
             return
         await self.close()
 
     def start(self) -> None:
         """Start the applier task (idempotent; ``async with`` does this)."""
         if self._applier is None:
+            if self._durable is not None:
+                # No-op for a store resume() already opened; a fresh open
+                # refuses a directory with existing state.
+                self._durable.open(resume=False)
             self._applier = asyncio.get_running_loop().create_task(self._run())
 
     async def close(self) -> None:
         """Drain and stop: apply everything submitted, then stop the applier.
 
-        Raises the applier's error if ingestion failed (unless it was
-        already surfaced by the exception leaving an ``async with`` block).
+        A clean close of a durable session writes a final snapshot when
+        periodic snapshots are enabled (so the next resume replays nothing)
+        and closes the log.  Raises the applier's error if ingestion failed
+        (unless it was already surfaced by the exception leaving an
+        ``async with`` block).
         """
         await self._drain_and_stop()
+        if self._durable is not None:
+            if self._error is None:
+                self._durable.finalize(self._evaluator, self._applied_seq)
+            self._durable.close()
         self._raise_if_failed()
+
+    async def abort(self) -> None:
+        """Stop immediately without draining — a process-internal "crash".
+
+        Cancels the applier mid-flight and closes the log handle without a
+        final snapshot, leaving the durable directory exactly as a SIGKILL
+        would (modulo the OS page cache): acknowledged batches in the WAL,
+        possibly a half-applied one.  The kill/resume fuzz suite uses this
+        to exercise :meth:`resume` at arbitrary cut points in-process.
+        """
+        if self._applier is not None:
+            self._applier.cancel()
+            try:
+                await self._applier
+            except asyncio.CancelledError:
+                pass
+            self._applier = None
+        if self._durable is not None:
+            self._durable.close()
 
     async def _drain_and_stop(self) -> None:
         await self._queue.close()
@@ -176,6 +253,11 @@ class StreamSession:
     def evaluator(self) -> IncrementalEvaluator:
         """The wrapped evaluator (take the session lock for direct reads)."""
         return self._evaluator
+
+    @property
+    def durable(self) -> DurableStore | None:
+        """The persistence layer, or None for an in-memory session."""
+        return self._durable
 
     @property
     def submitted_events(self) -> int:
@@ -313,24 +395,31 @@ class StreamSession:
 
     async def _run(self) -> None:
         while True:
-            batch = await self._queue.get_batch()
-            if batch is None:
+            result = await self._queue.get_batch_with_seq()
+            if result is None:
                 return
+            first_seq, last_seq, batch = result
             try:
+                if self._durable is not None:
+                    # WAL first, fsynced: once apply_batch runs (and a
+                    # flush() is acknowledged), the batch is on disk and a
+                    # crash at any later point replays it.
+                    self._durable.append_batch(first_seq, last_seq, batch)
                 async with self._lock:
                     stats = self._evaluator.apply_batch(
                         batch, auto_extend=self._auto_extend
                     )
-                first_seq = self._applied_seq + 1
-                self._applied_seq += len(batch)
+                self._applied_seq = last_seq
                 self._batches.append(
                     BatchRecord(
                         index=len(self._batches),
                         first_seq=first_seq,
-                        last_seq=self._applied_seq,
+                        last_seq=last_seq,
                         stats=stats,
                     )
                 )
+                if self._durable is not None:
+                    self._durable.record_applied(self._evaluator, last_seq)
             except BaseException as error:  # surfaced at submit()/flush()
                 self._error = error
                 async with self._applied:
@@ -344,3 +433,160 @@ class StreamSession:
                 return
             async with self._applied:
                 self._applied.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Durable resume
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str | Path | DurableStore,
+        *,
+        confidence: float | None = None,
+        backend: str | None = None,
+        optimize_weights: bool | None = None,
+        shards: int | str = 1,
+        maxsize: int = 4096,
+        max_batch: int = 256,
+        auto_extend: bool = True,
+        snapshot_every: int | None = None,
+        fsync: bool = True,
+    ) -> "StreamSession":
+        """Rebuild a session from a durable directory in O(delta).
+
+        Loads the newest snapshot that validates (checksum-failed or
+        truncated ones fall back to older, then to pure WAL replay),
+        replays the WAL records whose sequences exceed the snapshot —
+        idempotently, so duplicated records or a second replay cannot
+        double-apply — truncates any crash tail off the log and reopens it
+        for append.  The returned session is not yet started: enter it with
+        ``async with`` (or call :meth:`start`) and continue submitting;
+        sequence numbering continues from the last applied event.
+
+        ``confidence`` / ``backend`` / ``optimize_weights`` default to the
+        persisted configuration; passing them overrides it (a backend
+        override rebuilds statistics from the restored matrix).  Raises
+        :class:`~repro.exceptions.DurableStateError` on a sequence *gap*
+        between the restored state and the surviving log — that is data
+        loss in the middle of the history, not crash residue.
+        """
+        store = (
+            directory
+            if isinstance(directory, DurableStore)
+            else DurableStore(
+                directory, snapshot_every=snapshot_every, fsync=fsync
+            )
+        )
+        loaded = store.load_snapshot_state()
+        wal_start = 0
+        if loaded is not None:
+            meta, arrays = loaded
+            evaluator = IncrementalEvaluator.from_state(
+                meta,
+                arrays,
+                confidence=confidence,
+                optimize_weights=optimize_weights,
+                backend=backend,
+                shards=shards,
+            )
+            applied = int(meta["applied_seq"])
+            applied_batches = int(meta.get("applied_batches", 0))
+            # Seek past the log prefix the snapshot covers; replay then
+            # only parses the delta (the O(delta) half of resume).
+            wal_start = int(meta.get("wal_bytes", 0))
+        else:
+            evaluator = IncrementalEvaluator(
+                n_workers=3,
+                n_tasks=1,
+                confidence=0.95 if confidence is None else confidence,
+                optimize_weights=(
+                    True if optimize_weights is None else optimize_weights
+                ),
+                backend="auto" if backend is None else backend,
+                shards=shards,
+            )
+            applied = 0
+            applied_batches = 0
+        replayed = 0
+        for first, last, events in store.read_batches(wal_start):
+            if last <= applied:
+                continue  # already covered by the snapshot (or a duplicate)
+            if first > applied + 1:
+                raise DurableStateError(
+                    f"sequence gap in {store.wal_path}: restored state ends "
+                    f"at {applied} but the next surviving record starts at "
+                    f"{first}"
+                )
+            if first <= applied:
+                events = events[applied - first + 1 :]
+            evaluator.apply_batch(events, auto_extend=True)
+            applied = last
+            replayed += 1
+        store.open(resume=True)
+        store.note_resumed(
+            total_batches=applied_batches + replayed, replayed_batches=replayed
+        )
+        session = cls(
+            evaluator,
+            maxsize=maxsize,
+            max_batch=max_batch,
+            auto_extend=auto_extend,
+            durable=store,
+        )
+        session._queue = ResponseQueue(
+            maxsize=maxsize, max_batch=max_batch, base_seq=applied
+        )
+        session._submitted_seq = applied
+        session._applied_seq = applied
+        return session
+
+    @classmethod
+    def open_durable(
+        cls,
+        directory: str | Path,
+        *,
+        confidence: float | None = None,
+        backend: str | None = None,
+        optimize_weights: bool | None = None,
+        shards: int | str = 1,
+        maxsize: int = 4096,
+        max_batch: int = 256,
+        auto_extend: bool = True,
+        snapshot_every: int | None = None,
+        fsync: bool = True,
+    ) -> "StreamSession":
+        """Resume ``directory`` when it holds state, else start fresh in it.
+
+        The create-or-resume front door the CLI uses for ``--durable``.
+        """
+        if DurableStore.has_state(directory):
+            return cls.resume(
+                directory,
+                confidence=confidence,
+                backend=backend,
+                optimize_weights=optimize_weights,
+                shards=shards,
+                maxsize=maxsize,
+                max_batch=max_batch,
+                auto_extend=auto_extend,
+                snapshot_every=snapshot_every,
+                fsync=fsync,
+            )
+        evaluator = IncrementalEvaluator(
+            n_workers=3,
+            n_tasks=1,
+            confidence=0.95 if confidence is None else confidence,
+            optimize_weights=True if optimize_weights is None else optimize_weights,
+            backend="auto" if backend is None else backend,
+            shards=shards,
+        )
+        return cls(
+            evaluator,
+            maxsize=maxsize,
+            max_batch=max_batch,
+            auto_extend=auto_extend,
+            durable=DurableStore(
+                directory, snapshot_every=snapshot_every, fsync=fsync
+            ),
+        )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 from collections.abc import AsyncIterable, AsyncIterator, Iterable
+from pathlib import Path
 from typing import IO, Any
 
 from repro.exceptions import DataValidationError
@@ -68,36 +69,70 @@ def parse_event(line: str | bytes | dict | list) -> tuple[int, int, int] | None:
     raise DataValidationError(f"unrecognized NDJSON event shape: {decoded!r}")
 
 
+#: Opener used for path inputs — a module-level hook so tests can observe
+#: (and assert the closing of) every handle the iterator owns.
+_open_text = open
+
+
 async def iter_ndjson(
-    stream: IO[str],
+    stream: IO[str] | str | Path,
     follow: bool = False,
     poll_interval: float = 0.2,
     idle_timeout: float | None = None,
 ) -> AsyncIterator[tuple[int, int, int]]:
     """Yield records from an NDJSON text stream, in stream order.
 
+    ``stream`` is an open text handle, or a path — for a path the iterator
+    opens the file itself and *always* closes it, including when a
+    malformed line raises mid-iteration or the consumer abandons the
+    iterator early (caller-provided handles stay caller-owned).
+
     Reads line by line off the event loop's default executor (so a slow
-    pipe never blocks the loop).  At end of file: stop, unless ``follow``
-    is set — then keep polling every ``poll_interval`` seconds for
-    appended lines (``tail -f`` semantics) until ``idle_timeout`` seconds
-    pass without new data (``None`` = follow forever).
+    pipe never blocks the loop).  A line without its trailing newline is
+    buffered, not parsed — reading can race a writer mid-append (the
+    ``tail -f`` case), and half a JSON document must not be rejected as
+    malformed; the buffered text is parsed once its newline arrives, or as
+    the final record at end of stream.  At end of file: stop, unless
+    ``follow`` is set — then keep polling every ``poll_interval`` seconds
+    for appended lines until ``idle_timeout`` seconds pass without new
+    data (``None`` = follow forever).
     """
     loop = asyncio.get_running_loop()
-    idle = 0.0
-    while True:
-        line = await loop.run_in_executor(None, stream.readline)
-        if line:
-            idle = 0.0
-            record = parse_event(line)
+    owns = isinstance(stream, (str, Path))
+    handle: IO[str] = (
+        _open_text(stream, "r", encoding="utf-8") if owns else stream
+    )
+    try:
+        idle = 0.0
+        pending = ""
+        while True:
+            chunk = await loop.run_in_executor(None, handle.readline)
+            if chunk:
+                idle = 0.0
+                pending += chunk
+                if not pending.endswith("\n"):
+                    continue  # mid-append: wait for the rest of the line
+                record = parse_event(pending)
+                pending = ""
+                if record is not None:
+                    yield record
+                continue
+            if not follow:
+                break
+            if idle_timeout is not None and idle >= idle_timeout:
+                break
+            await asyncio.sleep(poll_interval)
+            idle += poll_interval
+        if pending.strip():
+            # The stream ended mid-line: the buffered text is the final
+            # record (files routinely lack the last newline) — or garbage,
+            # surfaced as the usual DataValidationError.
+            record = parse_event(pending)
             if record is not None:
                 yield record
-            continue
-        if not follow:
-            return
-        if idle_timeout is not None and idle >= idle_timeout:
-            return
-        await asyncio.sleep(poll_interval)
-        idle += poll_interval
+    finally:
+        if owns:
+            handle.close()
 
 
 async def feed_session(

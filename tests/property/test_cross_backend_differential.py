@@ -405,6 +405,122 @@ def test_streamed_microbatch_interleavings_bit_identical(seed):
 
 
 # --------------------------------------------------------------------------- #
+# Resumed column: kill/resume fuzz through the durable session layer
+# --------------------------------------------------------------------------- #
+
+#: Backends of the ``resumed`` column — the resume determinism contract of
+#: :mod:`repro.serve.durable`: a session killed at an arbitrary point and
+#: resumed from its WAL + snapshots must serve estimates bit-identical to
+#: one that was never interrupted (== the dict batch reference, via the
+#: streamed column's own lockdown).
+RESUMED_BACKENDS = ["dict", "dense", "sparse", "bitset"]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_resumed_sessions_bit_identical(seed, tmp_path):
+    """25-seed kill/resume fuzz: a durable session is aborted at a random
+    cut point (simulating SIGKILL), its on-disk state optionally mangled
+    the way a crash would (WAL tail truncated mid-append, newest snapshot
+    corrupted mid-write), resumed, and fed the rest of the stream — the
+    final estimates, spammer scores and accumulated matrix must equal the
+    uninterrupted reference bit for bit, on all four backends, across
+    snapshot cadences including pure WAL replay."""
+    import asyncio
+
+    from repro.serve import StreamSession
+
+    rng = np.random.default_rng(13000 + seed)
+    m = int(rng.integers(6, 10))
+    n = int(rng.integers(25, 45))
+    matrix = random_matrix(seed, m, n, regular=bool(seed % 3 == 0))
+    records = list(matrix.iter_responses())
+    rng.shuffle(records)
+    # Label revisions land on both sides of the kill point: last write must
+    # win across the crash exactly as it does within one process.
+    revisions = [
+        (worker, task, 1 - label)
+        for worker, task, label in rng.permutation(records)[:4].tolist()
+    ]
+    insert_at = sorted(
+        int(position) for position in rng.integers(0, len(records), size=4)
+    )
+    for position, revision in zip(insert_at, reversed(revisions)):
+        records.insert(position, tuple(revision))
+    max_batch = int(rng.integers(1, 24))
+    cut = int(rng.integers(1, len(records)))
+    snapshot_every = [None, 1, 2, 3, 5][seed % 5]
+    corruption = seed % 3  # 0: clean kill, 1: torn WAL tail, 2: torn snapshot
+
+    async def crash_then_resume(backend, directory):
+        session = StreamSession(
+            backend=backend,
+            max_batch=max_batch,
+            durable=directory,
+            snapshot_every=snapshot_every,
+            fsync=False,
+        )
+        session.start()
+        for record in records[:cut]:
+            await session.submit(*record)
+        await session.flush()
+        await session.abort()  # no final snapshot, applier cancelled
+        if corruption == 1:
+            # Mid-append kill: the last WAL record loses its tail bytes.
+            wal = session.durable.wal_path
+            data = wal.read_bytes()
+            wal.write_bytes(data[: len(data) - int(rng.integers(1, 31))])
+        elif corruption == 2:
+            # Mid-snapshot kill / torn storage: flip a byte in the newest
+            # snapshot — resume must fall back to an older one or pure WAL.
+            snapshots = session.durable.snapshot_paths()
+            if snapshots:
+                data = bytearray(snapshots[0].read_bytes())
+                data[int(rng.integers(0, len(data)))] ^= 0xFF
+                snapshots[0].write_bytes(bytes(data))
+        resumed = StreamSession.resume(
+            directory,
+            backend=backend,
+            max_batch=max_batch,
+            snapshot_every=snapshot_every,
+            fsync=False,
+        )
+        # Sequence numbers are positional, so applied_events says exactly
+        # which prefix of the stream survived; feed the rest.
+        assert resumed.applied_events <= len(records)
+        async with resumed:
+            for record in records[resumed.applied_events :]:
+                await resumed.submit(*record)
+            await resumed.flush()
+            estimates = await resumed.evaluate_all()
+            scores = await resumed.spammer_scores()
+            return estimates, scores, resumed.evaluator.matrix.copy()
+
+    results = {
+        backend: asyncio.run(
+            crash_then_resume(backend, tmp_path / backend)
+        )
+        for backend in RESUMED_BACKENDS
+    }
+    accumulated = results["dict"][2]
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(
+            confidence=0.95, backend="dict"
+        ).evaluate_all(accumulated)
+        if estimate.n_tasks > 0
+    }
+    reference_scores = results["dict"][1]
+    for backend, (resumed, scores, matrix_copy) in results.items():
+        assert matrix_copy == accumulated, backend
+        assert set(resumed) == set(reference), backend
+        for worker, ref in reference.items():
+            assert_estimates_bit_identical(
+                ref, resumed[worker], f"resumed-{backend}"
+            )
+        assert scores == reference_scores, backend
+
+
+# --------------------------------------------------------------------------- #
 # Composition contracts of the sparse/bitset backends
 # --------------------------------------------------------------------------- #
 

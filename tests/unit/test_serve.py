@@ -488,6 +488,222 @@ class TestNdjsonServer:
         assert "error" in malformed
 
 
+class TestIterNdjson:
+    def test_path_handle_closed_on_malformed_line(self, tmp_path, monkeypatch):
+        """Regression: a malformed line used to abandon the open handle on
+        the error path; the iterator now owns path-opened handles and
+        closes them on every exit, including mid-stream parse failures."""
+        import repro.serve.sources as sources_module
+        from repro.serve.sources import iter_ndjson
+
+        path = tmp_path / "events.ndjson"
+        path.write_text("[0,0,1]\n{not json\n[1,0,1]\n")
+        opened = []
+
+        def recording_open(*args, **kwargs):
+            handle = open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(sources_module, "_open_text", recording_open)
+
+        async def scenario():
+            records = []
+            with pytest.raises(DataValidationError):
+                async for record in iter_ndjson(str(path)):
+                    records.append(record)
+            return records
+
+        records = run(scenario())
+        assert records == [(0, 0, 1)]  # everything before the bad line
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_path_handle_closed_when_consumer_abandons_early(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.serve.sources as sources_module
+        from repro.serve.sources import iter_ndjson
+
+        path = tmp_path / "events.ndjson"
+        path.write_text("[0,0,1]\n[1,0,1]\n[2,0,1]\n")
+        opened = []
+
+        def recording_open(*args, **kwargs):
+            handle = open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(sources_module, "_open_text", recording_open)
+
+        async def scenario():
+            async for record in iter_ndjson(str(path)):
+                return record  # abandon after the first record
+
+        assert run(scenario()) == (0, 0, 1)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_caller_provided_handle_stays_caller_owned(self, tmp_path):
+        from repro.serve.sources import iter_ndjson
+
+        path = tmp_path / "events.ndjson"
+        path.write_text("[0,0,1]\n")
+        with open(path, "r", encoding="utf-8") as handle:
+
+            async def scenario():
+                return [record async for record in iter_ndjson(handle)]
+
+            assert run(scenario()) == [(0, 0, 1)]
+            assert not handle.closed
+
+    def test_final_record_without_trailing_newline_is_yielded(self, tmp_path):
+        from repro.serve.sources import iter_ndjson
+
+        path = tmp_path / "events.ndjson"
+        path.write_text("[0,0,1]\n[1,0,0]")  # EOF lands mid-line
+
+        async def scenario():
+            return [record async for record in iter_ndjson(str(path))]
+
+        assert run(scenario()) == [(0, 0, 1), (1, 0, 0)]
+
+    def test_follow_buffers_partial_line_until_writer_finishes(self, tmp_path):
+        """Regression: in follow mode a read can race the writer mid-append;
+        the partial JSON must be buffered, not rejected as malformed."""
+        from repro.serve.sources import iter_ndjson
+
+        path = tmp_path / "events.ndjson"
+        path.write_text("[0,0,1]\n[1,0")  # writer parked mid-record
+
+        async def scenario():
+            records = []
+
+            async def complete_line():
+                await asyncio.sleep(0.05)
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(",1]\n[2,0,0]\n")
+
+            writer = asyncio.get_running_loop().create_task(complete_line())
+            async for record in iter_ndjson(
+                str(path), follow=True, poll_interval=0.01, idle_timeout=1.0
+            ):
+                records.append(record)
+            await writer
+            return records
+
+        assert run(scenario()) == [(0, 0, 1), (1, 0, 1), (2, 0, 0)]
+
+
+class TestServerShutdownSemantics:
+    def test_pipelined_query_in_flight_at_shutdown_is_answered(self):
+        """Queries already on the wire ahead of a shutdown are answered in
+        order before the connection closes — shutdown never drops replies
+        for work the server already accepted."""
+        events = [(w, t, (w + t) % 2) for w in range(4) for t in range(6)]
+
+        async def scenario():
+            ready = asyncio.get_running_loop().create_future()
+            async with StreamSession() as session:
+                server = asyncio.get_running_loop().create_task(
+                    serve_ndjson(
+                        session,
+                        port=0,
+                        ready=lambda host, port: ready.set_result((host, port)),
+                    )
+                )
+                host, port = await asyncio.wait_for(ready, timeout=5)
+                reader, writer = await asyncio.open_connection(host, port)
+                for event in events:
+                    writer.write((json.dumps(list(event)) + "\n").encode())
+                # Pipeline: flush + evaluate_all + shutdown in one write.
+                writer.write(
+                    b'{"query": "flush"}\n'
+                    b'{"query": "evaluate_all"}\n'
+                    b'{"query": "shutdown"}\n'
+                )
+                await writer.drain()
+                flushed = json.loads(await reader.readline())
+                answer = json.loads(await reader.readline())
+                done = json.loads(await reader.readline())
+                await asyncio.wait_for(server, timeout=5)
+                writer.close()
+                return flushed, answer, done
+
+        flushed, answer, done = run(scenario())
+        assert flushed == {"applied": len(events)}
+        assert set(answer["estimates"]) == {"0", "1", "2", "3"}
+        assert done == {"ok": True}
+
+    def test_double_shutdown_is_safe(self):
+        """A second shutdown — same connection or another client — must
+        neither hang the server nor error; the server exits exactly once."""
+
+        async def scenario():
+            ready = asyncio.get_running_loop().create_future()
+            async with StreamSession() as session:
+                server = asyncio.get_running_loop().create_task(
+                    serve_ndjson(
+                        session,
+                        port=0,
+                        ready=lambda host, port: ready.set_result((host, port)),
+                    )
+                )
+                host, port = await asyncio.wait_for(ready, timeout=5)
+                reader, writer = await asyncio.open_connection(host, port)
+                # Two shutdowns pipelined on one connection: the first is
+                # acknowledged, the second lands after stop is set and gets
+                # no reply (the handler loop has exited) — only EOF.
+                writer.write(b'{"query": "shutdown"}\n{"query": "shutdown"}\n')
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                rest = await asyncio.wait_for(reader.read(), timeout=5)
+                await asyncio.wait_for(server, timeout=5)
+                writer.close()
+                return first, rest
+
+        first, rest = run(scenario())
+        assert first == {"ok": True}
+        assert rest == b""
+
+    def test_client_disconnect_mid_response_keeps_server_alive(self):
+        """A client that sends a query and vanishes before reading the
+        reply must not take the server down: other clients keep working
+        and a later shutdown still completes."""
+        events = [(w, t, 1) for w in range(3) for t in range(5)]
+
+        async def scenario():
+            ready = asyncio.get_running_loop().create_future()
+            async with StreamSession() as session:
+                server = asyncio.get_running_loop().create_task(
+                    serve_ndjson(
+                        session,
+                        port=0,
+                        ready=lambda host, port: ready.set_result((host, port)),
+                    )
+                )
+                host, port = await asyncio.wait_for(ready, timeout=5)
+                # Rude client: submits events, asks a question, hangs up
+                # without reading the answer.
+                _, rude_writer = await asyncio.open_connection(host, port)
+                for event in events:
+                    rude_writer.write((json.dumps(list(event)) + "\n").encode())
+                rude_writer.write(b'{"query": "evaluate_all"}\n')
+                await rude_writer.drain()
+                rude_writer.close()
+                # A polite client still gets served afterwards.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"query": "flush"}\n{"query": "shutdown"}\n')
+                await writer.drain()
+                flushed = json.loads(await reader.readline())
+                done = json.loads(await reader.readline())
+                await asyncio.wait_for(server, timeout=5)
+                writer.close()
+                return flushed, done
+
+        flushed, done = run(scenario())
+        assert flushed == {"applied": len(events)}
+        assert done == {"ok": True}
+
+
 class TestParseEvent:
     def test_shapes(self):
         assert parse_event('{"worker": 2, "task": 5, "label": 1}') == (2, 5, 1)
