@@ -615,6 +615,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         if sweep_warning is not None:
             sweep_result["trend_warning"] = sweep_warning
+        # Explicit vacuity marker: on a single-core runner "auto" resolves
+        # serial, so a --min-shard-speedup gate passes without measuring
+        # any sharding at all.  Record that in the result (and trajectory)
+        # so a trend reader never mistakes a vacuous pass for a real one.
+        sweep_result["vacuous"] = sweep_result["auto_tier"] == "serial"
         result["shard_sweep"] = dict(sweep_result)
     # The extra scenarios get their own trajectory entries; keep the
     # headline entry free of the nested copies.
@@ -656,6 +661,15 @@ def main(argv: list[str] | None = None) -> int:
                 'shard-speedup gate: "auto" resolved serial on this host '
                 f"({sweep_result['cores']} usable cores) — gate passes "
                 "vacuously (sharding only engages with parallel hardware)"
+            )
+            # GitHub Actions annotation so the vacuous pass is visible on
+            # the run summary, not just buried in the log and the JSON.
+            print(
+                "::notice title=shard-speedup gate vacuous::"
+                '"auto" resolved serial on a '
+                f"{sweep_result['cores']}-core runner; the "
+                f"--min-shard-speedup {args.min_shard_speedup:g} gate "
+                "measured no sharding (result marked \"vacuous\": true)"
             )
         elif sweep_result["shard_speedup"] < args.min_shard_speedup:
             print(

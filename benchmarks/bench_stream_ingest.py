@@ -26,6 +26,16 @@ replay on the 5k fixture, both resumes bit-identical to the batch build;
 ``--trajectory`` appends the result as a ``stream-resume`` entry to the
 committed ``BENCH_agreement.json`` trend file.
 
+``--with-shards`` adds the sharded-recompute scenario: the same stream is
+ingested twice with periodic mid-stream ``evaluate_all`` calls — once with
+serial recomputes (``shards=1``) and once under ``--shard-spec`` (default
+``thread:2``, the footprint-ledger path) — and the *ingest-then-evaluate*
+wall clock is compared.  Both runs must be bit-identical to the batch
+build, and the sharded run must stay within ``--max-shard-overhead`` of
+the serial wall clock (sharding may not win on a small CI fixture, but it
+must never wreck live-stream evaluation); ``--trajectory`` appends a
+``stream-shards`` entry alongside the resume one.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_stream_ingest.py          # full
@@ -299,12 +309,97 @@ def run_durable_resume(
     }
 
 
+def run_with_shards(
+    n_events: int,
+    n_workers: int,
+    n_tasks: int,
+    seed: int,
+    batch_size: int,
+    backend: str = "dense",
+    shard_spec: str = "thread:2",
+    eval_points: int = 8,
+) -> dict:
+    """Time ingest-then-evaluate wall clock: serial vs sharded recomputes.
+
+    Replays one stream through two sessions with ``evaluate_all`` forced at
+    ``eval_points`` evenly spaced stream positions (the live-dashboard
+    pattern: ingest a while, evaluate, repeat).  The serial twin runs
+    ``shards=1``; the sharded twin runs ``shard_spec``, whose incremental
+    recomputes go through the dependency-ledger footprint path and the
+    execution tiers.  Both must serve bit-identical estimates; the wall
+    clock comparison is what the ``--max-shard-overhead`` gate consumes.
+    """
+    stream = make_stream(n_events, n_workers, n_tasks, seed)
+    every = max(1, len(stream) // eval_points)
+    print(
+        f"with-shards: {len(stream)} events over {n_workers} workers x "
+        f"{n_tasks} tasks ({backend} backend, micro-batch {batch_size}, "
+        f"evaluate_all every {every} events, serial vs {shard_spec})"
+    )
+
+    def timed(spec):
+        async def go():
+            async with StreamSession(
+                backend=backend, max_batch=batch_size, shards=spec
+            ) as session:
+                for index, event in enumerate(stream):
+                    await session.submit(*event)
+                    if (index + 1) % every == 0:
+                        await session.flush()
+                        await session.evaluate_all()
+                await session.flush()
+                return (
+                    await session.evaluate_all(),
+                    session.evaluator.matrix.copy(),
+                )
+
+        start = time.perf_counter()
+        estimates, matrix = asyncio.run(go())
+        return time.perf_counter() - start, estimates, matrix
+
+    serial_seconds, serial_estimates, matrix = timed(1)
+    sharded_seconds, sharded_estimates, _ = timed(shard_spec)
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(backend="dict").evaluate_all(matrix)
+        if estimate.n_tasks > 0
+    }
+    identical = all(
+        set(estimates) == set(reference)
+        and all(_identical(estimates[w], reference[w]) for w in reference)
+        for estimates in (serial_estimates, sharded_estimates)
+    )
+    overhead = (
+        sharded_seconds / serial_seconds if serial_seconds > 0 else float("inf")
+    )
+    print(
+        f"  serial ingest+evaluate: {serial_seconds:7.3f}s   "
+        f"{shard_spec}: {sharded_seconds:7.3f}s   "
+        f"overhead: {overhead:.2f}x   bit-identical: {identical}"
+    )
+    return {
+        "scenario": "stream-shards",
+        "n_events": n_events,
+        "n_workers": n_workers,
+        "n_tasks": n_tasks,
+        "batch_size": batch_size,
+        "backend": backend,
+        "shard_spec": shard_spec,
+        "eval_points": eval_points,
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "shard_overhead": overhead,
+        "bit_identical": identical,
+    }
+
+
 def _append_trajectory(path: str, result: dict, smoke: bool) -> None:
-    """Append the resume result to the committed trend file's trajectory.
+    """Append a scenario result to the committed trend file's trajectory.
 
     Entries are scenario-keyed (``bench_scaling_agreement._comparable``
     only trends entries whose ``scenario`` matches), so ``stream-resume``
-    rows ride in the same list without perturbing the scaling trend gate.
+    and ``stream-shards`` rows ride in the same list without perturbing
+    the scaling trend gate.
     """
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
@@ -320,7 +415,7 @@ def _append_trajectory(path: str, result: dict, smoke: bool) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")
-    print(f"appended stream-resume trajectory entry to {path}")
+    print(f"appended {entry['scenario']} trajectory entry to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -359,9 +454,24 @@ def main(argv: list[str] | None = None) -> int:
         "this factor (default 5; only with --durable-resume)",
     )
     parser.add_argument(
+        "--with-shards", action="store_true",
+        help="also run the sharded-recompute scenario: ingest-then-evaluate "
+        "wall clock, serial vs --shard-spec (see --max-shard-overhead)",
+    )
+    parser.add_argument(
+        "--shard-spec", default="thread:2",
+        help="shard spec for the --with-shards scenario (default thread:2)",
+    )
+    parser.add_argument(
+        "--max-shard-overhead", type=float, default=2.0,
+        help="exit non-zero if the sharded ingest-then-evaluate wall clock "
+        "exceeds the serial twin by this factor (default 2; only with "
+        "--with-shards)",
+    )
+    parser.add_argument(
         "--trajectory", default=None,
         help="trend file (BENCH_agreement.json) to append the stream-resume "
-        "entry to (only with --durable-resume)",
+        "and stream-shards entries to",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -380,6 +490,17 @@ def main(argv: list[str] | None = None) -> int:
         result["durable_resume"] = resume_result
         if args.trajectory:
             _append_trajectory(args.trajectory, resume_result, args.smoke)
+    shards_result = None
+    if args.with_shards:
+        shards_result = run_with_shards(
+            args.events, args.workers, args.tasks, args.seed,
+            args.batch_size,
+            backend="dense" if args.backend in ("dict", "auto") else args.backend,
+            shard_spec=args.shard_spec,
+        )
+        result["with_shards"] = shards_result
+        if args.trajectory:
+            _append_trajectory(args.trajectory, shards_result, args.smoke)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2)
@@ -409,6 +530,22 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"FAIL: resume speedup {resume_result['resume_speedup']:.1f}x "
                 f"below required {args.min_resume_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if shards_result is not None:
+        if not shards_result["bit_identical"]:
+            print(
+                "FAIL: sharded streamed evaluation disagrees with the batch "
+                "build",
+                file=sys.stderr,
+            )
+            return 1
+        if shards_result["shard_overhead"] > args.max_shard_overhead:
+            print(
+                "FAIL: sharded ingest-then-evaluate wall clock "
+                f"{shards_result['shard_overhead']:.2f}x serial exceeds the "
+                f"allowed {args.max_shard_overhead:.2f}x",
                 file=sys.stderr,
             )
             return 1

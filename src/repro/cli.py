@@ -229,8 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="SPEC",
         help="execution spec forwarded to the session's estimator (same "
-        "grammar as evaluate --shards; incremental recomputes stay serial "
-        "regardless, so this is configuration passthrough)",
+        "grammar as evaluate --shards; incremental recomputes honour it on "
+        "the vectorized backends — dependency footprints ship back per "
+        "shard, so evaluation under a live stream scales)",
     )
     _add_durable_arguments(ingest)
 

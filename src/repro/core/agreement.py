@@ -46,14 +46,14 @@ export protocol behind process sharding
 only the dict path — which has no arrays to chunk or export — falls back to
 serial for every non-serial ``shards=`` spec:
 
-============  =============  ============  =============  ====================  =========  ==========
-backend       batch_triples  batch_lemma4  shared export  executor tiers        streaming  durability
-============  =============  ============  =============  ====================  =========  ==========
-``dict``      no (scalar)    no (scalar)   no             serial only           yes        WAL replay
-``dense``     yes            yes           yes            thread + process      yes        snapshots
-``sparse``    yes            yes           yes            thread + process      yes        snapshots
-``bitset``    yes            yes           yes            thread + process      yes        snapshots
-============  =============  ============  =============  ====================  =========  ==========
+============  =============  ============  =============  ==========  ====================  =========  ==========
+backend       batch_triples  batch_lemma4  shared export  footprints  executor tiers        streaming  durability
+============  =============  ============  =============  ==========  ====================  =========  ==========
+``dict``      no (scalar)    no (scalar)   no             observer    serial only           yes        WAL replay
+``dense``     yes            yes           yes            yes         thread + process      yes        snapshots
+``sparse``    yes            yes           yes            yes         thread + process      yes        snapshots
+``bitset``    yes            yes           yes            yes         thread + process      yes        snapshots
+============  =============  ============  =============  ==========  ====================  =========  ==========
 
 The *shared export* column is the ``supports_shared_export`` flag: the
 backend can ship its precomputed state (packed planes, count matrices, vote
@@ -66,6 +66,18 @@ additionally needs the shared export.  ``shards="auto"`` picks the tier
 from the :func:`~repro.core.parallel.auto_shard_choice` cost model; see the
 :class:`~repro.core.m_worker.MWorkerEstimator` determinism contract for the
 size thresholds and serial-fallback guards.
+
+The *footprints* column is the dependency protocol the incremental
+evaluator consumes.  On the vectorized backends ``evaluate_worker_range``
+*returns* a compact :class:`~repro.core.deps.WorkerFootprint` per worker
+(pairing scan log + formed-partner support + touch-target flag — see
+:mod:`repro.core.deps`) instead of invoking a per-read callback; footprints
+ride the shard result channel, so dependency-tracked recomputes engage the
+same executor tiers as any batch run.  The dict path records dependencies
+through the legacy per-read ``observer`` (below), which must see every
+scalar read and therefore forces serial execution — the one remaining
+observer user besides the differential suite's ledger-equivalence
+reference mode.
 
 The *streaming* column covers the delta-update protocol the incremental
 evaluator and the async ingestion subsystem (:mod:`repro.serve`) drive:
@@ -153,10 +165,14 @@ snapshot persistence through the shared-export shapes) for free, and
 ``streamed`` and ``resumed`` columns — so the bit-identity promise is
 enforced for it on every public entry point.
 
-An optional ``observer`` receives every pair key whose statistics are read;
-the incremental evaluator uses this to record, per cached estimate, the
-exact set of statistics it depended on, so a streamed response invalidates
-precisely the estimates it can affect.
+An optional ``observer`` receives every pair key whose statistics are read.
+This is the *legacy* dependency protocol: the incremental evaluator now
+prefers the returned-footprint path of the capability matrix above
+(vectorized, shard-composable) and attaches an observer only on the dict
+backend or when ``dependency_tracking="observer"`` forces the reference
+mode.  Every execution tier defers to serial while an observer is attached
+(the recorder must see each read), which is exactly why the footprint
+protocol replaced it on the fast paths.
 """
 
 from __future__ import annotations

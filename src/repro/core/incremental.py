@@ -13,8 +13,8 @@ The estimates themselves are identical to running the batch estimator on the
 accumulated data (the class delegates to :class:`MWorkerEstimator`); the
 value added is the bookkeeping of what changed and the per-worker caching.
 
-Correct invalidation
---------------------
+Correct invalidation: the dependency ledger
+-------------------------------------------
 
 A response by worker ``w`` on task ``t`` changes exactly the pair statistics
 ``(w, u)`` for the workers ``u`` who also answered ``t`` (and the triple
@@ -26,15 +26,33 @@ inside its Lemma-4 covariance whenever ``w`` and ``u`` are partners in
 An earlier version of this class invalidated only ``{w} | answered(t)`` and
 therefore served stale intervals for such third-party workers.
 
-The fix: while computing an estimate, every pair statistic the computation
-reads is recorded (via the ``observer`` hook of
-:class:`~repro.core.agreement.AgreementStatistics`).  Because the estimator
-is deterministic, a cached estimate stays valid exactly as long as none of
-the statistics its computation read have changed — if every value read is
-unchanged, a fresh run would follow the identical execution path.  Streamed
-responses therefore invalidate precisely the cached estimates whose recorded
-dependencies intersect the changed pairs, restoring the "identical to
-batch" guarantee while still letting unrelated cached intervals survive.
+On the vectorized backends every recompute *returns* a compact
+:class:`~repro.core.deps.WorkerFootprint` alongside the estimate — the
+pairing scan log, the formed partners' support set and the touch-target
+flag, derived from the array operations the evaluation actually executed
+(see :mod:`repro.core.deps` for the exact semantics).  Footprints are
+aggregated into a :class:`~repro.core.deps.DependencyLedger`, and each
+micro-batch's invalidation is a handful of NumPy membership tests against
+the batch's changed-pair array — one vectorized intersection pass, not a
+per-pair Python set probe.  Because the estimator is deterministic, a
+cached estimate stays valid exactly as long as none of the statistics its
+computation read have changed; streamed responses therefore invalidate
+precisely the cached estimates whose footprints intersect the changed
+pairs, preserving the "identical to batch" guarantee while letting
+unrelated cached intervals survive.
+
+Footprints are recorded on **every** execution tier — the batched serial
+path and the thread/process shards ship their per-shard dependency logs
+back with the estimates (see
+:func:`~repro.core.parallel.evaluate_worker_subset`) — so incremental
+recomputes honour ``shards=`` like any batch run.  The remaining serial
+fallbacks are the documented ones: the dict backend (whose scalar path
+still records dependencies through the legacy per-read observer,
+:class:`~repro.core.deps.ObserverDependencyTracker`), a custom ``rng``,
+and fewer dirty workers than shards.  The ledger is durable: it is
+persisted by :meth:`IncrementalEvaluator.export_state` together with the
+clean cached estimates, so a resumed session serves warm caches without
+recomputing untouched workers.
 
 Delta-updated statistics
 ------------------------
@@ -78,6 +96,11 @@ from repro.exceptions import (
     InsufficientDataError,
 )
 from repro.core.agreement import AgreementStatistics, pair_key
+from repro.core.deps import (
+    DependencyLedger,
+    ObserverDependencyTracker,
+    WorkerFootprint,
+)
 from repro.core.m_worker import MWorkerEstimator
 from repro.data.dense_backend import (
     AgreementBackendBase,
@@ -85,7 +108,12 @@ from repro.data.dense_backend import (
     resolve_backend,
 )
 from repro.data.response_matrix import ResponseMatrix
-from repro.types import WorkerErrorEstimate
+from repro.types import (
+    ConfidenceInterval,
+    EstimateStatus,
+    TripleEstimate,
+    WorkerErrorEstimate,
+)
 
 __all__ = ["BatchApplyStats", "IncrementalEvaluator"]
 
@@ -146,82 +174,6 @@ def _backend_class(kind: str) -> type[AgreementBackendBase]:
         ) from None
 
 
-class _DependencyTracker:
-    """Records which pair statistics each cached estimate depended on.
-
-    Fine-grained reads (``note_pair``) are indexed per pair key; vectorized
-    bulk reads (``note_bulk``), which touch every pair among the evaluated
-    worker and its partners at once, are summarized as a *support set* of
-    worker ids — a changed pair invalidates the estimate when both endpoints
-    lie in the support.  Reverse indexes make the invalidation lookup
-    O(readers of the changed pair) instead of O(cached workers).
-    """
-
-    def __init__(self) -> None:
-        self._target: int | None = None
-        self._pair_deps: dict[int, set[tuple[int, int]]] = {}
-        self._supports: dict[int, set[int]] = {}
-        self._pair_readers: dict[tuple[int, int], set[int]] = {}
-        self._support_members: dict[int, set[int]] = {}
-
-    def begin(self, worker: int) -> None:
-        """Start recording reads on behalf of ``worker``'s estimate."""
-        self.forget(worker)
-        self._target = worker
-        self._pair_deps[worker] = set()
-        self._supports[worker] = {worker}
-        self._support_members.setdefault(worker, set()).add(worker)
-
-    def finish(self) -> None:
-        self._target = None
-
-    def forget(self, worker: int) -> None:
-        """Drop ``worker``'s recorded dependencies (before re-estimating)."""
-        for key in self._pair_deps.pop(worker, ()):
-            readers = self._pair_readers.get(key)
-            if readers is not None:
-                readers.discard(worker)
-                if not readers:
-                    del self._pair_readers[key]
-        for member in self._supports.pop(worker, ()):
-            members = self._support_members.get(member)
-            if members is not None:
-                members.discard(worker)
-                if not members:
-                    del self._support_members[member]
-
-    # -- AgreementStatistics observer protocol ------------------------- #
-
-    def note_pair(self, key: tuple[int, int]) -> None:
-        if self._target is None:
-            return
-        deps = self._pair_deps[self._target]
-        if key not in deps:
-            deps.add(key)
-            self._pair_readers.setdefault(key, set()).add(self._target)
-
-    def note_bulk(self, worker: int, partners: np.ndarray) -> None:
-        if self._target is None:
-            return
-        support = self._supports[self._target]
-        for member in (worker, *(int(p) for p in partners)):
-            if member not in support:
-                support.add(member)
-                self._support_members.setdefault(member, set()).add(self._target)
-
-    # -- invalidation --------------------------------------------------- #
-
-    def readers_of(self, key: tuple[int, int]) -> set[int]:
-        """Cached workers whose estimate depended on the pair ``key``."""
-        affected = set(self._pair_readers.get(key, ()))
-        a, b = key
-        in_a = self._support_members.get(a)
-        in_b = self._support_members.get(b)
-        if in_a and in_b:
-            affected |= in_a & in_b
-        return affected
-
-
 class IncrementalEvaluator:
     """Streaming wrapper around the m-worker binary estimator.
 
@@ -240,16 +192,23 @@ class IncrementalEvaluator:
         from the sparse store, ``"auto"`` applies the cost model over grid
         size and observed fill.  Results are identical either way.
     shards:
-        Execution spec passed through to the wrapped
-        :class:`MWorkerEstimator` (validated here, so a malformed spec
-        fails at construction).  In practice incremental recomputes run
-        **serial regardless of the spec**: dirty workers are re-evaluated
-        one at a time under the dependency-tracking observer, and every
-        execution tier defers to serial while an observer is attached (the
-        tracker must see each read).  The knob exists so evaluator
-        configuration round-trips through streaming sessions unchanged; it
-        changes throughput only if a future bulk path evaluates without
-        the observer.
+        Execution spec for incremental recomputes, passed through to the
+        wrapped :class:`MWorkerEstimator` (validated here, so a malformed
+        spec fails at construction).  On the vectorized backends dirty
+        workers are re-evaluated in bulk through
+        :func:`~repro.core.parallel.evaluate_worker_subset` with dependency
+        footprints shipped back alongside the estimates, so
+        ``"auto"``/``"thread:N"``/``"process:N"`` engage exactly as they do
+        for a batch ``evaluate_all`` — no silent serial degradation.  The
+        documented serial fallbacks are the dict backend (scalar path, the
+        legacy per-read observer), a custom rng, and fewer dirty workers
+        than shards.
+    dependency_tracking:
+        ``"auto"`` (default) uses the vectorized dependency ledger on the
+        vectorized backends and the per-read observer on the dict path;
+        ``"observer"`` forces the legacy observer everywhere (serial
+        recomputes) — the reference mode the differential suite checks
+        ledger invalidation decisions against.
 
     Notes
     -----
@@ -269,11 +228,17 @@ class IncrementalEvaluator:
         optimize_weights: bool = True,
         backend: str = "auto",
         shards: int | str = 1,
+        dependency_tracking: str = "auto",
     ) -> None:
         if n_workers < 3:
             raise ConfigurationError(
                 "incremental evaluation needs at least 3 workers to ever produce "
                 "an estimate"
+            )
+        if dependency_tracking not in ("auto", "observer"):
+            raise ConfigurationError(
+                "dependency_tracking must be 'auto' or 'observer', got "
+                f"{dependency_tracking!r}"
             )
         self._matrix = ResponseMatrix(n_workers=n_workers, n_tasks=n_tasks, arity=2)
         self._estimator = MWorkerEstimator(
@@ -286,11 +251,14 @@ class IncrementalEvaluator:
         self._backend: AgreementBackendBase | None = resolve_backend(
             self._matrix, backend
         )
-        self._tracker = _DependencyTracker()
+        self._dependency_tracking = dependency_tracking
+        self._tracker = ObserverDependencyTracker()
+        self._ledger = DependencyLedger()
         self._cache: dict[int, WorkerErrorEstimate] = {}
         self._dirty: set[int] = set(range(n_workers))
         self._responses_seen = 0
         self._backend_rebuilds = 0
+        self._recompute_count = 0
 
     # ------------------------------------------------------------------ #
     # Data ingestion
@@ -411,10 +379,9 @@ class IncrementalEvaluator:
         if previous is not None and previous == label:
             return  # re-affirmed response: no statistic changed, caches stay
         self._invalidate(worker)
-        for other in co_attempters:
-            changed_pair = pair_key(worker, other)
-            for reader in self._tracker.readers_of(changed_pair):
-                self._invalidate(reader)
+        changed = [pair_key(worker, other) for other in co_attempters]
+        for reader in self._readers_of(changed):
+            self._invalidate(reader)
 
     def apply_batch(
         self,
@@ -480,9 +447,7 @@ class IncrementalEvaluator:
             before = self._backend.invalidation_events
             self._backend.apply_responses(events)
             backend_invalidations = self._backend.invalidation_events - before
-        invalidated = set(changed_workers)
-        for key in changed_pairs:
-            invalidated |= self._tracker.readers_of(key)
+        invalidated = set(changed_workers) | self._readers_of(changed_pairs)
         cached_invalidated = sum(
             1
             for worker in invalidated
@@ -510,9 +475,15 @@ class IncrementalEvaluator:
         ``export_shared_state()`` payload (packed planes, count matrices,
         vote table, dense triple tensor where cacheable) under
         ``backend.``-prefixed keys, so :meth:`from_state` restores the
-        derived caches without rebuilding any count.  Estimate caches and
-        dependency tracking are deliberately *not* persisted: they are
-        recomputed deterministically from the counts, so omitting them
+        derived caches without rebuilding any count.  Clean cached
+        estimates whose dependencies live in the ledger are persisted too
+        (``cache.*`` arrays: interval rows, CSR triple records, weights)
+        together with the ledger itself (``deps.*`` arrays), so a resumed
+        session serves warm intervals for untouched workers with zero
+        recomputation — float64 round-trips exactly, making restored
+        estimates bit-identical to the ones exported.  Workers tracked by
+        the legacy observer (dict-backend recomputes) restore cold; they
+        are recomputed deterministically from the counts, so omitting them
         cannot change a served interval (only when it is recomputed).
         Exporting materializes the backend's lazy caches as a side effect,
         exactly like the process-sharding export this reuses.
@@ -538,6 +509,14 @@ class IncrementalEvaluator:
         if self._backend is not None:
             for key, array in self._backend.export_shared_state().items():
                 arrays[f"backend.{key}"] = array
+        ledger_workers = sorted(
+            worker
+            for worker in self._ledger.workers
+            if worker in self._cache and worker not in self._dirty
+        )
+        if ledger_workers:
+            arrays.update(self._ledger.export_arrays())
+            arrays.update(self._export_cache_arrays(ledger_workers))
         meta = {
             "n_workers": matrix.n_workers,
             "n_tasks": matrix.n_tasks,
@@ -548,8 +527,73 @@ class IncrementalEvaluator:
             "backend_kind": backend_kind,
             "responses_seen": self._responses_seen,
             "backend_rebuilds": self._backend_rebuilds,
+            "estimate_status_names": [status.name for status in EstimateStatus],
         }
         return meta, arrays
+
+    def _export_cache_arrays(
+        self, workers: list[int]
+    ) -> dict[str, np.ndarray]:
+        """Flat ``cache.*`` arrays for the given clean cached workers.
+
+        Interval rows are ``(mean, lower, upper, confidence, deviation)``;
+        triples are stored CSR-style (``triple_offsets`` indexes into the
+        flat partner/value/status/weight arrays) with value rows
+        ``(error_rate, deviation, d_partner_a, d_partner_b)`` — the
+        derivative mapping of a binary triple has exactly the two partners
+        as keys, so two columns round-trip it losslessly.
+        """
+        status_index = {status: i for i, status in enumerate(EstimateStatus)}
+        k = len(workers)
+        interval = np.empty((k, 5), dtype=np.float64)
+        n_tasks = np.empty(k, dtype=np.int64)
+        status = np.empty(k, dtype=np.int64)
+        triple_offsets = np.zeros(k + 1, dtype=np.int64)
+        partners: list[tuple[int, int]] = []
+        values: list[tuple[float, float, float, float]] = []
+        triple_status: list[int] = []
+        weights: list[float] = []
+        for i, worker in enumerate(workers):
+            estimate = self._cache[worker]
+            bounds = estimate.interval
+            interval[i] = (
+                bounds.mean,
+                bounds.lower,
+                bounds.upper,
+                bounds.confidence,
+                bounds.deviation,
+            )
+            n_tasks[i] = estimate.n_tasks
+            status[i] = status_index[estimate.status]
+            triple_offsets[i + 1] = triple_offsets[i] + len(estimate.triples)
+            for triple, weight in zip(estimate.triples, estimate.weights):
+                a, b = triple.partners
+                partners.append((a, b))
+                values.append(
+                    (
+                        triple.error_rate,
+                        triple.deviation,
+                        triple.derivatives[a],
+                        triple.derivatives[b],
+                    )
+                )
+                triple_status.append(status_index[triple.status])
+                weights.append(weight)
+        return {
+            "cache.workers": np.asarray(workers, dtype=np.int64),
+            "cache.interval": interval,
+            "cache.n_tasks": n_tasks,
+            "cache.status": status,
+            "cache.triple_offsets": triple_offsets,
+            "cache.triple_partners": np.asarray(
+                partners, dtype=np.int64
+            ).reshape(-1, 2),
+            "cache.triple_values": np.asarray(
+                values, dtype=np.float64
+            ).reshape(-1, 4),
+            "cache.triple_status": np.asarray(triple_status, dtype=np.int64),
+            "cache.weights_flat": np.asarray(weights, dtype=np.float64),
+        }
 
     @classmethod
     def from_state(
@@ -561,6 +605,7 @@ class IncrementalEvaluator:
         optimize_weights: bool | None = None,
         backend: str | None = None,
         shards: int | str = 1,
+        dependency_tracking: str = "auto",
     ) -> "IncrementalEvaluator":
         """Rebuild an evaluator from :meth:`export_state` output.
 
@@ -569,13 +614,20 @@ class IncrementalEvaluator:
         the backend re-attached from its exported caches
         (``attach_shared_state`` — no count is recomputed, which is what
         makes resuming O(delta)).  Arrays are adopted as-is and must be
-        writable (the durable snapshot loader hands out fresh copies);
-        every estimate cache starts cold and is recomputed on demand,
-        bit-identical to an uninterrupted evaluator by the determinism
-        contract.  ``confidence`` / ``optimize_weights`` / ``backend``
-        default to the persisted configuration; passing a different
-        ``backend`` choice rebuilds the backend from the restored matrix
-        instead of re-attaching (results are identical either way).
+        writable (the durable snapshot loader hands out fresh copies).
+        When the snapshot carries ``deps.*``/``cache.*`` arrays and the
+        effective configuration matches the persisted one, the dependency
+        ledger and the clean cached estimates are restored warm —
+        untouched workers are served with zero recomputation,
+        bit-identical to the exported intervals.  Otherwise (dict backend,
+        changed ``confidence``/``optimize_weights``, forced observer mode,
+        or an old snapshot) caches start cold and are recomputed on
+        demand, bit-identical to an uninterrupted evaluator by the
+        determinism contract.  ``confidence`` / ``optimize_weights`` /
+        ``backend`` default to the persisted configuration; passing a
+        different ``backend`` choice rebuilds the backend from the
+        restored matrix instead of re-attaching (results are identical
+        either way).
         """
         self = cls.__new__(cls)
         n_workers = int(meta["n_workers"])
@@ -624,12 +676,77 @@ class IncrementalEvaluator:
                 n_tasks=n_tasks,
                 arity=arity,
             )
-        self._tracker = _DependencyTracker()
+        if dependency_tracking not in ("auto", "observer"):
+            raise ConfigurationError(
+                "dependency_tracking must be 'auto' or 'observer', got "
+                f"{dependency_tracking!r}"
+            )
+        self._dependency_tracking = dependency_tracking
+        self._tracker = ObserverDependencyTracker()
+        self._ledger = DependencyLedger()
         self._cache = {}
         self._dirty = set(range(n_workers))
         self._responses_seen = int(meta["responses_seen"])
         self._backend_rebuilds = int(meta["backend_rebuilds"])
+        self._recompute_count = 0
+        if (
+            self._use_ledger()
+            and "deps.workers" in arrays
+            and "cache.workers" in arrays
+            and confidence == float(meta["confidence"])
+            and optimize_weights == bool(meta["optimize_weights"])
+            and "estimate_status_names" in meta
+        ):
+            self._restore_cache(meta, arrays)
         return self
+
+    def _restore_cache(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Re-adopt the persisted ledger and warm estimate caches."""
+        statuses = [
+            EstimateStatus[name] for name in meta["estimate_status_names"]
+        ]
+        self._ledger = DependencyLedger.from_arrays(arrays)
+        workers = np.asarray(arrays["cache.workers"], dtype=np.int64)
+        interval = np.asarray(arrays["cache.interval"], dtype=np.float64)
+        n_tasks = np.asarray(arrays["cache.n_tasks"], dtype=np.int64)
+        status = np.asarray(arrays["cache.status"], dtype=np.int64)
+        offsets = np.asarray(arrays["cache.triple_offsets"], dtype=np.int64)
+        partners = np.asarray(arrays["cache.triple_partners"], dtype=np.int64)
+        values = np.asarray(arrays["cache.triple_values"], dtype=np.float64)
+        triple_status = np.asarray(arrays["cache.triple_status"], dtype=np.int64)
+        weights_flat = np.asarray(arrays["cache.weights_flat"], dtype=np.float64)
+        for i, worker in enumerate(workers.tolist()):
+            start, stop = int(offsets[i]), int(offsets[i + 1])
+            triples = []
+            for t in range(start, stop):
+                a, b = int(partners[t, 0]), int(partners[t, 1])
+                error_rate, deviation, d_a, d_b = values[t].tolist()
+                triples.append(
+                    TripleEstimate(
+                        worker=worker,
+                        partners=(a, b),
+                        error_rate=error_rate,
+                        deviation=deviation,
+                        derivatives={a: d_a, b: d_b},
+                        status=statuses[int(triple_status[t])],
+                    )
+                )
+            mean, lower, upper, confidence, deviation = interval[i].tolist()
+            self._cache[worker] = WorkerErrorEstimate(
+                worker=worker,
+                interval=ConfidenceInterval(
+                    mean=mean,
+                    lower=lower,
+                    upper=upper,
+                    confidence=confidence,
+                    deviation=deviation,
+                ),
+                n_tasks=int(n_tasks[i]),
+                triples=tuple(triples),
+                weights=tuple(weights_flat[start:stop].tolist()),
+                status=statuses[int(status[i])],
+            )
+            self._dirty.discard(worker)
 
     def add_responses(self, records: Iterable[tuple[int, int, int]]) -> int:
         """Ingest a batch of ``(worker, task, label)`` records; returns the count.
@@ -642,27 +759,116 @@ class IncrementalEvaluator:
     def _invalidate(self, worker: int) -> None:
         self._dirty.add(worker)
         self._tracker.forget(worker)
+        self._ledger.forget(worker)
+
+    def _readers_of(self, changed_pairs) -> set[int]:
+        """Cached-estimate owners whose recorded reads touch the pairs.
+
+        Consults both dependency structures: a cached worker lives in the
+        ledger when its last recompute took the footprint path and in the
+        observer tracker when it took the scalar dict path, so the union is
+        exact whichever mix of paths produced the current caches (e.g.
+        across a mid-stream dict-to-dense backend flip).
+        """
+        changed_pairs = list(changed_pairs)
+        if not changed_pairs:
+            return set()
+        readers = self._ledger.invalidated(changed_pairs)
+        for key in changed_pairs:
+            readers |= self._tracker.readers_of(key)
+        return readers
 
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
 
-    def _recording_statistics(self) -> AgreementStatistics:
-        return AgreementStatistics(
-            matrix=self._matrix, backend=self._backend, observer=self._tracker
+    def _use_ledger(self) -> bool:
+        """Whether recomputes take the footprint path (vs the observer).
+
+        The footprint protocol needs the greedy pairing strategy without a
+        custom rng and a vectorized backend; ``dependency_tracking=
+        "observer"`` forces the legacy path for reference runs.
+        """
+        return (
+            self._dependency_tracking == "auto"
+            and self._backend is not None
+            and self._estimator.pairing_strategy == "greedy"
+            and self._estimator.rng is None
         )
 
-    def _recompute(self, worker: int, stats: AgreementStatistics) -> WorkerErrorEstimate:
-        self._tracker.begin(worker)
-        try:
-            estimate = self._estimator.evaluate_worker(
-                self._matrix, worker, stats=stats
+    def _recompute_many(self, workers: list[int]) -> None:
+        """Re-evaluate ``workers``, recording each estimate's dependencies.
+
+        Ledger mode: one :func:`~repro.core.parallel.evaluate_worker_subset`
+        call, which honours the estimator's ``shards=`` spec (footprints
+        ship back through the shard result channel in worker order).
+        Observer mode: the legacy serial loop under the per-read observer.
+        """
+        if not workers:
+            return
+        self._recompute_count += len(workers)
+        if self._use_ledger():
+            from repro.core.parallel import evaluate_worker_subset
+
+            stats = AgreementStatistics(
+                matrix=self._matrix, backend=self._backend
             )
-        finally:
-            self._tracker.finish()
-        self._cache[worker] = estimate
-        self._dirty.discard(worker)
-        return estimate
+            estimates, footprints = evaluate_worker_subset(
+                self._estimator,
+                self._matrix,
+                stats,
+                list(workers),
+                collect_footprints=True,
+            )
+            for worker, estimate, footprint in zip(
+                workers, estimates, footprints
+            ):
+                self._cache[worker] = estimate
+                self._ledger.record(worker, footprint)
+                self._dirty.discard(worker)
+            return
+        stats = AgreementStatistics(
+            matrix=self._matrix, backend=self._backend, observer=self._tracker
+        )
+        for worker in workers:
+            self._tracker.begin(worker)
+            try:
+                estimate = self._estimator.evaluate_worker(
+                    self._matrix, worker, stats=stats
+                )
+            finally:
+                self._tracker.finish()
+            self._cache[worker] = estimate
+            self._dirty.discard(worker)
+
+    @property
+    def recompute_count(self) -> int:
+        """Total worker re-evaluations over this instance's lifetime.
+
+        A resumed session whose snapshot carried warm caches serves
+        untouched workers at zero recomputes; the durable-resume regression
+        test pins this counter.
+        """
+        return self._recompute_count
+
+    def cached_estimate(self, worker: int) -> WorkerErrorEstimate | None:
+        """``worker``'s cached estimate if provably current, else ``None``.
+
+        "Provably current" means a live cache entry none of whose recorded
+        dependencies changed since it was computed — the read path
+        streaming sessions use to serve clean workers without serializing
+        behind the ingestion lock.
+        """
+        if worker in self._cache and worker not in self._dirty:
+            return self._cache[worker]
+        return None
+
+    @property
+    def needs_recompute(self) -> bool:
+        """True when any worker with responses would recompute on query."""
+        return any(
+            self._matrix.n_tasks_of(worker) > 0 for worker in self._dirty
+        )
 
     def estimate(self, worker: int, force: bool = False) -> WorkerErrorEstimate:
         """Current confidence interval for one worker.
@@ -676,13 +882,18 @@ class IncrementalEvaluator:
             raise InsufficientDataError(
                 f"worker {worker} has no responses yet; nothing to estimate"
             )
-        return self._recompute(worker, self._recording_statistics())
+        if force:
+            self._invalidate(worker)
+        self._recompute_many([worker])
+        return self._cache[worker]
 
     def estimate_all(self, force: bool = False) -> dict[int, WorkerErrorEstimate]:
         """Current intervals for every worker that has any responses.
 
         Workers with unchanged dependencies are served from the cache; the
-        rest are recomputed sharing one agreement-statistics object.
+        rest are recomputed in one bulk pass sharing a single
+        agreement-statistics object (sharded per the ``shards=`` spec in
+        ledger mode).
         """
         to_recompute = [
             worker
@@ -690,10 +901,10 @@ class IncrementalEvaluator:
             if self._matrix.n_tasks_of(worker) > 0
             and (force or worker in self._dirty or worker not in self._cache)
         ]
-        if to_recompute:
-            stats = self._recording_statistics()
+        if force:
             for worker in to_recompute:
-                self._recompute(worker, stats)
+                self._invalidate(worker)
+        self._recompute_many(to_recompute)
         return {
             worker: self._cache[worker]
             for worker in range(self._matrix.n_workers)

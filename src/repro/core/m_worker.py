@@ -44,6 +44,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, InsufficientDataError
 from repro.core.agreement import AgreementStatistics, compute_agreement_statistics
 from repro.core.delta_method import DeltaMethodModel, confidence_interval_from_moments
+from repro.core.deps import WorkerFootprint
 from repro.core.pairing import form_triples
 from repro.core.three_worker import (
     MIN_AGREEMENT_MARGIN,
@@ -381,8 +382,12 @@ class MWorkerEstimator:
     sharding cannot help: no vectorized backend (the dict path), fewer
     workers than shards, a custom ``rng`` (the random pairing strategy
     consumes the generator sequentially across workers, which no pool can
-    replicate), or an attached statistics observer (dependency tracking
-    must see every read).  The process tier additionally requires
+    replicate), or an attached statistics observer (the legacy per-read
+    dependency recorder must see every read; the incremental evaluator no
+    longer attaches one on vectorized backends — it consumes the
+    footprints :meth:`evaluate_worker_range` returns instead, so its
+    recomputes shard like any batch run).  The process tier additionally
+    requires
     ``supports_shared_export``, which every vectorized backend — dense,
     sparse and bitset — now provides (see
     :meth:`~repro.data.dense_backend.AgreementBackendBase.export_shared_state`).
@@ -439,7 +444,27 @@ class MWorkerEstimator:
             )
         if stats is None:
             stats = compute_agreement_statistics(matrix, backend=self.backend)
+        return self._evaluate_worker_impl(matrix, stats, worker)
+
+    def _evaluate_worker_impl(
+        self,
+        matrix: ResponseMatrix,
+        stats: AgreementStatistics,
+        worker: int,
+        footprint_sink: list | None = None,
+    ) -> WorkerErrorEstimate:
+        """One worker's estimate, optionally recording its read footprint.
+
+        When ``footprint_sink`` is given, a
+        :class:`~repro.core.deps.WorkerFootprint` summarizing every
+        statistic the evaluation reads is appended (greedy pairing only) —
+        derived from the pairing scan log and the formed partners, not from
+        per-read callbacks, so it works on every fast path.
+        """
         candidates = [w for w in range(matrix.n_workers) if w != worker]
+        probe_log: list[tuple[int, int]] | None = (
+            [] if footprint_sink is not None else None
+        )
         triples = form_triples(
             stats,
             worker,
@@ -448,7 +473,16 @@ class MWorkerEstimator:
             rng=self.rng,
             min_overlap=self.min_overlap,
             accelerate=self.batch_triples,
+            probe_log=probe_log,
         )
+        if footprint_sink is not None:
+            footprint_sink.append(
+                WorkerFootprint.from_evaluation(
+                    worker,
+                    (p for _, a, b in triples for p in (a, b)),
+                    probe_log or (),
+                )
+            )
         if not triples:
             return self._degenerate_estimate(matrix, worker)
 
@@ -584,7 +618,11 @@ class MWorkerEstimator:
         matrix: ResponseMatrix,
         stats: AgreementStatistics,
         workers: list[int],
-    ) -> list[WorkerErrorEstimate]:
+        collect_footprints: bool = False,
+    ) -> (
+        list[WorkerErrorEstimate]
+        | tuple[list[WorkerErrorEstimate], list["WorkerFootprint"]]
+    ):
         """Evaluate a set of workers sharing one statistics object.
 
         This is the common entry point of the serial batch path and of each
@@ -593,7 +631,23 @@ class MWorkerEstimator:
         cross-worker batches, otherwise each worker goes through
         :meth:`evaluate_worker`.  Results are returned in the order of
         ``workers``.
+
+        With ``collect_footprints=True`` the return value is the pair
+        ``(estimates, footprints)``: one
+        :class:`~repro.core.deps.WorkerFootprint` per worker, aligned with
+        ``workers``, summarizing the statistics each estimate read.  This
+        is the footprint protocol the incremental evaluator's dependency
+        ledger consumes — it replaces the per-read ``observer`` callback,
+        works on every execution path (batched, thread- and
+        process-sharded), and requires the greedy pairing strategy.
         """
+        if collect_footprints and (
+            self.pairing_strategy != "greedy" or self.rng is not None
+        ):
+            raise ConfigurationError(
+                "footprint collection requires the greedy pairing strategy "
+                "without a custom rng"
+            )
         if (
             self.batch_triples
             and stats.has_dense_backend
@@ -601,18 +655,43 @@ class MWorkerEstimator:
             and matrix.is_binary
             and matrix.n_workers >= 3
         ):
-            return self._evaluate_workers_batched(matrix, stats, workers)
-        return [
-            self.evaluate_worker(matrix, worker, stats=stats)
+            return self._evaluate_workers_batched(
+                matrix, stats, workers, collect_footprints
+            )
+        if not collect_footprints:
+            return [
+                self.evaluate_worker(matrix, worker, stats=stats)
+                for worker in workers
+            ]
+        if not matrix.is_binary:
+            raise ConfigurationError(
+                "the m-worker estimator handles binary data; use the k-ary "
+                "estimator for higher arities"
+            )
+        if matrix.n_workers < 3:
+            raise InsufficientDataError(
+                "at least 3 workers are required to estimate error rates "
+                "without a gold standard"
+            )
+        footprints: list[WorkerFootprint] = []
+        results = [
+            self._evaluate_worker_impl(
+                matrix, stats, worker, footprint_sink=footprints
+            )
             for worker in workers
         ]
+        return results, footprints
 
     def _evaluate_workers_batched(
         self,
         matrix: ResponseMatrix,
         stats: AgreementStatistics,
         workers: list[int],
-    ) -> list[WorkerErrorEstimate]:
+        collect_footprints: bool = False,
+    ) -> (
+        list[WorkerErrorEstimate]
+        | tuple[list[WorkerErrorEstimate], list["WorkerFootprint"]]
+    ):
         """The cross-worker batch: every worker's triples in one stage pass.
 
         Pairing runs per worker (exactly as the serial loop does, including
@@ -623,11 +702,19 @@ class MWorkerEstimator:
         ``batch_lemma4`` is set, per worker otherwise.  Bit-identical to
         calling :meth:`evaluate_worker` per worker — elementwise arithmetic
         on a concatenation is elementwise arithmetic on each window.
+
+        Footprints depend only on pairing (the scan log and the formed
+        partners), so collecting them here yields exactly what the serial
+        per-worker path would collect.
         """
         n_workers = matrix.n_workers
         per_worker_pairs: list[list[tuple[int, int]]] = []
+        footprints: list[WorkerFootprint] = []
         for worker in workers:
             candidates = [w for w in range(n_workers) if w != worker]
+            probe_log: list[tuple[int, int]] | None = (
+                [] if collect_footprints else None
+            )
             triples = form_triples(
                 stats,
                 worker,
@@ -636,8 +723,17 @@ class MWorkerEstimator:
                 rng=self.rng,
                 min_overlap=self.min_overlap,
                 accelerate=True,
+                probe_log=probe_log,
             )
             per_worker_pairs.append([(a, b) for _, a, b in triples])
+            if collect_footprints:
+                footprints.append(
+                    WorkerFootprint.from_evaluation(
+                        worker,
+                        (p for _, a, b in triples for p in (a, b)),
+                        probe_log or (),
+                    )
+                )
         results: list[WorkerErrorEstimate] = []
         # Stage chunking: concatenating *all* workers' triples would peak at
         # O(m^2) transient memory on worker-heavy matrices; processing
@@ -666,6 +762,8 @@ class MWorkerEstimator:
                 [per_worker_pairs[i] for i in chunk_indices],
                 results,
             )
+        if collect_footprints:
+            return results, footprints
         return results
 
     def _evaluate_worker_chunk(

@@ -24,6 +24,7 @@ def greedy_pairs(
     target: int,
     candidates: list[int],
     min_overlap: int = 1,
+    probe_log: list[tuple[int, int]] | None = None,
 ) -> list[tuple[int, int]]:
     """The paper's greedy pairing of ``candidates`` for evaluating ``target``.
 
@@ -32,6 +33,12 @@ def greedy_pairs(
     that shares at least ``min_overlap`` tasks with both ``target`` and the
     best candidate; both are removed and the process repeats until no valid
     pair remains.
+
+    When ``probe_log`` is given, every candidate-vs-candidate overlap probe
+    of the partner scan is appended to it (the target-vs-candidate reads of
+    the usability filter and the sort are *not* logged — they cover every
+    candidate, and the dependency ledger represents them with the
+    ``touch_target`` flag instead; see :mod:`repro.core.deps`).
     """
     if target in candidates:
         raise ConfigurationError("the evaluated worker cannot be its own partner")
@@ -45,6 +52,8 @@ def greedy_pairs(
         partner_index = None
         for index in range(1, len(remaining)):
             other = remaining[index]
+            if probe_log is not None:
+                probe_log.append((first, other))
             if stats.common_count(first, other) >= min_overlap:
                 partner_index = index
                 break
@@ -64,6 +73,7 @@ def greedy_pairs_dense(
     candidates: list[int],
     min_overlap: int = 1,
     common_list: list[list[int]] | None = None,
+    probe_log: list[tuple[int, int]] | None = None,
 ) -> list[tuple[int, int]]:
     """:func:`greedy_pairs` reading straight from the dense count matrix.
 
@@ -71,9 +81,11 @@ def greedy_pairs_dense(
     stable descending sort and the first-valid-partner scan are replicated
     step for step) but replaces the ~m^2 Python-level statistics calls per
     evaluated worker with array reads, which makes pairing disappear from
-    the batch-evaluation profile.  Callers that record statistics
-    dependencies (the incremental evaluator's observer) must use the
-    reference implementation, which notifies per pair read.
+    the batch-evaluation profile.  ``probe_log`` records the same partner
+    scan probes, in the same order, as the reference implementation logs —
+    the dependency footprints derived from either variant are identical,
+    which is what lets the incremental evaluator use this fast path instead
+    of the per-read observer (see :mod:`repro.core.deps`).
     """
     if target in candidates:
         raise ConfigurationError("the evaluated worker cannot be its own partner")
@@ -91,6 +103,8 @@ def greedy_pairs_dense(
         row = rows[first]
         partner_index = None
         for index in range(1, len(remaining)):
+            if probe_log is not None:
+                probe_log.append((first, remaining[index]))
             if row[remaining[index]] >= min_overlap:
                 partner_index = index
                 break
@@ -137,6 +151,7 @@ def form_triples(
     rng: np.random.Generator | None = None,
     min_overlap: int = 1,
     accelerate: bool = False,
+    probe_log: list[tuple[int, int]] | None = None,
 ) -> list[tuple[int, int, int]]:
     """Form the triples used to evaluate ``target`` (Step 1 of Algorithm A2).
 
@@ -159,6 +174,10 @@ def form_triples(
         Permit :func:`greedy_pairs_dense` when the statistics carry a dense
         backend and no observer (identical pairs, array reads instead of
         per-pair calls).  Ignored for the random strategy.
+    probe_log:
+        Collect the pairing scan's candidate-vs-candidate overlap probes
+        (for dependency footprints; greedy strategy only — the random
+        strategy's reads are rng-dependent and not footprint-collectable).
 
     Returns
     -------
@@ -172,12 +191,21 @@ def form_triples(
                 candidates,
                 min_overlap=min_overlap,
                 common_list=stats.backend.common_counts_list,
+                probe_log=probe_log,
             )
         else:
-            pairs = greedy_pairs(stats, target, candidates, min_overlap=min_overlap)
+            pairs = greedy_pairs(
+                stats, target, candidates, min_overlap=min_overlap,
+                probe_log=probe_log,
+            )
     elif strategy == "random":
         if rng is None:
             raise ConfigurationError("the random pairing strategy requires an rng")
+        if probe_log is not None:
+            raise ConfigurationError(
+                "footprint collection (probe_log) requires the greedy pairing "
+                "strategy"
+            )
         pairs = random_pairs(stats, target, candidates, rng, min_overlap=min_overlap)
     else:
         raise ConfigurationError(

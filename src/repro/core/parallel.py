@@ -51,6 +51,13 @@ The cross-backend differential suite enforces this for the thread tier and
 for process sharding over each exportable backend.  See
 :class:`~repro.core.m_worker.MWorkerEstimator` for the full determinism
 contract.
+
+Both tiers can additionally ship per-shard **dependency footprints**
+(:mod:`repro.core.deps`) back through the same result channel
+(``collect_footprints=``), merged in worker order like the estimates —
+which is what lets the incremental evaluator's recomputes run sharded via
+:func:`evaluate_worker_subset` instead of falling back to serial under the
+legacy per-read observer.
 """
 
 from __future__ import annotations
@@ -87,6 +94,7 @@ __all__ = [
     "contiguous_ranges",
     "evaluate_all_process",
     "evaluate_all_threaded",
+    "evaluate_worker_subset",
     "get_executor",
     "parse_shard_spec",
     "resolve_execution",
@@ -208,11 +216,12 @@ def resolve_execution(
     ``"thread"`` or ``"process"``.  Beyond the spec itself the guards force
     serial whenever the determinism contract cannot hold or parallelism
     cannot help: a custom ``rng`` (sequential generator consumption cannot
-    be replicated across shards), an attached statistics observer
-    (dependency tracking must see every read), the dict path (no vectorized
-    backend to chunk or export), non-binary data, fewer workers than
-    shards, and — for the process tier — a backend without
-    ``supports_shared_export``.
+    be replicated across shards), an attached statistics observer (the
+    legacy per-read recorder must see every read — only the dict backend
+    and the differential suite's reference path still attach one; ledger
+    footprints shard freely), the dict path (no vectorized backend to
+    chunk or export), non-binary data, fewer workers than shards, and —
+    for the process tier — a backend without ``supports_shared_export``.
     """
     tier, shards = parse_shard_spec(estimator.shards)
     if tier == "auto":
@@ -512,23 +521,46 @@ def _install_shard_state(
     _WORKER_STATE["estimator"] = MWorkerEstimator(shards=1, **estimator_config)
 
 
-def _run_shard(payload) -> list[WorkerErrorEstimate]:
-    """Evaluate one contiguous worker range ``[start, stop)`` in a pool worker.
+def _run_shard(payload):
+    """Evaluate one contiguous worker chunk in a pool worker.
 
     Delegates to :meth:`MWorkerEstimator.evaluate_worker_range`, so a shard
     runs the same cross-worker batched stage — and, with ``batch_lemma4``,
     the same grouped Lemma-4/5 aggregation — over its range that the serial
     path runs over all workers; results are identical either way because
-    every batched operation is per-slice.
+    every batched operation is per-slice.  The chunk is either a
+    ``(start, stop)`` range (the full-matrix batch) or an explicit worker
+    id list (the incremental evaluator's dirty subset).  With
+    ``collect_footprints`` the shard returns ``(estimates, footprints)`` —
+    the per-shard dependency log rides the same result channel as the
+    estimates and is merged in worker order by the parent.
     """
-    token, specs, meta, worker_range = payload
+    token, specs, meta, chunk, collect_footprints = payload
     if _WORKER_STATE.get("token") != token:
         _install_shard_state(token, specs, meta)
     estimator = _WORKER_STATE["estimator"]
     matrix = _WORKER_STATE["matrix"]
     stats = _WORKER_STATE["stats"]
-    start, stop = worker_range
-    return estimator.evaluate_worker_range(matrix, stats, list(range(start, stop)))
+    if isinstance(chunk, tuple):
+        workers = list(range(chunk[0], chunk[1]))
+    else:
+        workers = list(chunk)
+    return estimator.evaluate_worker_range(
+        matrix, stats, workers, collect_footprints=collect_footprints
+    )
+
+
+def _worker_chunks(
+    matrix: "ResponseMatrix", shards: int, workers: list[int] | None
+) -> list:
+    """Contiguous per-shard chunks: ranges for a full batch, lists otherwise."""
+    if workers is None:
+        return contiguous_ranges(matrix.n_workers, shards)
+    return [
+        chunk.tolist()
+        for chunk in np.array_split(np.asarray(workers, dtype=np.int64), shards)
+        if chunk.size
+    ]
 
 
 def evaluate_all_process(
@@ -536,7 +568,10 @@ def evaluate_all_process(
     matrix: "ResponseMatrix",
     stats: AgreementStatistics,
     shards: int,
-) -> list[WorkerErrorEstimate]:
+    *,
+    workers: list[int] | None = None,
+    collect_footprints: bool = False,
+):
     """Evaluate every worker, sharded across the reusable process pool.
 
     The parent materializes the backend's precomputed state once, exports
@@ -546,9 +581,14 @@ def evaluate_all_process(
     the export, pool dispatch or a shard fails partway, so an aborted call
     never leaks shared memory.
 
+    ``workers`` restricts evaluation to an ordered subset (the incremental
+    evaluator's dirty workers) and ``collect_footprints`` makes the return
+    value ``(estimates, footprints)`` with each shard's dependency log
+    shipped back through the result channel and merged in worker order.
+
     Callers must have checked :func:`resolve_execution`; in particular
     ``stats`` must carry a backend with ``supports_shared_export`` and
-    ``matrix.n_workers >= shards``.
+    at least ``shards`` workers to evaluate.
     """
     backend = stats.backend
     assert backend is not None and backend.supports_shared_export, (
@@ -566,7 +606,7 @@ def evaluate_all_process(
         _estimator_config(estimator),
     )
     token = f"{os.getpid()}:{next(_EXPORT_TOKENS)}"
-    ranges = contiguous_ranges(matrix.n_workers, shards)
+    chunks = _worker_chunks(matrix, shards, workers)
     segments: list[SharedMemory] = []
     specs: dict[str, _ArraySpec] = {}
     try:
@@ -576,7 +616,8 @@ def evaluate_all_process(
             specs[key] = spec
         pool = get_executor().process_pool(shards)
         shard_results = pool.map(
-            _run_shard, [(token, specs, meta, r) for r in ranges]
+            _run_shard,
+            [(token, specs, meta, c, collect_footprints) for c in chunks],
         )
     finally:
         for segment in segments:
@@ -586,6 +627,11 @@ def evaluate_all_process(
             except FileNotFoundError:  # pragma: no cover - already reclaimed
                 pass
     # Contiguous ranges concatenated in shard order == worker order 0..m-1.
+    if collect_footprints:
+        return (
+            [estimate for ests, _ in shard_results for estimate in ests],
+            [footprint for _, fps in shard_results for footprint in fps],
+        )
     return [estimate for shard in shard_results for estimate in shard]
 
 
@@ -599,7 +645,10 @@ def evaluate_all_threaded(
     matrix: "ResponseMatrix",
     stats: AgreementStatistics,
     shards: int,
-) -> list[WorkerErrorEstimate]:
+    *,
+    workers: list[int] | None = None,
+    collect_footprints: bool = False,
+):
     """Evaluate every worker across the cached thread pool, no export needed.
 
     The chunks share the parent's statistics object directly, which is only
@@ -611,6 +660,11 @@ def evaluate_all_threaded(
     worker's numbers depend only on the frozen statistics and the estimator
     configuration, never on chunk membership (the determinism contract of
     :class:`~repro.core.m_worker.MWorkerEstimator`).
+
+    ``workers`` / ``collect_footprints`` mirror
+    :func:`evaluate_all_process`: evaluate an ordered subset, and return
+    ``(estimates, footprints)`` with the per-chunk dependency logs merged
+    in worker order.
     """
     backend = stats.backend
     assert backend is not None, "the thread tier requires a vectorized backend"
@@ -632,11 +686,64 @@ def evaluate_all_threaded(
             estimator.evaluate_worker_range,
             matrix,
             stats,
-            list(range(start, stop)),
+            list(range(chunk[0], chunk[1])) if isinstance(chunk, tuple) else chunk,
+            collect_footprints=collect_footprints,
         )
-        for start, stop in contiguous_ranges(matrix.n_workers, shards)
+        for chunk in _worker_chunks(matrix, shards, workers)
     ]
-    results: list[WorkerErrorEstimate] = []
+    if collect_footprints:
+        results: list[WorkerErrorEstimate] = []
+        footprints = []
+        for future in futures:
+            chunk_results, chunk_footprints = future.result()
+            results.extend(chunk_results)
+            footprints.extend(chunk_footprints)
+        return results, footprints
+    results = []
     for future in futures:
         results.extend(future.result())
     return results
+
+
+def evaluate_worker_subset(
+    estimator: "MWorkerEstimator",
+    matrix: "ResponseMatrix",
+    stats: AgreementStatistics,
+    workers: list[int],
+    *,
+    collect_footprints: bool = False,
+):
+    """Evaluate an ordered worker subset under the estimator's ``shards`` spec.
+
+    The incremental evaluator's bulk-recompute entry point: resolves the
+    execution tier exactly like ``evaluate_all`` (same cost model, same
+    serial-fallback guards) but partitions only the given workers — with
+    the additional guard that fewer dirty workers than shards stay serial
+    (a shard per worker cannot amortize its overhead).  Returns the
+    estimates in ``workers`` order, or ``(estimates, footprints)`` when
+    ``collect_footprints`` is set.
+    """
+    tier, shards = resolve_execution(estimator, matrix, stats)
+    if len(workers) < shards:
+        tier = "serial"
+    if tier == "process":
+        return evaluate_all_process(
+            estimator,
+            matrix,
+            stats,
+            shards,
+            workers=workers,
+            collect_footprints=collect_footprints,
+        )
+    if tier == "thread":
+        return evaluate_all_threaded(
+            estimator,
+            matrix,
+            stats,
+            shards,
+            workers=workers,
+            collect_footprints=collect_footprints,
+        )
+    return estimator.evaluate_worker_range(
+        matrix, stats, workers, collect_footprints=collect_footprints
+    )

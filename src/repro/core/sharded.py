@@ -1,4 +1,4 @@
-"""Compatibility shim over :mod:`repro.core.parallel`.
+"""Deprecated compatibility shim over :mod:`repro.core.parallel`.
 
 The original one-shot sharded implementation lived here: it spawned a fresh
 process pool per ``evaluate_all`` call and rebuilt the count matrices, vote
@@ -9,10 +9,18 @@ reusable execution layer in :mod:`repro.core.parallel` (cached
 shared-state export protocol, a thread tier and the ``shards="auto"`` cost
 model); this module keeps the old import surface alive for external
 callers.
+
+.. deprecated::
+    Import :class:`~repro.core.parallel.SharedMatrixView` and call
+    :func:`~repro.core.parallel.evaluate_all_process` (or let
+    ``MWorkerEstimator(shards=...)`` pick the tier) directly.  Importing
+    this module, or calling :func:`evaluate_all_sharded`, emits a
+    :class:`DeprecationWarning`; behavior is unchanged.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 from repro.core.parallel import SharedMatrixView, evaluate_all_process
@@ -25,6 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SharedMatrixView", "evaluate_all_sharded"]
 
+_DEPRECATION_MESSAGE = (
+    "repro.core.sharded is deprecated; use repro.core.parallel "
+    "(evaluate_all_process / SharedMatrixView) instead"
+)
+
+warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
+
 
 def evaluate_all_sharded(
     estimator: "MWorkerEstimator",
@@ -36,5 +51,7 @@ def evaluate_all_sharded(
     Delegates to :func:`repro.core.parallel.evaluate_all_process` (the
     reusable-executor implementation); ``estimator.shards`` must be a plain
     integer shard count, as it always was for callers of this function.
+    Deprecated — call the :mod:`repro.core.parallel` entry point directly.
     """
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
     return evaluate_all_process(estimator, matrix, stats, int(estimator.shards))

@@ -42,7 +42,10 @@ vote table ship through shared memory, so process shards attach views of
 the precomputed state instead of rebuilding it — the sparse backend's CSR
 index never leaves the parent (it is consumed building the count matrices
 before export).  See the :class:`~repro.core.m_worker.MWorkerEstimator`
-determinism contract.
+determinism contract.  Like the dense backend, both are
+footprint-capable: the incremental evaluator's dependency ledger derives
+each recompute's read set analytically (:mod:`repro.core.deps`), so
+dependency-tracked recomputes shard on these backends too.
 
 New backends (like these two) must register in the differential suite's
 path tables (``tests/property/test_cross_backend_differential.py``) so the

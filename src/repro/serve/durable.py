@@ -14,7 +14,12 @@ built from two artifacts living in one directory:
 
 Resume loads the newest snapshot that validates, replays the WAL records
 with sequence beyond it, and reopens the log — O(delta) instead of
-O(history).
+O(history).  Snapshots carry the evaluator's dependency ledger and its
+clean cached estimates (the ``deps.*``/``cache.*`` arrays of
+:meth:`~repro.core.incremental.IncrementalEvaluator.export_state`) in
+addition to the response data and backend caches, so a resumed session
+serves warm intervals for workers the WAL delta never touched — zero
+recomputation, bit-identical to the estimates served before the crash.
 
 WAL format (version 1)
 ----------------------

@@ -6,8 +6,11 @@ item asked for: a single writer task drains the bounded
 each under the session's writer lock via
 :meth:`~repro.core.incremental.IncrementalEvaluator.apply_batch`, while
 concurrent readers (``evaluate_worker`` / ``evaluate_all`` /
-``spammer_scores`` / ``snapshot``) take the same lock and therefore always
-observe a *whole number of applied batches* — never a torn batch.
+``spammer_scores`` / ``snapshot``) observe a *whole number of applied
+batches* — never a torn batch.  Readers that must recompute take the same
+writer lock; reads the dependency ledger proves still current are served
+straight from the cache in one synchronous event-loop step, so they never
+queue behind ingestion.
 
 Determinism contract (locked by the differential suite's ``streamed``
 column)
@@ -110,10 +113,13 @@ class StreamSession:
         Execution spec forwarded to the default evaluator's wrapped
         estimator (validated at construction; ignored when an explicit
         ``evaluator`` is passed — configure that evaluator directly).
-        Incremental recomputes stay serial regardless — see
-        :class:`~repro.core.incremental.IncrementalEvaluator` — so this is
-        configuration passthrough, not a throughput lever for live
-        streams.
+        Incremental recomputes honour it on the vectorized backends: dirty
+        workers are re-evaluated in bulk with dependency footprints shipped
+        back per shard — see
+        :class:`~repro.core.incremental.IncrementalEvaluator` — so
+        ``"auto"``/``"thread:N"``/``"process:N"`` are real throughput
+        levers for evaluation under a live stream (serial fallbacks: dict
+        backend, custom rng, fewer dirty workers than shards).
     durable:
         A directory path (or prepared :class:`~repro.serve.durable.DurableStore`)
         to persist the stream into: every micro-batch is WAL-logged before
@@ -337,12 +343,32 @@ class StreamSession:
     # ------------------------------------------------------------------ #
 
     async def evaluate_worker(self, worker: int) -> WorkerErrorEstimate:
-        """Estimate for one worker at the last applied batch boundary."""
+        """Estimate for one worker at the last applied batch boundary.
+
+        When the dependency ledger proves the cached estimate current, it
+        is returned without touching the writer lock: the check-and-return
+        is a single synchronous step on the event loop (no await between
+        them), so it cannot observe a torn batch — ``apply_batch`` runs
+        synchronously under the lock and invalidates affected caches in the
+        same step that changes the statistics.  Only a recompute serializes
+        behind the writer.
+        """
+        cached = self._evaluator.cached_estimate(worker)
+        if cached is not None:
+            return cached
         async with self._lock:
             return self._evaluator.estimate(worker)
 
     async def evaluate_all(self) -> dict[int, WorkerErrorEstimate]:
-        """Estimates for every worker with data, at the last batch boundary."""
+        """Estimates for every worker with data, at the last batch boundary.
+
+        Same lock discipline as :meth:`evaluate_worker`: if no worker needs
+        a recompute, the cached estimates are assembled without the writer
+        lock (single synchronous step — snapshot-consistent); otherwise the
+        bulk recompute takes the lock.
+        """
+        if not self._evaluator.needs_recompute:
+            return self._evaluator.estimate_all()
         async with self._lock:
             return self._evaluator.estimate_all()
 

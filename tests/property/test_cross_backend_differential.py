@@ -405,6 +405,120 @@ def test_streamed_microbatch_interleavings_bit_identical(seed):
 
 
 # --------------------------------------------------------------------------- #
+# Streamed-sharded column: sharded incremental recomputes under live streams
+# --------------------------------------------------------------------------- #
+
+#: Backends of the ``streamed-sharded`` column.  The vectorized three run
+#: their incremental recomputes through the execution tiers (dependency
+#: footprints ship back per shard); "dict" rides along to pin the documented
+#: observer fallback under a non-serial ``shards=`` spec.
+STREAMED_SHARDED_BACKENDS = ["dict", "dense", "sparse", "bitset"]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_streamed_sharded_sessions_bit_identical(seed):
+    """25-seed fuzz of the sharded streaming path: shuffled streams with
+    label revisions and mid-stream evaluations, served by sessions whose
+    incremental recomputes run under ``shards="thread:2"`` (and
+    ``"process:2"`` on a seed subset), on all four backends — estimates
+    must equal the from-scratch dict batch build bit for bit.  A second
+    leg replays the same stream with deterministic chopping through a
+    ledger-mode and an observer-mode evaluator side by side and asserts
+    the dependency ledger makes *identical invalidation decisions* to the
+    legacy per-read observer, batch by batch."""
+    import asyncio
+
+    from repro.serve import StreamSession
+
+    rng = np.random.default_rng(17000 + seed)
+    m = int(rng.integers(6, 10))
+    n = int(rng.integers(25, 45))
+    matrix = random_matrix(seed, m, n, regular=bool(seed % 3 == 0))
+    records = list(matrix.iter_responses())
+    rng.shuffle(records)
+    revisions = [
+        (worker, task, 1 - label)
+        for worker, task, label in rng.permutation(records)[:4].tolist()
+    ]
+    insert_at = sorted(
+        int(position) for position in rng.integers(0, len(records), size=4)
+    )
+    for position, revision in zip(insert_at, reversed(revisions)):
+        records.insert(position, tuple(revision))
+    read_points = set(
+        int(position) for position in rng.integers(0, len(records), size=2)
+    )
+    max_batch = int(rng.integers(1, 24))
+    # The process pool is slow to spin up; exercise the process tier on a
+    # seed subset and the thread tier everywhere.
+    shards = "process:2" if seed % 8 == 3 else "thread:2"
+
+    async def stream(backend):
+        async with StreamSession(
+            backend=backend, max_batch=max_batch, shards=shards
+        ) as session:
+            for index, record in enumerate(records):
+                await session.submit(*record)
+                if index in read_points:
+                    await session.evaluate_all()  # sharded recompute mid-stream
+            await session.flush()
+            return await session.evaluate_all(), session.evaluator.matrix.copy()
+
+    results = {
+        backend: asyncio.run(stream(backend))
+        for backend in STREAMED_SHARDED_BACKENDS
+    }
+    accumulated = results["dict"][1]
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(
+            confidence=0.95, backend="dict"
+        ).evaluate_all(accumulated)
+        if estimate.n_tasks > 0
+    }
+    for backend, (streamed, matrix_copy) in results.items():
+        assert matrix_copy == accumulated, backend
+        assert set(streamed) == set(reference), backend
+        for worker, ref in reference.items():
+            assert_estimates_bit_identical(
+                ref, streamed[worker], f"streamed-sharded-{backend}"
+            )
+
+    # Ledger-equivalence leg: identical invalidation decisions, per batch.
+    # Both evaluators start at the minimal dimensions and grow with the
+    # stream, so the equivalence also covers worker/task growth (where the
+    # endpoint rule is what keeps a pre-growth cache from going stale).
+    ledger_mode = IncrementalEvaluator(
+        3, 1, confidence=0.95, backend="dense", shards=shards
+    )
+    observer_mode = IncrementalEvaluator(
+        3, 1, confidence=0.95, backend="dense",
+        dependency_tracking="observer",
+    )
+    assert ledger_mode._use_ledger() and not observer_mode._use_ledger()
+    for index, start in enumerate(range(0, len(records), max_batch)):
+        batch = records[start : start + max_batch]
+        ledger_stats = ledger_mode.apply_batch(batch)
+        observer_stats = observer_mode.apply_batch(batch)
+        assert ledger_stats.invalidated == observer_stats.invalidated, (
+            f"seed {seed} batch {index}: ledger invalidation diverged from "
+            "the observer reference"
+        )
+        assert (
+            ledger_stats.cached_invalidated
+            == observer_stats.cached_invalidated
+        ), f"seed {seed} batch {index}"
+        if index % 3 == seed % 3:  # warm both caches at the same boundaries
+            via_ledger = ledger_mode.estimate_all()
+            via_observer = observer_mode.estimate_all()
+            assert set(via_ledger) == set(via_observer)
+            for worker, estimate in via_observer.items():
+                assert_estimates_bit_identical(
+                    estimate, via_ledger[worker], "ledger-equivalence"
+                )
+
+
+# --------------------------------------------------------------------------- #
 # Resumed column: kill/resume fuzz through the durable session layer
 # --------------------------------------------------------------------------- #
 

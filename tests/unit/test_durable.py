@@ -352,6 +352,93 @@ class TestEvaluatorStateRoundTrip:
         assert_bit_identical(restored.estimate_all(), restored.matrix)
 
 
+class TestWarmCacheResume:
+    """Snapshots carry the dependency ledger and the clean cached estimates,
+    so a resume serves untouched workers with zero recomputation."""
+
+    @staticmethod
+    def two_component_stream():
+        # Two disjoint worker/task components: a delta in one component must
+        # not invalidate (or recompute) anything in the other.
+        return [
+            (w, t, (w + t) % 2) for w in range(4) for t in range(10)
+        ] + [
+            (w, t, (w * t) % 2) for w in range(4, 8) for t in range(10, 20)
+        ]
+
+    def test_state_round_trip_restores_warm_caches(self):
+        events = self.two_component_stream()
+        evaluator = IncrementalEvaluator(8, 20, backend="dense")
+        evaluator.apply_batch(events)
+        warm = evaluator.estimate_all()
+        meta, arrays = evaluator.export_state()
+        assert "deps.workers" in arrays and "cache.workers" in arrays
+        restored = IncrementalEvaluator.from_state(
+            meta, {key: value.copy() for key, value in arrays.items()}
+        )
+        assert restored.recompute_count == 0
+        assert restored.estimate_all() == warm
+        assert restored.recompute_count == 0, (
+            "a warm restore must serve every cached estimate without "
+            "recomputing"
+        )
+        # A delta touching one component recomputes exactly its invalidated
+        # workers; the other component's restored caches keep serving.
+        stats = restored.apply_batch([(0, 5, 1)])
+        assert stats.invalidated <= set(range(4))
+        restored.estimate_all()
+        assert restored.recompute_count == len(stats.invalidated)
+
+    def test_changed_configuration_restores_cold(self):
+        events = self.two_component_stream()
+        evaluator = IncrementalEvaluator(8, 20, backend="dense")
+        evaluator.apply_batch(events)
+        evaluator.estimate_all()
+        meta, arrays = evaluator.export_state()
+        cold = IncrementalEvaluator.from_state(
+            meta,
+            {key: value.copy() for key, value in arrays.items()},
+            confidence=0.9,  # differs from the persisted 0.95
+        )
+        assert cold.cached_estimate(0) is None
+        cold.estimate_all()
+        assert cold.recompute_count > 0
+
+    def test_durable_resume_zero_recompute_for_untouched_workers(
+        self, tmp_path
+    ):
+        events = self.two_component_stream()
+
+        async def ingest():
+            async with StreamSession(
+                durable=tmp_path, snapshot_every=50, fsync=False,
+                backend="dense",
+            ) as session:
+                for event in events:
+                    await session.submit(*event)
+                await session.flush()
+                return await session.evaluate_all()
+
+        warm = run(ingest())
+        resumed = StreamSession.resume(tmp_path, snapshot_every=50, fsync=False)
+
+        async def read_and_delta():
+            async with resumed:
+                served = await resumed.evaluate_all()
+                assert served == warm
+                assert resumed.evaluator.recompute_count == 0, (
+                    "resume must serve the snapshot's cached estimates "
+                    "without recomputing any worker"
+                )
+                # A post-resume delta in the first component leaves the
+                # second component's restored caches untouched.
+                await resumed.submit(1, 3, 0)
+                await resumed.flush()
+                await resumed.evaluate_all()
+                assert resumed.evaluator.recompute_count <= 4
+        run(read_and_delta())
+
+
 class TestSessionDurability:
     def test_clean_close_snapshots_and_resume_replays_nothing(self, tmp_path):
         events = make_stream(90, 7, 18, seed=41)

@@ -177,9 +177,15 @@ class TestShardExecutor:
 
 class TestShardedCompatShim:
     def test_historical_entry_point_delegates_to_the_process_tier(self):
-        # repro.core.sharded survives as a shim; the old call shape must
-        # keep returning serial-identical results through the new layer.
-        from repro.core import sharded as sharded_module
+        # repro.core.sharded survives as a deprecated shim; importing it and
+        # calling the old entry point must warn, while the old call shape
+        # keeps returning serial-identical results through the new layer.
+        import importlib
+
+        with pytest.warns(DeprecationWarning, match="repro.core.parallel"):
+            import repro.core.sharded as sharded_module
+
+            sharded_module = importlib.reload(sharded_module)
 
         assert sharded_module.SharedMatrixView is SharedMatrixView
         matrix = build_matrix()
@@ -188,7 +194,9 @@ class TestShardedCompatShim:
         )
         estimator = MWorkerEstimator(confidence=0.9, backend="dense", shards=2)
         stats = compute_agreement_statistics(matrix, backend="dense")
-        assert sharded_module.evaluate_all_sharded(estimator, matrix, stats) == serial
+        with pytest.warns(DeprecationWarning, match="repro.core.parallel"):
+            sharded = sharded_module.evaluate_all_sharded(estimator, matrix, stats)
+        assert sharded == serial
 
 
 class TestExportCleanup:

@@ -350,6 +350,46 @@ class TestConcurrencyRegressions:
 
         run(scenario())
 
+    def test_ledger_proven_cache_hits_bypass_the_writer_lock(self):
+        """Regression: evaluate_worker/evaluate_all used to serialize every
+        read behind the writer lock, so a reader queued behind a long apply
+        even when the dependency ledger proved its cached estimate still
+        valid.  Clean cached reads must complete while the lock is held;
+        reads that need a recompute must still wait for it."""
+
+        async def scenario():
+            async with StreamSession(backend="dense") as session:
+                records = [
+                    (w, t, (w + t) % 2) for w in range(5) for t in range(12)
+                ]
+                for record in records:
+                    await session.submit(*record)
+                await session.flush()
+                warm = await session.evaluate_all()
+                async with session._lock:  # simulate a long apply in flight
+                    # Ledger-proven reads are served despite the held lock.
+                    estimate = await asyncio.wait_for(
+                        session.evaluate_worker(0), timeout=1
+                    )
+                    assert estimate == warm[0]
+                    served = await asyncio.wait_for(
+                        session.evaluate_all(), timeout=1
+                    )
+                    assert served == warm
+                    # A dirty worker needs the lock: the read must block
+                    # until the writer releases it.
+                    session.evaluator._invalidate(0)
+                    blocked = asyncio.ensure_future(session.evaluate_worker(0))
+                    with pytest.raises(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            asyncio.shield(blocked), timeout=0.1
+                        )
+                    assert not blocked.done()
+                recomputed = await asyncio.wait_for(blocked, timeout=5)
+                assert recomputed == warm[0]  # same data, same estimate
+
+        run(scenario())
+
     def test_concurrent_producers_account_every_event(self):
         """Regression: submit() used to compute its sequence number before
         awaiting the queue, so two producers parked on a full queue lost
