@@ -1,0 +1,217 @@
+"""Gauntlet benchmark: adversarial coverage grid as a tracked trend.
+
+Runs the scenario gauntlet (:mod:`repro.evaluation.gauntlet`) over the full
+(scenario family x backend x estimator path) grid and gates on its
+structural health:
+
+* gap detection must report **zero** untested cells — every registered
+  scenario family is measured on every backend/estimator-path the
+  capability matrix licenses;
+* the report must be well-formed: every cell carries coverage, calibration
+  error, width and the shared accounting fields (``n_degenerate``,
+  ``n_skipped_repetitions`` / ``n_repetitions``);
+* the collusion family must measurably degrade coverage against the
+  in-grid independent control (correlated errors violate the independence
+  assumption behind the paper's variance bound — if the gauntlet stops
+  showing that, the scenario generator broke);
+* no cell may silently lose most of its repetitions (usable fraction gate).
+
+``--trajectory`` appends one scenario-keyed entry per family
+(``gauntlet-<family>``) to the committed ``BENCH_agreement.json`` trend
+file, so per-family coverage under violation rides the same trend list as
+the perf scenarios without perturbing the scaling gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gauntlet.py          # full
+    PYTHONPATH=src python benchmarks/bench_gauntlet.py --smoke  # CI leg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+import warnings
+
+from repro.evaluation.gauntlet import GauntletResults, format_gauntlet_report
+from repro.simulation.gauntlet import GAUNTLET_FAMILIES
+
+REQUIRED_CELL_FIELDS = (
+    "family",
+    "backend",
+    "path",
+    "scenario",
+    "n_intervals",
+    "coverage",
+    "calibration_error",
+    "mean_size",
+    "mean_absolute_error",
+    "n_degenerate",
+    "n_skipped_repetitions",
+    "n_repetitions",
+)
+
+#: The collusion family must lose at least this much coverage against the
+#: independent control for the gauntlet to count as demonstrating the
+#: independence violation (full ring, strength 1.0, collapses far below it).
+MIN_COLLUSION_DEGRADATION = 0.2
+
+#: No cell may lose more than half its repetitions without failing the run.
+MIN_USABLE_FRACTION = 0.5
+
+
+def _check_report(report: dict) -> list[str]:
+    """Structural gates on the rendered report; returns failure strings."""
+    failures: list[str] = []
+    if report["gaps"]:
+        failures.append(
+            f"gap detection flagged {len(report['gaps'])} untested cells: "
+            + ", ".join(report["gaps"][:5])
+        )
+    for cell in report["cells"]:
+        key = f"{cell.get('family')}/{cell.get('backend')}/{cell.get('path')}"
+        missing = [field for field in REQUIRED_CELL_FIELDS if field not in cell]
+        if missing:
+            failures.append(f"{key}: report cell missing fields {missing}")
+            continue
+        if cell["n_intervals"] > 0 and not (0.0 <= cell["coverage"] <= 1.0):
+            failures.append(f"{key}: coverage {cell['coverage']} outside [0, 1]")
+        usable = (
+            cell["n_repetitions"] - cell["n_skipped_repetitions"]
+        ) / cell["n_repetitions"]
+        if usable < MIN_USABLE_FRACTION:
+            failures.append(
+                f"{key}: only {usable:.2f} of repetitions usable "
+                f"(< {MIN_USABLE_FRACTION})"
+            )
+    return failures
+
+
+def _family_means(report: dict) -> dict[str, float]:
+    """Mean measured coverage per family over its interval-bearing cells."""
+    sums: dict[str, list[float]] = {}
+    for cell in report["cells"]:
+        if cell["n_intervals"] > 0:
+            sums.setdefault(cell["family"], []).append(cell["coverage"])
+    return {
+        family: sum(values) / len(values) for family, values in sums.items()
+    }
+
+
+def _append_trajectory(path: str, report: dict, elapsed: float, smoke: bool) -> None:
+    """Append one ``gauntlet-<family>`` entry per family to the trend file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    means = _family_means(report)
+    stamp = {
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "date": time.strftime("%Y-%m-%d"),
+    }
+    for family, mean_coverage in sorted(means.items()):
+        cells = [c for c in report["cells"] if c["family"] == family]
+        entry = {
+            "scenario": f"gauntlet-{family}",
+            "confidence": report["confidence"],
+            "n_repetitions": report["n_repetitions"],
+            "seed": report["seed"],
+            "n_cells": len(cells),
+            "mean_coverage": mean_coverage,
+            "worst_calibration_error": max(
+                (c["calibration_error"] for c in cells if c["n_intervals"] > 0),
+                key=abs,
+            ),
+            "n_degenerate": sum(c["n_degenerate"] for c in cells),
+            "n_skipped_repetitions": sum(
+                c["n_skipped_repetitions"] for c in cells
+            ),
+            "grid_seconds": elapsed,
+        }
+        entry.update(stamp)
+        data.setdefault("trajectory", []).append(entry)
+        print(f"appended {entry['scenario']} trajectory entry to {path}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repetitions", type=int, default=10)
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="override every scenario's task count")
+    parser.add_argument("--confidence", type=float, default=0.9)
+    parser.add_argument("--seed", type=int, default=20150413)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI leg: 3 repetitions, 60 tasks")
+    parser.add_argument("--trajectory", default=None,
+                        help="trend file (BENCH_agreement.json) to append "
+                        "per-family gauntlet entries to")
+    parser.add_argument("--json", default=None,
+                        help="also write the full JSON report to this path")
+    args = parser.parse_args(argv)
+
+    repetitions = 3 if args.smoke else args.repetitions
+    tasks = (60 if args.smoke else None) if args.tasks is None else args.tasks
+    overrides = (
+        {name: {"n_tasks": tasks} for name in GAUNTLET_FAMILIES}
+        if tasks is not None
+        else None
+    )
+
+    results = GauntletResults(
+        n_repetitions=repetitions,
+        confidence=args.confidence,
+        seed=args.seed,
+        scenario_overrides=overrides,
+    )
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        # The usable-fraction gate below is this benchmark's (stricter,
+        # failing) version of the coverage-accounting warning.
+        warnings.simplefilter("ignore")
+        report = results.to_report()
+    elapsed = time.perf_counter() - start
+    print(format_gauntlet_report(results))
+    print(
+        f"\n{len(report['cells'])} cells x {repetitions} repetitions "
+        f"in {elapsed:.2f}s"
+    )
+
+    failures = _check_report(report)
+    means = _family_means(report)
+    independent = means.get("independent", math.nan)
+    collusion = means.get("collusion", math.nan)
+    degradation = independent - collusion
+    print(
+        f"independent coverage {independent:.3f} vs collusion {collusion:.3f} "
+        f"(degradation {degradation:+.3f}, gate >= {MIN_COLLUSION_DEGRADATION})"
+    )
+    if not (degradation >= MIN_COLLUSION_DEGRADATION):
+        failures.append(
+            f"collusion did not degrade coverage enough: {degradation:+.3f} "
+            f"< {MIN_COLLUSION_DEGRADATION}"
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"JSON report written to {args.json}")
+    if args.trajectory:
+        _append_trajectory(args.trajectory, report, elapsed, args.smoke)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gauntlet gates passed: zero gaps, well-formed report, "
+          "collusion degradation demonstrated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

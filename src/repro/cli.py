@@ -16,6 +16,11 @@ Five subcommands cover the common workflows without writing Python:
 * ``repro-crowd datasets`` — list the bundled dataset stand-ins.
 * ``repro-crowd figure`` — regenerate one of the paper's figures and print
   the series (the same output the benchmark suite produces).
+* ``repro-crowd gauntlet`` — run the adversarial scenario gauntlet: a
+  coverage/calibration cell for every (scenario family x backend x
+  estimator path) the capability matrix licenses, plus a gap-detection
+  pass that flags untested cells (``--fail-on-gaps`` turns flags into a
+  non-zero exit for CI).
 
 Run ``python -m repro.cli --help`` (or install the ``repro-crowd`` entry
 point) for details.
@@ -284,6 +289,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the repetition count (smaller = faster, noisier)",
     )
+
+    gauntlet = subparsers.add_parser(
+        "gauntlet",
+        help="run the adversarial scenario gauntlet over the full "
+        "(scenario x backend x estimator-path) grid",
+    )
+    gauntlet.add_argument(
+        "--repetitions",
+        type=int,
+        default=10,
+        help="repetitions per grid cell (default 10)",
+    )
+    gauntlet.add_argument(
+        "--confidence", type=float, default=0.9, help="confidence level (default 0.9)"
+    )
+    gauntlet.add_argument(
+        "--seed",
+        type=int,
+        default=20150413,
+        help="master seed; every cell derives an independent stream, so "
+        "partial renders and cell order never change any number",
+    )
+    gauntlet.add_argument(
+        "--tasks",
+        type=int,
+        default=None,
+        help="override every scenario's task count (smaller = faster smoke)",
+    )
+    gauntlet.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="restrict to these scenario families (default: full registry; "
+        "gap detection will flag the dropped cells)",
+    )
+    gauntlet.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        metavar="BACKEND",
+        help="restrict to these backends (default: full capability matrix)",
+    )
+    gauntlet.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the full JSON report to FILE ('-' for stdout "
+        "instead of the table)",
+    )
+    gauntlet.add_argument(
+        "--fail-on-gaps",
+        action="store_true",
+        help="exit non-zero when gap detection finds untested cells "
+        "(the CI smoke leg's assertion)",
+    )
     return parser
 
 
@@ -481,6 +542,47 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_gauntlet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evaluation.gauntlet import GauntletResults, format_gauntlet_report
+    from repro.simulation.gauntlet import GAUNTLET_FAMILIES
+
+    if args.repetitions < 1:
+        print("error: --repetitions must be positive", file=sys.stderr)
+        return 2
+    overrides = None
+    if args.tasks is not None:
+        if args.tasks < 1:
+            print("error: --tasks must be positive", file=sys.stderr)
+            return 2
+        overrides = {name: {"n_tasks": args.tasks} for name in GAUNTLET_FAMILIES}
+    results = GauntletResults(
+        families=args.families,
+        backends=args.backends,
+        n_repetitions=args.repetitions,
+        confidence=args.confidence,
+        seed=args.seed,
+        scenario_overrides=overrides,
+    )
+    if args.json == "-":
+        json.dump(results.to_report(), sys.stdout, indent=2)
+        print()
+    else:
+        print(format_gauntlet_report(results))
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(results.to_report(), handle, indent=2)
+            print(f"\nJSON report written to {args.json}")
+    if args.fail_on_gaps and results.gaps:
+        print(
+            f"error: {len(results.gaps)} untested gauntlet cell(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -496,6 +598,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_datasets(args)
         if args.command == "figure":
             return _command_figure(args)
+        if args.command == "gauntlet":
+            return _command_gauntlet(args)
     except CrowdAssessmentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

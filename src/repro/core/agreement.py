@@ -55,6 +55,37 @@ backend       batch_triples  batch_lemma4  shared export  footprints  executor t
 ``bitset``    yes            yes           yes            yes         thread + process      yes        snapshots
 ============  =============  ============  =============  ==========  ====================  =========  ==========
 
+The same facts are exported machine-readably as
+:data:`BACKEND_CAPABILITIES` (one :class:`BackendCapability` per backend),
+which is what automated consumers enumerate instead of re-reading this
+table.  The scenario gauntlet (:mod:`repro.evaluation.gauntlet`) is the
+main such consumer: its measurement grid is
+``scenario family x backend x estimator path``, where the estimator paths
+per backend come from :func:`supported_estimator_paths` —
+
+* ``"scalar"`` — the sequential per-triple / per-worker reference path
+  (``batch_triples=False``, ``batch_lemma4=False``); every backend serves
+  it (it is the only binary path the dict backend has, and the only path
+  the k-ary Algorithm-A3 estimator has on any backend);
+* ``"batched"`` — the vectorized triple stage plus grouped Lemma-4/5
+  aggregation; requires the *batch_triples*/*batch_lemma4* columns above,
+  so it exists on the vectorized backends only;
+* ``"streamed"`` — responses applied incrementally (micro-batched
+  ``apply_responses`` under :class:`~repro.serve.session.StreamSession`)
+  and estimates served from the last batch boundary; every backend
+  streams (the *streaming* column), dict included.
+
+Coverage numbers across those cells are comparable because every gauntlet
+cell goes through the shared accounting of
+:mod:`repro.evaluation.coverage`: one degenerate-filtering predicate
+(``usable_estimate``), with ``n_degenerate`` and skipped repetitions
+surfaced per cell instead of silently dropped.  The gauntlet's
+gap-detection pass recomputes the full grid from
+:data:`~repro.simulation.gauntlet.GAUNTLET_FAMILIES` x
+:data:`BACKEND_CAPABILITIES` and flags any (scenario, backend, path) cell
+a report failed to plan — so adding a backend here (or a family there)
+makes an untested combination loud, not invisible.
+
 The *shared export* column is the ``supports_shared_export`` flag: the
 backend can ship its precomputed state (packed planes, count matrices, vote
 table, triple tensor where cached) through ``multiprocessing.shared_memory``
@@ -188,12 +219,110 @@ from repro.data.response_matrix import ResponseMatrix
 
 __all__ = [
     "AgreementStatistics",
+    "BACKEND_CAPABILITIES",
+    "BackendCapability",
+    "ESTIMATOR_PATHS",
     "StatisticsObserver",
     "TripleCovarianceInputs",
     "TripleStageInputs",
     "compute_agreement_statistics",
     "pair_key",
+    "supported_estimator_paths",
 ]
+
+
+@dataclass(frozen=True)
+class BackendCapability:
+    """Machine-readable row of the backend capability matrix above.
+
+    Attributes mirror the documented columns: the batched bulk reads
+    (*batch_triples*/*batch_lemma4*), the shared-memory export behind
+    process sharding, the returned-footprint dependency protocol, and the
+    streaming delta-update protocol.  ``estimator_paths`` lists the binary
+    estimator paths the backend serves (see the module docstring).
+    """
+
+    backend: str
+    batch_triples: bool
+    batch_lemma4: bool
+    shared_export: bool
+    footprints: bool
+    streaming: bool
+
+    @property
+    def estimator_paths(self) -> tuple[str, ...]:
+        """Binary estimator paths this backend serves, in canonical order."""
+        paths = ["scalar"]
+        if self.batch_triples and self.batch_lemma4:
+            paths.append("batched")
+        if self.streaming:
+            paths.append("streamed")
+        return tuple(paths)
+
+
+#: The capability matrix, machine-readable.  Keep in lockstep with the
+#: documented table above and the differential suite's path tables; the
+#: gauntlet's gap detection enumerates this to demand a measurement cell
+#: for every licensed combination.
+BACKEND_CAPABILITIES: dict[str, BackendCapability] = {
+    "dict": BackendCapability(
+        backend="dict",
+        batch_triples=False,
+        batch_lemma4=False,
+        shared_export=False,
+        footprints=False,
+        streaming=True,
+    ),
+    "dense": BackendCapability(
+        backend="dense",
+        batch_triples=True,
+        batch_lemma4=True,
+        shared_export=True,
+        footprints=True,
+        streaming=True,
+    ),
+    "sparse": BackendCapability(
+        backend="sparse",
+        batch_triples=True,
+        batch_lemma4=True,
+        shared_export=True,
+        footprints=True,
+        streaming=True,
+    ),
+    "bitset": BackendCapability(
+        backend="bitset",
+        batch_triples=True,
+        batch_lemma4=True,
+        shared_export=True,
+        footprints=True,
+        streaming=True,
+    ),
+}
+
+#: Canonical estimator-path order for grids and reports.
+ESTIMATOR_PATHS: tuple[str, ...] = ("scalar", "batched", "streamed")
+
+
+def supported_estimator_paths(backend: str, kind: str = "binary") -> tuple[str, ...]:
+    """Estimator paths the capability matrix licenses for ``backend``.
+
+    ``kind`` is the scenario/estimator family: ``"binary"`` (the m-worker
+    estimator, whose batched and streamed paths exist where the matrix says
+    so) or ``"kary"`` (Algorithm A3 evaluates one triple scalarly on every
+    backend — no batch stage, no incremental path).
+    """
+    if backend not in BACKEND_CAPABILITIES:
+        raise DataValidationError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKEND_CAPABILITIES)}"
+        )
+    if kind == "kary":
+        return ("scalar",)
+    if kind != "binary":
+        raise DataValidationError(
+            f"unknown estimator kind {kind!r}; expected 'binary' or 'kary'"
+        )
+    return BACKEND_CAPABILITIES[backend].estimator_paths
 
 
 def pair_key(a: int, b: int) -> tuple[int, int]:

@@ -12,11 +12,21 @@ The paper's evaluation reports two metrics:
 """
 
 from repro.evaluation.coverage import (
+    CoverageAccountingWarning,
     CoverageResult,
+    DEFAULT_MIN_USABLE_FRACTION,
+    usable_estimate,
     binary_coverage,
     kary_coverage,
     dataset_coverage,
     kary_dataset_coverage,
+)
+from repro.evaluation.gauntlet import (
+    GauntletCell,
+    GauntletResults,
+    detect_gaps,
+    expected_cells,
+    format_gauntlet_report,
 )
 from repro.evaluation.sweeps import Series, SweepResult
 from repro.evaluation.experiments import (
@@ -35,7 +45,15 @@ from repro.evaluation.experiments import (
 from repro.evaluation.reporting import format_table, format_experiment, series_to_rows
 
 __all__ = [
+    "CoverageAccountingWarning",
     "CoverageResult",
+    "DEFAULT_MIN_USABLE_FRACTION",
+    "usable_estimate",
+    "GauntletCell",
+    "GauntletResults",
+    "detect_gaps",
+    "expected_cells",
+    "format_gauntlet_report",
     "binary_coverage",
     "kary_coverage",
     "dataset_coverage",

@@ -4,10 +4,34 @@ These helpers run an estimator many times on freshly simulated data (or on a
 fixed real dataset with gold-derived truth) and report the two quantities the
 paper plots everywhere: the fraction of intervals containing the truth and
 the average interval width.
+
+Accounting contract
+-------------------
+
+Every helper in this module reports *how much of the requested measurement
+actually happened*, not only the aggregates:
+
+* ``n_repetitions`` — units of measurement attempted (simulation
+  repetitions, dataset workers, sampled triples);
+* ``n_skipped_repetitions`` — units that produced no intervals at all
+  (estimator raised :class:`~repro.exceptions.InsufficientDataError`, or a
+  dataset worker had no usable gold truth).  When the usable fraction drops
+  below ``min_usable_fraction`` the repetition-driven helpers warn
+  (:class:`CoverageAccountingWarning`) or, with ``strict=True``, raise —
+  silently aggregating over a sliver of the requested repetitions is how a
+  broken regime masquerades as a well-covered one;
+* ``n_degenerate`` — intervals whose estimate was
+  :attr:`~repro.types.EstimateStatus.DEGENERATE`.  All helpers share one
+  filtering predicate (:func:`usable_estimate`) and one knob
+  (``include_degenerate``, default False), so coverage numbers are
+  comparable across the binary, k-ary and dataset paths — the gauntlet
+  (:mod:`repro.evaluation.gauntlet`) relies on this to compare estimators
+  cell by cell.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,12 +46,42 @@ from repro.simulation.kary import simulate_kary_responses
 from repro.types import EstimateStatus
 
 __all__ = [
+    "CoverageAccountingWarning",
     "CoverageResult",
+    "DEFAULT_MIN_USABLE_FRACTION",
+    "usable_estimate",
     "binary_coverage",
     "kary_coverage",
     "dataset_coverage",
     "kary_dataset_coverage",
 ]
+
+
+class CoverageAccountingWarning(UserWarning):
+    """Raised-as-warning when a coverage run silently lost repetitions.
+
+    Emitted when the usable fraction of a repetition-driven measurement
+    drops below the caller's threshold; pass ``strict=True`` to turn the
+    warning into an :class:`~repro.exceptions.InsufficientDataError`.
+    """
+
+
+#: Below this usable fraction a coverage run warns (or fails with
+#: ``strict=True``): aggregates over fewer than half the requested
+#: repetitions are not the measurement the caller asked for.
+DEFAULT_MIN_USABLE_FRACTION: float = 0.5
+
+
+def usable_estimate(status: EstimateStatus, include_degenerate: bool = False) -> bool:
+    """The shared degenerate-filtering predicate of every coverage helper.
+
+    A DEGENERATE estimate spans the whole parameter range, so it trivially
+    covers the truth; counting it would inflate accuracy while reporting a
+    meaningless width.  All helpers exclude them by default and surface the
+    count as ``n_degenerate``; ``include_degenerate=True`` opts into
+    counting them (the paper's Fig 1 old-technique comparison needs this).
+    """
+    return include_degenerate or status is not EstimateStatus.DEGENERATE
 
 
 @dataclass(frozen=True)
@@ -44,12 +98,24 @@ class CoverageResult:
         Average interval width.
     mean_absolute_error:
         Average distance between interval centre and true parameter.
+    n_degenerate:
+        Estimates flagged DEGENERATE during the run (excluded from the
+        aggregates unless the helper was asked to include them).
+    n_skipped_repetitions:
+        Repetitions (or dataset workers / triples) that produced no
+        intervals at all — estimator raised, or truth was unavailable.
+    n_repetitions:
+        Repetitions (or workers / triples) attempted; 0 means the helper
+        predates the accounting and did not report it.
     """
 
     n_intervals: int
     n_covering: int
     mean_size: float
     mean_absolute_error: float
+    n_degenerate: int = 0
+    n_skipped_repetitions: int = 0
+    n_repetitions: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -58,19 +124,66 @@ class CoverageResult:
             return float("nan")
         return self.n_covering / self.n_intervals
 
+    @property
+    def usable_fraction(self) -> float:
+        """Fraction of attempted repetitions that produced intervals."""
+        if self.n_repetitions == 0:
+            return float("nan")
+        return (self.n_repetitions - self.n_skipped_repetitions) / self.n_repetitions
+
     @staticmethod
     def from_observations(
-        covered: list[bool], sizes: list[float], errors: list[float]
+        covered: list[bool],
+        sizes: list[float],
+        errors: list[float],
+        n_degenerate: int = 0,
+        n_skipped_repetitions: int = 0,
+        n_repetitions: int = 0,
     ) -> "CoverageResult":
         """Build the aggregate from raw per-interval observations."""
         if not covered:
-            return CoverageResult(0, 0, float("nan"), float("nan"))
+            return CoverageResult(
+                0,
+                0,
+                float("nan"),
+                float("nan"),
+                n_degenerate=n_degenerate,
+                n_skipped_repetitions=n_skipped_repetitions,
+                n_repetitions=n_repetitions,
+            )
         return CoverageResult(
             n_intervals=len(covered),
             n_covering=sum(covered),
             mean_size=float(np.mean(sizes)),
             mean_absolute_error=float(np.mean(errors)),
+            n_degenerate=n_degenerate,
+            n_skipped_repetitions=n_skipped_repetitions,
+            n_repetitions=n_repetitions,
         )
+
+
+def _check_usable_fraction(
+    helper: str,
+    n_repetitions: int,
+    n_skipped: int,
+    min_usable_fraction: float,
+    strict: bool,
+) -> None:
+    """Warn (or raise with ``strict``) when too many repetitions vanished."""
+    if n_repetitions <= 0:
+        return
+    usable = (n_repetitions - n_skipped) / n_repetitions
+    if usable >= min_usable_fraction:
+        return
+    message = (
+        f"{helper}: only {n_repetitions - n_skipped} of {n_repetitions} "
+        f"repetitions produced estimates (usable fraction {usable:.2f} < "
+        f"{min_usable_fraction:.2f}); the aggregates describe far less data "
+        "than requested"
+    )
+    if strict:
+        raise InsufficientDataError(message)
+    warnings.warn(message, CoverageAccountingWarning, stacklevel=3)
 
 
 def binary_coverage(
@@ -97,19 +210,28 @@ def binary_coverage(
     covered: list[bool] = []
     sizes: list[float] = []
     errors: list[float] = []
+    n_degenerate = 0
     for _ in range(n_repetitions):
         matrix, true_rates = simulate_binary_responses(
             n_workers, n_tasks, rng, density=density
         )
         estimates = estimator.evaluate_all(matrix)
         for estimate in estimates:
-            if estimate.status is EstimateStatus.DEGENERATE and not include_degenerate:
+            if estimate.status is EstimateStatus.DEGENERATE:
+                n_degenerate += 1
+            if not usable_estimate(estimate.status, include_degenerate):
                 continue
             truth = float(true_rates[estimate.worker])
             covered.append(estimate.interval.contains(truth))
             sizes.append(estimate.interval.size)
             errors.append(abs(estimate.interval.mean - truth))
-    return CoverageResult.from_observations(covered, sizes, errors)
+    return CoverageResult.from_observations(
+        covered,
+        sizes,
+        errors,
+        n_degenerate=n_degenerate,
+        n_repetitions=n_repetitions,
+    )
 
 
 def kary_coverage(
@@ -121,14 +243,26 @@ def kary_coverage(
     n_repetitions: int = 50,
     n_workers: int = 3,
     epsilon: float = 0.01,
+    include_degenerate: bool = False,
+    min_usable_fraction: float = DEFAULT_MIN_USABLE_FRACTION,
+    strict: bool = False,
 ) -> CoverageResult:
-    """Coverage of the k-ary estimator on simulated data (Section IV-B)."""
+    """Coverage of the k-ary estimator on simulated data (Section IV-B).
+
+    Repetitions whose triple cannot be evaluated (the estimator raises
+    :class:`~repro.exceptions.InsufficientDataError`) are counted in
+    ``n_skipped_repetitions`` instead of vanishing; when the usable
+    fraction drops below ``min_usable_fraction`` the run warns
+    (:class:`CoverageAccountingWarning`) or raises with ``strict=True``.
+    """
     if n_repetitions <= 0:
         raise ConfigurationError("n_repetitions must be positive")
     estimator = KaryEstimator(confidence=confidence, epsilon=epsilon)
     covered: list[bool] = []
     sizes: list[float] = []
     errors: list[float] = []
+    n_degenerate = 0
+    n_skipped = 0
     for _ in range(n_repetitions):
         matrix, confusion = simulate_kary_responses(
             n_workers, n_tasks, arity, rng, density=density
@@ -136,9 +270,12 @@ def kary_coverage(
         try:
             estimates = estimator.evaluate(matrix, workers=(0, 1, 2))
         except InsufficientDataError:
+            n_skipped += 1
             continue
         for position, estimate in enumerate(estimates):
             if estimate.status is EstimateStatus.DEGENERATE:
+                n_degenerate += 1
+            if not usable_estimate(estimate.status, include_degenerate):
                 continue
             truth_matrix = confusion[position]
             for a in range(arity):
@@ -148,7 +285,17 @@ def kary_coverage(
                     covered.append(interval.contains(truth))
                     sizes.append(interval.size)
                     errors.append(abs(interval.mean - truth))
-    return CoverageResult.from_observations(covered, sizes, errors)
+    _check_usable_fraction(
+        "kary_coverage", n_repetitions, n_skipped, min_usable_fraction, strict
+    )
+    return CoverageResult.from_observations(
+        covered,
+        sizes,
+        errors,
+        n_degenerate=n_degenerate,
+        n_skipped_repetitions=n_skipped,
+        n_repetitions=n_repetitions,
+    )
 
 
 def dataset_coverage(
@@ -158,13 +305,16 @@ def dataset_coverage(
     spammer_threshold: float = 0.4,
     min_gold_tasks: int = 5,
     optimize_weights: bool = True,
+    include_degenerate: bool = False,
 ) -> CoverageResult:
     """Coverage of the binary estimator on one (real or stand-in) dataset.
 
     As in Section III-E, the "true" error rate of each worker is the fraction
     of gold-labelled tasks they answered incorrectly; workers with fewer than
-    ``min_gold_tasks`` gold-labelled answers are skipped because their proxy
-    truth is itself too noisy to judge coverage against.
+    ``min_gold_tasks`` gold-labelled answers are counted in
+    ``n_skipped_repetitions`` (their proxy truth is itself too noisy to
+    judge coverage against) with ``n_repetitions`` set to the number of
+    estimated workers.
     """
     if not matrix.has_gold:
         raise InsufficientDataError("dataset_coverage requires gold labels")
@@ -181,13 +331,18 @@ def dataset_coverage(
     covered: list[bool] = []
     sizes: list[float] = []
     errors: list[float] = []
+    n_degenerate = 0
+    n_skipped = 0
     for estimate in estimates:
         if estimate.status is EstimateStatus.DEGENERATE:
+            n_degenerate += 1
+        if not usable_estimate(estimate.status, include_degenerate):
             continue
         original_id = id_map[estimate.worker]
         try:
             truth = matrix.empirical_error_rate(original_id)
         except InsufficientDataError:
+            n_skipped += 1
             continue
         gold_answered = sum(
             1
@@ -195,11 +350,19 @@ def dataset_coverage(
             if matrix.gold_label(task) is not None
         )
         if gold_answered < min_gold_tasks:
+            n_skipped += 1
             continue
         covered.append(estimate.interval.contains(truth))
         sizes.append(estimate.interval.size)
         errors.append(abs(estimate.interval.mean - truth))
-    return CoverageResult.from_observations(covered, sizes, errors)
+    return CoverageResult.from_observations(
+        covered,
+        sizes,
+        errors,
+        n_degenerate=n_degenerate,
+        n_skipped_repetitions=n_skipped,
+        n_repetitions=len(estimates),
+    )
 
 
 def kary_dataset_coverage(
@@ -209,12 +372,18 @@ def kary_dataset_coverage(
     n_triples: int,
     rng: np.random.Generator,
     epsilon: float = 0.01,
+    include_degenerate: bool = False,
+    min_usable_fraction: float = DEFAULT_MIN_USABLE_FRACTION,
+    strict: bool = False,
 ) -> CoverageResult:
     """Coverage of the k-ary estimator on one dataset (Section IV-C).
 
     Random triples of workers sharing at least ``min_common_tasks`` tasks are
     drawn (as the paper does); the "true" response probabilities are the
-    empirical confusion matrices against gold labels.
+    empirical confusion matrices against gold labels.  Triples the estimator
+    cannot evaluate are counted in ``n_skipped_repetitions`` (with
+    ``n_repetitions`` the number of eligible triples drawn) under the same
+    warn/strict threshold as :func:`kary_coverage`.
     """
     if not matrix.has_gold:
         raise InsufficientDataError("kary_dataset_coverage requires gold labels")
@@ -223,6 +392,8 @@ def kary_dataset_coverage(
     covered: list[bool] = []
     sizes: list[float] = []
     errors: list[float] = []
+    n_degenerate = 0
+    n_skipped = 0
 
     eligible_triples = _sample_triples(matrix, min_common_tasks, n_triples, rng)
     if not eligible_triples:
@@ -233,9 +404,12 @@ def kary_dataset_coverage(
         try:
             estimates = estimator.evaluate(matrix, workers=triple)
         except InsufficientDataError:
+            n_skipped += 1
             continue
         for worker, estimate in zip(triple, estimates):
             if estimate.status is EstimateStatus.DEGENERATE:
+                n_degenerate += 1
+            if not usable_estimate(estimate.status, include_degenerate):
                 continue
             truth_matrix = matrix.empirical_confusion_matrix(worker)
             for a in range(arity):
@@ -245,7 +419,21 @@ def kary_dataset_coverage(
                     covered.append(interval.contains(truth))
                     sizes.append(interval.size)
                     errors.append(abs(interval.mean - truth))
-    return CoverageResult.from_observations(covered, sizes, errors)
+    _check_usable_fraction(
+        "kary_dataset_coverage",
+        len(eligible_triples),
+        n_skipped,
+        min_usable_fraction,
+        strict,
+    )
+    return CoverageResult.from_observations(
+        covered,
+        sizes,
+        errors,
+        n_degenerate=n_degenerate,
+        n_skipped_repetitions=n_skipped,
+        n_repetitions=len(eligible_triples),
+    )
 
 
 def _sample_triples(

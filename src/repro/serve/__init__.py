@@ -32,7 +32,12 @@ from repro.serve.durable import (
     write_snapshot_file,
 )
 from repro.serve.queue import QueueClosed, ResponseQueue
-from repro.serve.session import BatchRecord, SessionSnapshot, StreamSession
+from repro.serve.session import (
+    BatchRecord,
+    SessionSnapshot,
+    StreamSession,
+    replay_stream,
+)
 from repro.serve.sources import feed_session, iter_ndjson, parse_event
 
 __all__ = [
@@ -46,5 +51,6 @@ __all__ = [
     "iter_ndjson",
     "load_snapshot_file",
     "parse_event",
+    "replay_stream",
     "write_snapshot_file",
 ]

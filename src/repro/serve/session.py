@@ -71,7 +71,46 @@ from repro.serve.durable import DurableStore
 from repro.serve.queue import ResponseQueue
 from repro.types import WorkerErrorEstimate
 
-__all__ = ["BatchRecord", "SessionSnapshot", "StreamSession"]
+__all__ = ["BatchRecord", "SessionSnapshot", "StreamSession", "replay_stream"]
+
+
+def replay_stream(
+    events: Iterable[tuple[int, int, int]],
+    *,
+    confidence: float = 0.95,
+    backend: str = "auto",
+    max_batch: int = 256,
+    maxsize: int = 4096,
+    shards: int | str = 1,
+) -> dict[int, WorkerErrorEstimate]:
+    """Drive a finite event stream through a session, synchronously.
+
+    Spins up a fresh :class:`StreamSession`, submits every
+    ``(worker, task, label)`` event in order — later events for the same
+    ``(worker, task)`` are label *revisions* — flushes, and returns the
+    final ``evaluate_all`` estimates.  This is the revision-storm driver
+    the scenario gauntlet uses as its ``"streamed"`` estimator path: the
+    estimates come from the full asyncio queue -> micro-batch ->
+    ``apply_batch`` pipeline and are bit-identical to a batch build over
+    the settled matrix (the streaming determinism contract in
+    :mod:`repro.core.agreement`).
+
+    Must be called from synchronous code (it owns its own event loop).
+    """
+
+    async def run() -> dict[int, WorkerErrorEstimate]:
+        async with StreamSession(
+            confidence=confidence,
+            backend=backend,
+            max_batch=max_batch,
+            maxsize=maxsize,
+            shards=shards,
+        ) as session:
+            await session.submit_many(events)
+            await session.flush()
+            return await session.evaluate_all()
+
+    return asyncio.run(run())
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,16 @@ from repro.simulation.scenarios import (
     paper_kary_scenario,
     weight_optimization_scenario,
 )
+from repro.simulation.gauntlet import (
+    GAUNTLET_FAMILIES,
+    CollusionScenario,
+    DriftScenario,
+    GauntletFamily,
+    ImbalanceScenario,
+    RevisionStormScenario,
+    high_arity_scenario,
+    independent_baseline_scenario,
+)
 
 __all__ = [
     "PAPER_ERROR_RATES",
@@ -51,4 +61,12 @@ __all__ = [
     "paper_binary_scenario",
     "paper_kary_scenario",
     "weight_optimization_scenario",
+    "GAUNTLET_FAMILIES",
+    "GauntletFamily",
+    "DriftScenario",
+    "CollusionScenario",
+    "RevisionStormScenario",
+    "ImbalanceScenario",
+    "high_arity_scenario",
+    "independent_baseline_scenario",
 ]

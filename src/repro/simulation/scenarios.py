@@ -67,20 +67,35 @@ class SimulationScenario:
         if self.arity < 2:
             raise ConfigurationError(f"arity must be at least 2, got {self.arity}")
         if self.densities is None:
-            self._cached_densities = uniform_density(self.n_workers, 1.0)
+            densities = uniform_density(self.n_workers, 1.0)
         else:
-            densities = np.asarray(self.densities, dtype=float)
+            # Copy: np.asarray would alias a caller-provided float array,
+            # letting later mutations bypass the shape validation above and
+            # silently change every sample() this scenario ever draws.
+            densities = np.array(self.densities, dtype=float, copy=True)
             if densities.shape != (self.n_workers,):
                 raise ConfigurationError(
                     f"densities must have shape ({self.n_workers},), "
                     f"got {densities.shape}"
                 )
-            self._cached_densities = densities
+        densities.flags.writeable = False
+        self._cached_densities = densities
 
     @property
     def effective_densities(self) -> np.ndarray:
-        """Per-worker attempt probabilities actually used."""
+        """Per-worker attempt probabilities actually used (read-only)."""
         return self._cached_densities
+
+    @property
+    def kind(self) -> str:
+        """Which estimator family the scenario exercises.
+
+        ``"binary"`` scenarios are scored with the m-worker binary
+        estimator; ``"kary"`` ones with the Algorithm-A3 triple estimator.
+        The gauntlet (:mod:`repro.evaluation.gauntlet`) keys its
+        estimator-path support on this.
+        """
+        return "binary" if self.arity == 2 and self.confusion_palette is None else "kary"
 
     def sample(
         self, rng: np.random.Generator
@@ -112,6 +127,24 @@ class SimulationScenario:
             self.n_tasks, rng, densities=self._cached_densities
         )
         return matrix, population_kary.confusion_matrices
+
+    def event_stream(
+        self, rng: np.random.Generator
+    ) -> tuple[list[tuple[int, int, int]], ResponseMatrix, np.ndarray | list[np.ndarray]]:
+        """One repetition as a submission-ordered response-event stream.
+
+        Returns ``(events, matrix, truth)``: applying ``events`` in order
+        (through :class:`~repro.serve.session.StreamSession` or
+        :meth:`~repro.core.incremental.IncrementalEvaluator.apply_batch`)
+        reconstructs exactly ``matrix`` — last write wins per
+        ``(worker, task)`` cell.  The base scenario emits each response once
+        in shuffled order; revision-heavy scenarios override this to inject
+        label-revision events before the final labels.
+        """
+        matrix, truth = self.sample(rng)
+        events = list(matrix.iter_responses())
+        permutation = rng.permutation(len(events))
+        return [events[int(index)] for index in permutation], matrix, truth
 
 
 def paper_binary_scenario(

@@ -238,3 +238,65 @@ class TestOtherCommands:
         assert main(["figure", "fig2b", "--repetitions", "2"]) == 0
         output = capsys.readouterr().out
         assert "fig2b" in output and "density" in output
+
+
+class TestGauntletCommand:
+    def test_restricted_grid_prints_table_and_flags_gaps(self, capsys):
+        assert (
+            main(["gauntlet", "--repetitions", "1", "--tasks", "40",
+                  "--families", "independent", "--backends", "dense"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "coverage" in output and "independent" in output
+        # The restricted run leaves the rest of the registry untested.
+        assert "UNTESTED CELLS" in output
+
+    def test_fail_on_gaps_exits_nonzero(self, capsys):
+        assert (
+            main(["gauntlet", "--repetitions", "1", "--tasks", "40",
+                  "--families", "independent", "--backends", "dense",
+                  "--fail-on-gaps"])
+            == 1
+        )
+        assert "untested gauntlet cell" in capsys.readouterr().err
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "gauntlet.json"
+        assert (
+            main(["gauntlet", "--repetitions", "1", "--tasks", "40",
+                  "--families", "independent", "--backends", "dict",
+                  "--json", str(report_path)])
+            == 0
+        )
+        report = json.loads(report_path.read_text())
+        assert report["cells"]
+        for cell in report["cells"]:
+            assert {"family", "backend", "path", "coverage",
+                    "calibration_error"} <= set(cell)
+
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        assert (
+            main(["gauntlet", "--repetitions", "1", "--tasks", "40",
+                  "--families", "independent", "--backends", "dict",
+                  "--json", "-"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["cells"] and report["gaps"]
+
+    def test_rejects_bad_repetitions(self, capsys):
+        assert main(["gauntlet", "--repetitions", "0"]) == 2
+        assert "--repetitions" in capsys.readouterr().err
+
+    def test_rejects_bad_tasks(self, capsys):
+        assert main(["gauntlet", "--tasks", "0"]) == 2
+        assert "--tasks" in capsys.readouterr().err
+
+    def test_unknown_family_is_an_error(self, capsys):
+        assert main(["gauntlet", "--families", "no-such-family"]) == 2
+        assert "no-such-family" in capsys.readouterr().err

@@ -7,12 +7,15 @@ import pytest
 
 from repro.data.response_matrix import ResponseMatrix
 from repro.evaluation.coverage import (
+    CoverageAccountingWarning,
     CoverageResult,
     binary_coverage,
     dataset_coverage,
     kary_coverage,
     kary_dataset_coverage,
+    usable_estimate,
 )
+from repro.types import EstimateStatus
 from repro.evaluation.reporting import format_experiment, format_table, series_to_rows
 from repro.evaluation.sweeps import Series, SweepResult, run_sweep
 from repro.evaluation.experiments import (
@@ -41,6 +44,34 @@ class TestCoverageResult:
         assert result.mean_size == pytest.approx(0.2)
         assert result.mean_absolute_error == pytest.approx(0.02)
 
+    def test_usable_fraction(self):
+        result = CoverageResult(
+            n_intervals=10, n_covering=8, mean_size=0.2, mean_absolute_error=0.05,
+            n_skipped_repetitions=5, n_repetitions=20,
+        )
+        assert result.usable_fraction == pytest.approx(0.75)
+        # Legacy results that never reported repetitions stay NaN, not 1.0.
+        legacy = CoverageResult(10, 8, 0.2, 0.05)
+        assert np.isnan(legacy.usable_fraction)
+
+    def test_empty_observations_keep_accounting(self):
+        result = CoverageResult.from_observations(
+            [], [], [], n_degenerate=2, n_skipped_repetitions=7, n_repetitions=7
+        )
+        assert result.n_degenerate == 2
+        assert result.n_skipped_repetitions == 7
+        assert result.usable_fraction == 0.0
+
+
+class TestUsableEstimate:
+    def test_degenerate_excluded_by_default(self):
+        assert usable_estimate(EstimateStatus.OK)
+        assert usable_estimate(EstimateStatus.CLAMPED)
+        assert not usable_estimate(EstimateStatus.DEGENERATE)
+
+    def test_include_degenerate_opt_in(self):
+        assert usable_estimate(EstimateStatus.DEGENERATE, include_degenerate=True)
+
 
 class TestBinaryCoverage:
     def test_coverage_near_nominal(self, rng):
@@ -61,6 +92,18 @@ class TestBinaryCoverage:
         high = binary_coverage(5, 100, 0.95, rng, n_repetitions=15)
         assert high.mean_size > low.mean_size
 
+    def test_degenerate_accounting_invariant(self, rng):
+        # Tiny task sets force some DEGENERATE estimates; the shared
+        # predicate excludes them from the aggregates, and the ledger must
+        # balance: every produced estimate is either counted as an interval
+        # or as a degenerate.
+        result = binary_coverage(
+            n_workers=5, n_tasks=4, confidence=0.8, rng=rng,
+            density=1.0, n_repetitions=20,
+        )
+        assert result.n_repetitions == 20
+        assert result.n_intervals + result.n_degenerate == 20 * 5
+
 
 class TestKaryCoverage:
     def test_basic_run(self, rng):
@@ -73,6 +116,65 @@ class TestKaryCoverage:
     def test_validation(self, rng):
         with pytest.raises(ConfigurationError):
             kary_coverage(2, 100, 0.8, rng, n_repetitions=0)
+
+    @staticmethod
+    def _make_flaky_evaluate(monkeypatch, n_failures):
+        """Make the first ``n_failures`` triple evaluations raise."""
+        from repro.core.kary import KaryEstimator
+
+        original = KaryEstimator.evaluate
+        calls = {"n": 0}
+
+        def flaky(self, matrix, workers=None):
+            calls["n"] += 1
+            if calls["n"] <= n_failures:
+                raise InsufficientDataError("injected triple failure")
+            return original(self, matrix, workers)
+
+        monkeypatch.setattr(KaryEstimator, "evaluate", flaky)
+
+    def test_skipped_repetitions_counted_and_warned(self, rng, monkeypatch):
+        # Repetitions whose triple raises must be counted, not silently
+        # dropped — and falling below the usable-fraction threshold warns.
+        self._make_flaky_evaluate(monkeypatch, n_failures=5)
+        with pytest.warns(CoverageAccountingWarning):
+            result = kary_coverage(
+                arity=2, n_tasks=60, confidence=0.8, rng=rng, n_repetitions=8
+            )
+        assert result.n_repetitions == 8
+        assert result.n_skipped_repetitions == 5
+        assert result.usable_fraction == pytest.approx(3 / 8)
+        # The three surviving repetitions still aggregate: every non-
+        # degenerate worker estimate contributes its arity^2 cells.
+        assert result.n_intervals == (3 * 3 - result.n_degenerate) * 4
+
+    def test_strict_raises_below_threshold(self, rng, monkeypatch):
+        self._make_flaky_evaluate(monkeypatch, n_failures=5)
+        with pytest.raises(InsufficientDataError, match="usable fraction"):
+            kary_coverage(
+                arity=2, n_tasks=60, confidence=0.8, rng=rng,
+                n_repetitions=8, strict=True,
+            )
+
+    def test_minor_skips_stay_quiet(self, rng, monkeypatch):
+        import warnings
+
+        self._make_flaky_evaluate(monkeypatch, n_failures=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CoverageAccountingWarning)
+            result = kary_coverage(
+                arity=2, n_tasks=60, confidence=0.8, rng=rng, n_repetitions=8
+            )
+        assert result.n_skipped_repetitions == 1
+        assert result.usable_fraction == pytest.approx(7 / 8)
+
+    def test_healthy_run_reports_full_accounting(self, rng):
+        result = kary_coverage(
+            arity=2, n_tasks=150, confidence=0.8, rng=rng, n_repetitions=5
+        )
+        assert result.n_repetitions == 5
+        assert result.n_skipped_repetitions == 0
+        assert result.usable_fraction == 1.0
 
 
 class TestDatasetCoverage:

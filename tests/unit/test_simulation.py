@@ -220,3 +220,26 @@ class TestScenarios:
             SimulationScenario(
                 name="bad", n_workers=3, n_tasks=10, densities=np.array([0.5, 0.5])
             )
+
+    def test_densities_copied_not_aliased(self):
+        # Regression: np.asarray used to alias the caller's float array, so
+        # mutating it after construction silently changed every later
+        # sample() draw, bypassing the validation above.
+        caller = np.array([0.9, 0.8, 0.7])
+        scenario = SimulationScenario(
+            name="alias", n_workers=3, n_tasks=10, densities=caller
+        )
+        caller[:] = 0.0
+        assert np.allclose(scenario.effective_densities, [0.9, 0.8, 0.7])
+
+    def test_densities_read_only(self):
+        scenario = SimulationScenario(
+            name="frozen", n_workers=3, n_tasks=10,
+            densities=np.array([0.9, 0.8, 0.7]),
+        )
+        with pytest.raises(ValueError):
+            scenario.effective_densities[0] = 0.1
+        # The default (no caller densities) array is frozen too.
+        default = SimulationScenario(name="default", n_workers=3, n_tasks=10)
+        with pytest.raises(ValueError):
+            default.effective_densities[0] = 0.1
