@@ -65,6 +65,23 @@ def _shard_spec(value: str) -> int | str:
         raise argparse.ArgumentTypeError(str(error)) from None
     return spec
 
+
+def _writer_spec(value: str) -> int | str:
+    """argparse type for ``--writers``: a positive integer or 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        writers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if writers < 1:
+        raise argparse.ArgumentTypeError(
+            f"writers must be at least 1, got {writers}"
+        )
+    return writers
+
 #: figure name -> experiment function (all take only keyword arguments we pass).
 FIGURE_FUNCTIONS = {
     "fig1": experiment_module.figure1_old_vs_new,
@@ -79,8 +96,19 @@ FIGURE_FUNCTIONS = {
 }
 
 
-def _add_durable_arguments(subparser: argparse.ArgumentParser) -> None:
-    """``--durable`` / ``--snapshot-every``, shared by ingest and serve."""
+def _add_stream_arguments(subparser: argparse.ArgumentParser) -> None:
+    """``--writers`` / ``--durable`` / ``--snapshot-every`` (ingest + serve)."""
+    subparser.add_argument(
+        "--writers",
+        type=_writer_spec,
+        default=1,
+        metavar="N",
+        help="ingest partition count: N>1 splits ingestion into N "
+        "consistent-hash worker partitions, each with its own queue, "
+        "micro-batcher and (with --durable) WAL segment whose fsyncs "
+        "overlap; 'auto' picks one per CPU (capped); results are "
+        "bit-identical for any count (default 1)",
+    )
     subparser.add_argument(
         "--durable",
         metavar="DIR",
@@ -238,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the vectorized backends — dependency footprints ship back per "
         "shard, so evaluation under a live stream scales)",
     )
-    _add_durable_arguments(ingest)
+    _add_stream_arguments(ingest)
 
     serve = subparsers.add_parser(
         "serve", help="run the NDJSON TCP ingestion server"
@@ -270,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution spec forwarded to the session's estimator (same "
         "grammar as evaluate --shards)",
     )
-    _add_durable_arguments(serve)
+    _add_stream_arguments(serve)
 
     datasets = subparsers.add_parser(
         "datasets", help="list the bundled dataset stand-ins"
@@ -415,31 +443,39 @@ def _print_estimate_table(estimates) -> None:
     print(format_table(header, rows))
 
 
-def _make_session(args: argparse.Namespace):
-    """Build the (optionally durable) session ingest and serve share.
+def config_from_args(args: argparse.Namespace):
+    """Map the stream CLI flags 1:1 onto a ``SessionConfig``.
 
-    With ``--durable`` the session resumes the directory when it already
-    holds state and starts fresh otherwise; without it, plain in-memory.
+    The single translation point for ingest and serve: every flag
+    corresponds to exactly one field (``--batch-size`` -> ``max_batch``,
+    ``--queue-size`` -> ``maxsize``, the rest share their names), so new
+    session knobs are added here once instead of per command.
     """
-    from repro.serve.session import StreamSession
+    from repro.serve import SessionConfig
 
-    if args.durable is not None:
-        return StreamSession.open_durable(
-            args.durable,
-            confidence=args.confidence,
-            backend=args.backend,
-            max_batch=args.batch_size,
-            maxsize=args.queue_size,
-            shards=args.shards,
-            snapshot_every=args.snapshot_every,
-        )
-    return StreamSession(
+    return SessionConfig(
         confidence=args.confidence,
         backend=args.backend,
         max_batch=args.batch_size,
         maxsize=args.queue_size,
         shards=args.shards,
+        writers=getattr(args, "writers", 1),
+        durable=args.durable,
+        snapshot_every=args.snapshot_every,
     )
+
+
+def _make_session(args: argparse.Namespace):
+    """Build the session ingest and serve share, via the one front door.
+
+    With ``--durable`` the session resumes the directory when it already
+    holds state and starts fresh otherwise; ``--writers N`` (N>1 or
+    'auto') gets a multi-writer session.  Without ``--durable``, plain
+    in-memory.
+    """
+    from repro.serve import open_session
+
+    return open_session(config_from_args(args))
 
 
 def _validate_stream_args(args: argparse.Namespace) -> str | None:

@@ -400,6 +400,16 @@ class IncrementalEvaluator:
         dependency-tracked cache invalidation runs over the batch's changed
         pairs as a set.  Returns the per-batch stats the streaming session
         reports.
+
+        Partition-scoped interleaving is safe: multi-writer sessions
+        (:mod:`repro.serve.multiwriter`) call this with batches from
+        different worker partitions in whatever order they complete.
+        Because a partition owns *all* events of its workers, batches from
+        different partitions touch disjoint response cells — they commute
+        under the last-write-wins upserts — and the ledger's invalidation
+        is order-free over the changed-pair set, so any per-partition-
+        order-preserving interleaving accumulates the same matrix and
+        serves the same bits.
         """
         batch = [(int(w), int(t), int(label)) for w, t, label in records]
         if not batch:

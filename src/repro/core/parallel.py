@@ -1,8 +1,8 @@
 """Reusable parallel execution layer for batch worker evaluation.
 
 The m-worker batch (``MWorkerEstimator.evaluate_all``) is embarrassingly
-parallel across workers, but the first sharded implementation
-(:mod:`repro.core.sharded`, now a thin compatibility shim over this module)
+parallel across workers, but the first sharded implementation (the removed
+``repro.core.sharded`` module, whose stub now points here)
 paid two costs that routinely made it *slower* than serial: every call
 spawned a fresh process pool, and every shard rebuilt the count matrices,
 vote table and triple-count tensor from the raw arrays.  This module fixes

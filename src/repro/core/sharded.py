@@ -1,57 +1,25 @@
-"""Deprecated compatibility shim over :mod:`repro.core.parallel`.
+"""Removed: the old sharding shim — use :mod:`repro.core.parallel`.
 
-The original one-shot sharded implementation lived here: it spawned a fresh
-process pool per ``evaluate_all`` call and rebuilt the count matrices, vote
-table and triple tensor in every shard, which made sharding lose to serial
-on the benchmarks it was meant to win.  The machinery was replaced by the
+The one-shot sharded implementation that lived here was superseded by the
 reusable execution layer in :mod:`repro.core.parallel` (cached
 :class:`~repro.core.parallel.ShardExecutor` pools, the backend-agnostic
 shared-state export protocol, a thread tier and the ``shards="auto"`` cost
-model); this module keeps the old import surface alive for external
-callers.
+model).  This module then survived one deprecation cycle as a re-exporting
+shim; that cycle is over and importing it now fails loudly instead of
+silently running legacy-named code paths.
 
-.. deprecated::
-    Import :class:`~repro.core.parallel.SharedMatrixView` and call
-    :func:`~repro.core.parallel.evaluate_all_process` (or let
-    ``MWorkerEstimator(shards=...)`` pick the tier) directly.  Importing
-    this module, or calling :func:`evaluate_all_sharded`, emits a
-    :class:`DeprecationWarning`; behavior is unchanged.
+Migration is mechanical::
+
+    from repro.core.parallel import SharedMatrixView, evaluate_all_process
+
+    evaluate_all_process(estimator, matrix, stats, n_shards)
+
+or simply pass ``shards=`` to ``MWorkerEstimator`` / ``SessionConfig`` and
+let the cost model pick the tier.
 """
 
-from __future__ import annotations
-
-import warnings
-from typing import TYPE_CHECKING
-
-from repro.core.parallel import SharedMatrixView, evaluate_all_process
-from repro.types import WorkerErrorEstimate
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.agreement import AgreementStatistics
-    from repro.core.m_worker import MWorkerEstimator
-    from repro.data.response_matrix import ResponseMatrix
-
-__all__ = ["SharedMatrixView", "evaluate_all_sharded"]
-
-_DEPRECATION_MESSAGE = (
-    "repro.core.sharded is deprecated; use repro.core.parallel "
-    "(evaluate_all_process / SharedMatrixView) instead"
+raise ImportError(
+    "repro.core.sharded was removed; use repro.core.parallel instead "
+    "(evaluate_all_process / SharedMatrixView, or the shards= spec on "
+    "MWorkerEstimator / SessionConfig)"
 )
-
-warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
-
-
-def evaluate_all_sharded(
-    estimator: "MWorkerEstimator",
-    matrix: "ResponseMatrix",
-    stats: "AgreementStatistics",
-) -> list[WorkerErrorEstimate]:
-    """Historical entry point: process-sharded evaluation at ``estimator.shards``.
-
-    Delegates to :func:`repro.core.parallel.evaluate_all_process` (the
-    reusable-executor implementation); ``estimator.shards`` must be a plain
-    integer shard count, as it always was for callers of this function.
-    Deprecated — call the :mod:`repro.core.parallel` entry point directly.
-    """
-    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
-    return evaluate_all_process(estimator, matrix, stats, int(estimator.shards))

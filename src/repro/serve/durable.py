@@ -34,7 +34,11 @@ Every other line is a batch record::
 
 ``seq`` is the inclusive 1-based sequence range of the batch's events in
 submission order; ``crc`` is the CRC-32 of the canonical JSON encoding of
-the record without the ``crc`` key (sorted keys, no whitespace).  A missing
+the record without the ``crc`` key (sorted keys, no whitespace).  Records
+written by a multi-writer session (:mod:`repro.serve.multiwriter`) carry
+one extra key — ``"epoch"``, the session-global snapshot-fence epoch the
+record was appended under — which participates in the CRC; single-writer
+logs never write it, so the on-disk ``wal.ndjson`` format is unchanged.  A missing
 or future-version header raises
 :class:`~repro.exceptions.DurableStateError`; a record that fails to
 decode, fails its CRC, or lacks its trailing newline marks the **tail** of
@@ -109,8 +113,13 @@ def _canonical(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
-def _record_crc(seq: list[int], events: list[list[int]]) -> int:
-    return zlib.crc32(_canonical({"seq": seq, "events": events}))
+def _record_crc(
+    seq: list[int], events: list[list[int]], epoch: int | None = None
+) -> int:
+    payload: dict = {"seq": seq, "events": events}
+    if epoch is not None:
+        payload["epoch"] = epoch
+    return zlib.crc32(_canonical(payload))
 
 
 # --------------------------------------------------------------------------- #
@@ -242,6 +251,10 @@ class DurableStore:
         How many of the newest snapshots survive pruning.  More than one,
         so a snapshot that fails validation on resume (killed mid-rename
         races are impossible, but torn disks are not) can fall back.
+    wal_name:
+        Filename of the log inside ``directory``.  The default is the
+        single-writer ``wal.ndjson``; multi-writer sessions open one store
+        per partition with ``wal-<partition>.ndjson`` segment names.
     """
 
     def __init__(
@@ -251,6 +264,7 @@ class DurableStore:
         snapshot_every: int | None = None,
         fsync: bool = True,
         keep_snapshots: int = 2,
+        wal_name: str = WAL_NAME,
     ) -> None:
         if snapshot_every is not None and snapshot_every < 1:
             raise ConfigurationError(
@@ -264,6 +278,7 @@ class DurableStore:
         self.snapshot_every = snapshot_every
         self.fsync = fsync
         self.keep_snapshots = keep_snapshots
+        self.wal_name = wal_name
         self._log: IO[str] | None = None
         self._total_batches = 0
         self._since_snapshot = 0
@@ -285,7 +300,12 @@ class DurableStore:
 
     @property
     def wal_path(self) -> Path:
-        return self.directory / WAL_NAME
+        return self.directory / self.wal_name
+
+    @property
+    def wal_bytes(self) -> int:
+        """Byte length of the open log (header + valid records)."""
+        return self._wal_bytes
 
     @classmethod
     def has_state(cls, directory: str | Path) -> bool:
@@ -318,8 +338,8 @@ class DurableStore:
         if not resume and self.has_state(self.directory):
             raise DurableStateError(
                 f"durable directory {self.directory} already contains state; "
-                "use StreamSession.resume() (or open_durable()) instead of "
-                "starting a fresh session over it"
+                "use repro.serve.open_session (which resumes existing state) "
+                "instead of starting a fresh session over it"
             )
         self.directory.mkdir(parents=True, exist_ok=True)
         if resume and self.wal_path.exists():
@@ -348,19 +368,30 @@ class DurableStore:
     # -- WAL append (the applier's pre-apply hook) ----------------------- #
 
     def append_batch(
-        self, first_seq: int, last_seq: int, events: list[tuple[int, int, int]]
+        self,
+        first_seq: int,
+        last_seq: int,
+        events: list[tuple[int, int, int]],
+        epoch: int | None = None,
     ) -> None:
         """Append one micro-batch record and (by default) fsync it.
 
         Called by the session's applier *before* ``apply_batch``: once this
         returns, a crash at any later point replays the batch from the log,
         so a flush acknowledged after the apply can never lose events.
+        Multi-writer sessions pass ``epoch`` (the current snapshot-fence
+        epoch) so the segment merge on resume has a global order key;
+        single-writer appends leave it ``None`` and the record format is
+        byte-identical to version-1 logs written before epochs existed.
         """
         if self._log is None:
             raise ConfigurationError("the durable store is not open")
         seq = [int(first_seq), int(last_seq)]
         payload = [[int(w), int(t), int(label)] for w, t, label in events]
-        record = {"seq": seq, "events": payload, "crc": _record_crc(seq, payload)}
+        record = {"seq": seq, "events": payload}
+        if epoch is not None:
+            record["epoch"] = int(epoch)
+        record["crc"] = _record_crc(seq, payload, record.get("epoch"))
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self._log.write(line)
         self._log.write("\n")
@@ -383,6 +414,20 @@ class DurableStore:
         (the log was truncated below the snapshot) falls back to a full
         scan, which replay then deduplicates by sequence.
         """
+        return [
+            (first, last, events)
+            for _, first, last, events in self.read_batches_with_epoch(start_bytes)
+        ]
+
+    def read_batches_with_epoch(
+        self, start_bytes: int = 0
+    ) -> list[tuple[int, int, int, list[tuple[int, int, int]]]]:
+        """Like :meth:`read_batches`, keeping each record's fence epoch.
+
+        Returns ``(epoch, first, last, events)`` tuples; records without an
+        ``epoch`` key (single-writer logs) read as epoch 0.  The segment
+        merge in :mod:`repro.serve.multiwriter` orders on this.
+        """
         batches, discarded, valid_bytes = self._scan_log(start_bytes)
         self.discarded_tail_records = discarded
         self._scan_valid_bytes = valid_bytes
@@ -390,7 +435,7 @@ class DurableStore:
 
     def _scan_log(
         self, start_bytes: int = 0
-    ) -> tuple[list[tuple[int, int, list[tuple[int, int, int]]]], int, int]:
+    ) -> tuple[list[tuple[int, int, int, list[tuple[int, int, int]]]], int, int]:
         """Parse the WAL: ``(valid batches, discarded records, valid bytes)``.
 
         Stops at the first record that is truncated (no trailing newline),
@@ -438,7 +483,7 @@ class DurableStore:
         else:
             scan_from = 1
             valid_bytes = header_bytes
-        batches: list[tuple[int, int, list[tuple[int, int, int]]]] = []
+        batches: list[tuple[int, int, int, list[tuple[int, int, int]]]] = []
         discarded = 1 if partial else 0
         for index, raw in enumerate(complete[scan_from:], start=scan_from):
             record = self._parse_record(raw)
@@ -454,7 +499,7 @@ class DurableStore:
     @staticmethod
     def _parse_record(
         raw: bytes,
-    ) -> tuple[int, int, list[tuple[int, int, int]]] | None:
+    ) -> tuple[int, int, int, list[tuple[int, int, int]]] | None:
         try:
             record = json.loads(raw)
         except json.JSONDecodeError:
@@ -464,20 +509,22 @@ class DurableStore:
         seq = record.get("seq")
         events = record.get("events")
         crc = record.get("crc")
+        epoch = record.get("epoch")
         if (
             not isinstance(seq, list)
             or len(seq) != 2
             or not isinstance(events, list)
             or not isinstance(crc, int)
+            or (epoch is not None and not isinstance(epoch, int))
         ):
             return None
-        if _record_crc(seq, events) != crc:
+        if _record_crc(seq, events, epoch) != crc:
             return None
         try:
             parsed = [(int(w), int(t), int(label)) for w, t, label in events]
         except (TypeError, ValueError):
             return None
-        return int(seq[0]), int(seq[1]), parsed
+        return int(epoch or 0), int(seq[0]), int(seq[1]), parsed
 
     # -- snapshots -------------------------------------------------------- #
 

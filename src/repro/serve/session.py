@@ -35,21 +35,35 @@ Unseen worker/task ids grow the evaluator through the delta extension path
 (no backend rebuild) once per batch, so a live stream never needs
 pre-declared dimensions.
 
-Durability (``durable=...`` / :meth:`StreamSession.resume`)
------------------------------------------------------------
+Construction — :class:`~repro.serve.config.SessionConfig` is canonical
+----------------------------------------------------------------------
+
+The canonical way to build a session is a validated, frozen
+:class:`~repro.serve.config.SessionConfig` handed to
+:func:`repro.serve.open_session`, which resolves create-vs-resume and the
+single- vs multi-writer dispatch in one place.  The legacy keyword
+arguments on ``StreamSession.__init__`` and the ``resume`` /
+``open_durable`` classmethods keep working as thin shims that build the
+equivalent config and emit a :class:`DeprecationWarning`.
+
+Durability (``SessionConfig(durable=...)``)
+-------------------------------------------
 
 A session given a durable directory (or a
 :class:`~repro.serve.durable.DurableStore`) appends every micro-batch to a
 write-ahead log — fsynced *before* ``apply_batch`` — and, when
 ``snapshot_every`` is set, periodically checkpoints the full evaluator
 state with atomic temp-file + rename snapshots.  After a crash,
-:meth:`StreamSession.resume` restores the newest valid snapshot, replays
-only the WAL records beyond it (idempotently — duplicated or
+``open_session`` on the same directory restores the newest valid snapshot,
+replays only the WAL records beyond it (idempotently — duplicated or
 partially-covered records cannot double-apply) and reopens the log,
 restarting in O(delta).  The resumed session serves estimates bit-identical
 to a session that was never interrupted; the contract and on-disk formats
 are documented in :mod:`repro.serve.durable` and the capability matrix in
-:mod:`repro.core.agreement`.
+:mod:`repro.core.agreement`.  Multi-writer ingestion (N partitioned
+queues, per-partition WAL segments, fenced snapshots) lives in
+:mod:`repro.serve.multiwriter` and reuses this module's applier discipline
+per partition.
 """
 
 from __future__ import annotations
@@ -67,11 +81,50 @@ from repro.exceptions import (
     DurableStateError,
     InsufficientDataError,
 )
+from repro.serve.config import SessionConfig, _warn_legacy
 from repro.serve.durable import DurableStore
 from repro.serve.queue import ResponseQueue
 from repro.types import WorkerErrorEstimate
 
 __all__ = ["BatchRecord", "SessionSnapshot", "StreamSession", "replay_stream"]
+
+#: The keyword knobs the pre-``SessionConfig`` constructor accepted; they
+#: map one-to-one onto ``SessionConfig`` fields.
+_LEGACY_INIT_KWARGS = frozenset(
+    {
+        "maxsize",
+        "max_batch",
+        "auto_extend",
+        "confidence",
+        "backend",
+        "shards",
+        "durable",
+        "snapshot_every",
+        "fsync",
+    }
+)
+
+
+def _majority_rates(
+    evaluator: IncrementalEvaluator,
+) -> dict[int, float | None]:
+    """Per-worker majority-disagreement rates (None = not scorable yet).
+
+    Shared by the single- and multi-writer sessions' ``spammer_scores``;
+    callers hold the session writer lock.
+    """
+    matrix = evaluator.matrix
+    backend = evaluator._backend
+    if backend is not None:
+        rates = backend.majority_disagreement_rates()
+    else:
+        rates = []
+        for worker in range(matrix.n_workers):
+            try:
+                rates.append(matrix.disagreement_with_majority(worker))
+            except InsufficientDataError:
+                rates.append(None)
+    return dict(enumerate(rates))
 
 
 def replay_stream(
@@ -100,11 +153,13 @@ def replay_stream(
 
     async def run() -> dict[int, WorkerErrorEstimate]:
         async with StreamSession(
-            confidence=confidence,
-            backend=backend,
-            max_batch=max_batch,
-            maxsize=maxsize,
-            shards=shards,
+            config=SessionConfig(
+                confidence=confidence,
+                backend=backend,
+                max_batch=max_batch,
+                maxsize=maxsize,
+                shards=shards,
+            )
         ) as session:
             await session.submit_many(events)
             await session.flush()
@@ -115,12 +170,19 @@ def replay_stream(
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One applied micro-batch: position in the stream plus its effects."""
+    """One applied micro-batch: position in the stream plus its effects.
+
+    ``partition`` is the ingest partition the batch came from — always 0
+    for the single-writer :class:`StreamSession`; multi-writer sessions
+    record the consistent-hash partition, and ``first_seq``/``last_seq``
+    are then *per-partition* sequence numbers.
+    """
 
     index: int
     first_seq: int
     last_seq: int
     stats: BatchApplyStats
+    partition: int = 0
 
 
 @dataclass(frozen=True)
@@ -136,80 +198,106 @@ class SessionSnapshot:
 class StreamSession:
     """Async front-end that feeds a response stream into the evaluator.
 
-    Parameters
-    ----------
-    evaluator:
-        The incremental evaluator to feed; constructed with small default
-        dimensions when omitted (the stream grows it on demand).
-    maxsize, max_batch:
-        Queue bound (producer backpressure) and micro-batch cap — see
-        :class:`~repro.serve.queue.ResponseQueue`.
-    auto_extend:
-        Grow the evaluator for unseen worker/task ids (default).  With
-        ``False`` an out-of-range event fails the session (surfaced at the
-        next ``submit``/``flush``).
-    shards:
-        Execution spec forwarded to the default evaluator's wrapped
-        estimator (validated at construction; ignored when an explicit
-        ``evaluator`` is passed — configure that evaluator directly).
-        Incremental recomputes honour it on the vectorized backends: dirty
-        workers are re-evaluated in bulk with dependency footprints shipped
-        back per shard — see
-        :class:`~repro.core.incremental.IncrementalEvaluator` — so
-        ``"auto"``/``"thread:N"``/``"process:N"`` are real throughput
-        levers for evaluation under a live stream (serial fallbacks: dict
-        backend, custom rng, fewer dirty workers than shards).
-    durable:
-        A directory path (or prepared :class:`~repro.serve.durable.DurableStore`)
-        to persist the stream into: every micro-batch is WAL-logged before
-        it is applied, so acknowledged ``flush()`` results survive a crash
-        and :meth:`resume` restarts in O(delta).  A *fresh* session refuses
-        a directory that already holds state — resume it instead (or use
-        :meth:`open_durable` for create-or-resume semantics).
-    snapshot_every, fsync:
-        Forwarded to the :class:`~repro.serve.durable.DurableStore` when
-        ``durable`` is a path (ignored when a store instance is passed):
-        snapshot cadence in applied batches (``None`` = pure WAL) and
-        whether each WAL append is fsynced before the apply.
+    The canonical construction path is a
+    :class:`~repro.serve.config.SessionConfig` through
+    :func:`repro.serve.open_session` (which also resolves create-vs-resume
+    for durable directories and dispatches to the multi-writer session for
+    ``writers > 1``)::
 
-    Use as an async context manager::
+        from repro.serve import SessionConfig, open_session
 
-        async with StreamSession() as session:
+        async with open_session(SessionConfig(max_batch=64)) as session:
             await session.submit(worker, task, label)
             await session.flush()
             estimates = await session.evaluate_all()
+
+    Parameters
+    ----------
+    evaluator:
+        The incremental evaluator to feed; constructed from the config's
+        estimator fields with small default dimensions when omitted (the
+        stream grows it on demand).  The config's ``shards`` spec only
+        applies to a default-constructed evaluator — configure an explicit
+        one directly.
+    config:
+        The :class:`~repro.serve.config.SessionConfig` for this session.
+        ``writers`` must resolve to 1 (multi-writer sessions are built by
+        ``open_session``).
+    **legacy:
+        The pre-``SessionConfig`` keyword knobs (``maxsize`` /
+        ``max_batch`` / ``auto_extend`` / ``confidence`` / ``backend`` /
+        ``shards`` / ``durable`` / ``snapshot_every`` / ``fsync``).
+        Deprecated: they are folded into an equivalent config (field names
+        match one-to-one) with a :class:`DeprecationWarning`; ``durable``
+        may still be a prepared :class:`~repro.serve.durable.DurableStore`.
+        Mutually exclusive with ``config``.
     """
 
     def __init__(
         self,
         evaluator: IncrementalEvaluator | None = None,
         *,
-        maxsize: int = 4096,
-        max_batch: int = 256,
-        auto_extend: bool = True,
-        confidence: float = 0.95,
-        backend: str = "auto",
-        shards: int | str = 1,
-        durable: DurableStore | str | Path | None = None,
-        snapshot_every: int | None = None,
-        fsync: bool = True,
+        config: SessionConfig | None = None,
+        _store: DurableStore | None = None,
+        **legacy,
     ) -> None:
+        store = _store
+        if config is not None:
+            if legacy:
+                raise ConfigurationError(
+                    "pass either config=SessionConfig(...) or the legacy "
+                    "keyword arguments, not both"
+                )
+            if not isinstance(config, SessionConfig):
+                raise ConfigurationError(
+                    "config must be a repro.serve.SessionConfig, got "
+                    f"{type(config).__name__}"
+                )
+        else:
+            unknown = set(legacy) - _LEGACY_INIT_KWARGS
+            if unknown:
+                raise TypeError(
+                    "StreamSession() got unexpected keyword arguments "
+                    f"{sorted(unknown)}"
+                )
+            if legacy:
+                _warn_legacy(
+                    "constructing StreamSession from keyword arguments"
+                )
+            durable = legacy.pop("durable", None)
+            if isinstance(durable, DurableStore):
+                # A prepared store keeps its own cadence/fsync settings;
+                # the config records where it lives.
+                store = durable
+                durable = durable.directory
+            config = SessionConfig(durable=durable, **legacy)
+        if config.resolved_writers() != 1:
+            raise ConfigurationError(
+                "StreamSession is single-writer; use repro.serve."
+                f"open_session() for writers={config.writers!r}"
+            )
         if evaluator is None:
             evaluator = IncrementalEvaluator(
                 n_workers=3,
                 n_tasks=1,
-                confidence=confidence,
-                backend=backend,
-                shards=shards,
+                confidence=config.resolved_confidence,
+                optimize_weights=config.resolved_optimize_weights,
+                backend=config.resolved_backend,
+                shards=config.shards,
             )
-        if durable is not None and not isinstance(durable, DurableStore):
-            durable = DurableStore(
-                durable, snapshot_every=snapshot_every, fsync=fsync
+        if store is None and config.durable is not None:
+            store = DurableStore(
+                config.durable,
+                snapshot_every=config.snapshot_every,
+                fsync=config.fsync,
             )
+        self._config = config
         self._evaluator = evaluator
-        self._queue = ResponseQueue(maxsize=maxsize, max_batch=max_batch)
-        self._auto_extend = auto_extend
-        self._durable = durable
+        self._queue = ResponseQueue(
+            maxsize=config.maxsize, max_batch=config.max_batch
+        )
+        self._auto_extend = config.auto_extend
+        self._durable = store
         self._lock = asyncio.Lock()
         self._applied = asyncio.Condition()
         self._submitted_seq = 0
@@ -293,6 +381,11 @@ class StreamSession:
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> SessionConfig:
+        """The validated configuration this session was built from."""
+        return self._config
 
     @property
     def evaluator(self) -> IncrementalEvaluator:
@@ -421,18 +514,7 @@ class StreamSession:
         near-spammers (Section III-E2's filter criterion).
         """
         async with self._lock:
-            matrix = self._evaluator.matrix
-            backend = self._evaluator._backend
-            if backend is not None:
-                rates = backend.majority_disagreement_rates()
-            else:
-                rates = []
-                for worker in range(matrix.n_workers):
-                    try:
-                        rates.append(matrix.disagreement_with_majority(worker))
-                    except InsufficientDataError:
-                        rates.append(None)
-            return dict(enumerate(rates))
+            return _majority_rates(self._evaluator)
 
     async def snapshot(self) -> SessionSnapshot:
         """Deep-copied consistent state at the last applied batch boundary.
@@ -520,91 +602,32 @@ class StreamSession:
     ) -> "StreamSession":
         """Rebuild a session from a durable directory in O(delta).
 
-        Loads the newest snapshot that validates (checksum-failed or
-        truncated ones fall back to older, then to pure WAL replay),
-        replays the WAL records whose sequences exceed the snapshot —
-        idempotently, so duplicated records or a second replay cannot
-        double-apply — truncates any crash tail off the log and reopens it
-        for append.  The returned session is not yet started: enter it with
-        ``async with`` (or call :meth:`start`) and continue submitting;
-        sequence numbering continues from the last applied event.
-
-        ``confidence`` / ``backend`` / ``optimize_weights`` default to the
-        persisted configuration; passing them overrides it (a backend
-        override rebuilds statistics from the restored matrix).  Raises
+        Deprecated shim: build a :class:`~repro.serve.config.SessionConfig`
+        and call :func:`repro.serve.open_session` instead (it resumes a
+        directory that holds state).  The resume semantics are unchanged:
+        newest valid snapshot, idempotent replay of the WAL delta, crash
+        tail truncated, sequence numbering continued; ``confidence`` /
+        ``backend`` / ``optimize_weights`` default to the persisted
+        configuration and override it when passed.  Raises
         :class:`~repro.exceptions.DurableStateError` on a sequence *gap*
-        between the restored state and the surviving log — that is data
-        loss in the middle of the history, not crash residue.
+        between the restored state and the surviving log — data loss in
+        the middle of the history, not crash residue.
         """
-        store = (
-            directory
-            if isinstance(directory, DurableStore)
-            else DurableStore(
-                directory, snapshot_every=snapshot_every, fsync=fsync
-            )
-        )
-        loaded = store.load_snapshot_state()
-        wal_start = 0
-        if loaded is not None:
-            meta, arrays = loaded
-            evaluator = IncrementalEvaluator.from_state(
-                meta,
-                arrays,
-                confidence=confidence,
-                optimize_weights=optimize_weights,
-                backend=backend,
-                shards=shards,
-            )
-            applied = int(meta["applied_seq"])
-            applied_batches = int(meta.get("applied_batches", 0))
-            # Seek past the log prefix the snapshot covers; replay then
-            # only parses the delta (the O(delta) half of resume).
-            wal_start = int(meta.get("wal_bytes", 0))
-        else:
-            evaluator = IncrementalEvaluator(
-                n_workers=3,
-                n_tasks=1,
-                confidence=0.95 if confidence is None else confidence,
-                optimize_weights=(
-                    True if optimize_weights is None else optimize_weights
-                ),
-                backend="auto" if backend is None else backend,
-                shards=shards,
-            )
-            applied = 0
-            applied_batches = 0
-        replayed = 0
-        for first, last, events in store.read_batches(wal_start):
-            if last <= applied:
-                continue  # already covered by the snapshot (or a duplicate)
-            if first > applied + 1:
-                raise DurableStateError(
-                    f"sequence gap in {store.wal_path}: restored state ends "
-                    f"at {applied} but the next surviving record starts at "
-                    f"{first}"
-                )
-            if first <= applied:
-                events = events[applied - first + 1 :]
-            evaluator.apply_batch(events, auto_extend=True)
-            applied = last
-            replayed += 1
-        store.open(resume=True)
-        store.note_resumed(
-            total_batches=applied_batches + replayed, replayed_batches=replayed
-        )
-        session = cls(
-            evaluator,
+        _warn_legacy("StreamSession.resume()")
+        store = directory if isinstance(directory, DurableStore) else None
+        config = SessionConfig(
+            confidence=confidence,
+            backend=backend,
+            optimize_weights=optimize_weights,
+            shards=shards,
             maxsize=maxsize,
             max_batch=max_batch,
             auto_extend=auto_extend,
-            durable=store,
+            durable=store.directory if store is not None else directory,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
         )
-        session._queue = ResponseQueue(
-            maxsize=maxsize, max_batch=max_batch, base_seq=applied
-        )
-        session._submitted_seq = applied
-        session._applied_seq = applied
-        return session
+        return _resume_session(config, store=store)
 
     @classmethod
     def open_durable(
@@ -623,11 +646,14 @@ class StreamSession:
     ) -> "StreamSession":
         """Resume ``directory`` when it holds state, else start fresh in it.
 
-        The create-or-resume front door the CLI uses for ``--durable``.
+        Deprecated shim for :func:`repro.serve.open_session`, which is the
+        create-or-resume front door now.
         """
-        if DurableStore.has_state(directory):
-            return cls.resume(
-                directory,
+        _warn_legacy("StreamSession.open_durable()")
+        from repro.serve.config import open_session
+
+        return open_session(
+            SessionConfig(
                 confidence=confidence,
                 backend=backend,
                 optimize_weights=optimize_weights,
@@ -635,23 +661,86 @@ class StreamSession:
                 maxsize=maxsize,
                 max_batch=max_batch,
                 auto_extend=auto_extend,
+                durable=directory,
                 snapshot_every=snapshot_every,
                 fsync=fsync,
             )
+        )
+
+
+def _resume_session(
+    config: SessionConfig, store: DurableStore | None = None
+) -> StreamSession:
+    """Rebuild a single-writer session from ``config.durable`` in O(delta).
+
+    The non-warning internals behind ``open_session`` (and the legacy
+    ``StreamSession.resume`` shim): loads the newest snapshot that
+    validates (checksum-failed or truncated ones fall back to older, then
+    to pure WAL replay), replays the WAL records whose sequences exceed
+    the snapshot — idempotently, so duplicated records or a second replay
+    cannot double-apply — truncates any crash tail off the log and reopens
+    it for append.  The returned session is not yet started; sequence
+    numbering continues from the last applied event.
+    """
+    if store is None:
+        if config.durable is None:
+            raise ConfigurationError("resume requires a durable directory")
+        store = DurableStore(
+            config.durable,
+            snapshot_every=config.snapshot_every,
+            fsync=config.fsync,
+        )
+    loaded = store.load_snapshot_state()
+    wal_start = 0
+    if loaded is not None:
+        meta, arrays = loaded
+        evaluator = IncrementalEvaluator.from_state(
+            meta,
+            arrays,
+            confidence=config.confidence,
+            optimize_weights=config.optimize_weights,
+            backend=config.backend,
+            shards=config.shards,
+        )
+        applied = int(meta["applied_seq"])
+        applied_batches = int(meta.get("applied_batches", 0))
+        # Seek past the log prefix the snapshot covers; replay then
+        # only parses the delta (the O(delta) half of resume).
+        wal_start = int(meta.get("wal_bytes", 0))
+    else:
         evaluator = IncrementalEvaluator(
             n_workers=3,
             n_tasks=1,
-            confidence=0.95 if confidence is None else confidence,
-            optimize_weights=True if optimize_weights is None else optimize_weights,
-            backend="auto" if backend is None else backend,
-            shards=shards,
+            confidence=config.resolved_confidence,
+            optimize_weights=config.resolved_optimize_weights,
+            backend=config.resolved_backend,
+            shards=config.shards,
         )
-        return cls(
-            evaluator,
-            maxsize=maxsize,
-            max_batch=max_batch,
-            auto_extend=auto_extend,
-            durable=DurableStore(
-                directory, snapshot_every=snapshot_every, fsync=fsync
-            ),
-        )
+        applied = 0
+        applied_batches = 0
+    replayed = 0
+    for first, last, events in store.read_batches(wal_start):
+        if last <= applied:
+            continue  # already covered by the snapshot (or a duplicate)
+        if first > applied + 1:
+            raise DurableStateError(
+                f"sequence gap in {store.wal_path}: restored state ends "
+                f"at {applied} but the next surviving record starts at "
+                f"{first}"
+            )
+        if first <= applied:
+            events = events[applied - first + 1 :]
+        evaluator.apply_batch(events, auto_extend=True)
+        applied = last
+        replayed += 1
+    store.open(resume=True)
+    store.note_resumed(
+        total_batches=applied_batches + replayed, replayed_batches=replayed
+    )
+    session = StreamSession(evaluator, config=config, _store=store)
+    session._queue = ResponseQueue(
+        maxsize=config.maxsize, max_batch=config.max_batch, base_seq=applied
+    )
+    session._submitted_seq = applied
+    session._applied_seq = applied
+    return session

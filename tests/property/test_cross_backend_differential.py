@@ -635,6 +635,138 @@ def test_resumed_sessions_bit_identical(seed, tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# Multi-writer resumed column: partitioned kill/resume fuzz
+# --------------------------------------------------------------------------- #
+
+#: Backends of the ``multiwriter-resumed`` column — the multi-writer
+#: determinism contract of :mod:`repro.serve.multiwriter`: a partitioned
+#: durable session killed at an arbitrary point (including mid-flight, with
+#: unflushed queues), its segments independently tail-corrupted, resumed
+#: via the k-way segment merge and fed the rest of the stream must serve
+#: estimates bit-identical to the serial dict batch build.
+MULTIWRITER_RESUMED_BACKENDS = ["dict", "dense", "sparse", "bitset"]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_multiwriter_resumed_sessions_bit_identical(seed, tmp_path):
+    """25-seed kill/resume fuzz of the multi-writer ingest path: random
+    writer counts (1-4, through the ``open_session`` front door so the
+    single-writer dispatch is fuzzed too), random kill points — half the
+    seeds abort with queues still unflushed — per-segment WAL tail
+    corruption or a torn newest snapshot, resume via the segment merge,
+    then drain the remainder of the stream.  The final estimates, spammer
+    scores and accumulated matrix must equal the serial uninterrupted
+    reference bit for bit on all four backends, across snapshot cadences
+    including pure segment replay."""
+    import asyncio
+
+    from repro.serve import SessionConfig, open_session
+
+    rng = np.random.default_rng(14000 + seed)
+    m = int(rng.integers(6, 10))
+    n = int(rng.integers(25, 45))
+    matrix = random_matrix(seed, m, n, regular=bool(seed % 3 == 0))
+    records = list(matrix.iter_responses())
+    rng.shuffle(records)
+    revisions = [
+        (worker, task, 1 - label)
+        for worker, task, label in rng.permutation(records)[:4].tolist()
+    ]
+    insert_at = sorted(
+        int(position) for position in rng.integers(0, len(records), size=4)
+    )
+    for position, revision in zip(insert_at, reversed(revisions)):
+        records.insert(position, tuple(revision))
+    max_batch = int(rng.integers(1, 24))
+    cut = int(rng.integers(1, len(records)))
+    writers = 1 + seed % 4
+    snapshot_every = [None, 1, 2, 3, 5][seed % 5]
+    corruption = seed % 3  # 0: clean kill, 1: torn segment tail, 2: torn snapshot
+    flushed = seed % 2 == 0  # else: killed with queues still unflushed
+
+    async def crash_then_resume(backend, directory):
+        config = SessionConfig(
+            backend=backend,
+            max_batch=max_batch,
+            writers=writers,
+            durable=directory,
+            snapshot_every=snapshot_every,
+            fsync=False,
+        )
+        session = open_session(config)
+        session.start()
+        for record in records[:cut]:
+            await session.submit(*record)
+        if flushed:
+            await session.flush()
+        await session.abort()  # no final snapshot, appliers cancelled
+        if corruption == 1:
+            # Mid-append kill: the fattest segment loses its tail bytes
+            # (the glob covers both the wal-<p>.ndjson segments and the
+            # single-writer wal.ndjson).  Leave the header plus a margin
+            # intact — a chopped *header* is a malformed log, not crash
+            # residue, and resume is right to refuse it.
+            wal = max(directory.glob("wal*.ndjson"), key=lambda p: p.stat().st_size)
+            size = wal.stat().st_size
+            if size > 90:
+                chop = int(rng.integers(1, min(31, size - 80)))
+                wal.write_bytes(wal.read_bytes()[: size - chop])
+        elif corruption == 2:
+            # Torn newest snapshot: resume must fall back to an older one
+            # or pure segment replay.
+            snapshots = sorted(directory.glob("snapshot-*.snap"), reverse=True)
+            if snapshots:
+                data = bytearray(snapshots[0].read_bytes())
+                data[int(rng.integers(0, len(data)))] ^= 0xFF
+                snapshots[0].write_bytes(bytes(data))
+        resumed = open_session(config)
+        assert resumed.applied_events <= len(records)
+        async with resumed:
+            if flushed and corruption == 0:
+                # Every submitted event reached the segments and survived:
+                # the resume must account for exactly the prefix, and the
+                # exact remainder completes the stream.
+                assert resumed.applied_events == cut
+                remainder = records[cut:]
+            else:
+                # Unflushed batches (or chopped tails) vanished, and which
+                # partition lost how much is timing-dependent — so re-feed
+                # the whole stream: per-worker last-write-wins application
+                # makes the overlap idempotent.
+                remainder = records
+            for record in remainder:
+                await resumed.submit(*record)
+            await resumed.flush()
+            estimates = await resumed.evaluate_all()
+            scores = await resumed.spammer_scores()
+            return estimates, scores, resumed.evaluator.matrix.copy()
+
+    results = {
+        backend: asyncio.run(
+            crash_then_resume(backend, tmp_path / backend)
+        )
+        for backend in MULTIWRITER_RESUMED_BACKENDS
+    }
+    accumulated = results["dict"][2]
+    reference = {
+        estimate.worker: estimate
+        for estimate in MWorkerEstimator(
+            confidence=0.95, backend="dict"
+        ).evaluate_all(accumulated)
+        if estimate.n_tasks > 0
+    }
+    reference_scores = results["dict"][1]
+    for backend, (resumed, scores, matrix_copy) in results.items():
+        assert matrix_copy == accumulated, backend
+        assert set(resumed) == set(reference), backend
+        for worker, ref in reference.items():
+            assert_estimates_bit_identical(
+                ref, resumed[worker], f"multiwriter-resumed-{backend}"
+            )
+        assert scores == reference_scores, backend
+
+
+# --------------------------------------------------------------------------- #
 # Composition contracts of the sparse/bitset backends
 # --------------------------------------------------------------------------- #
 

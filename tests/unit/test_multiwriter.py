@@ -1,0 +1,438 @@
+"""Unit tests for multi-writer durable ingestion (:mod:`repro.serve.multiwriter`).
+
+Pins the pieces the ``multiwriter-resumed`` fuzz column builds on: the
+consistent-hash partitioner (deterministic, stable under worker-id growth),
+bit-identity of partitioned ingestion against a serial dict-backend build,
+per-worker revision ordering across partitions, segment-merge resume
+(clean close, grown writer counts, layout mismatches), per-segment epoch
+monotonicity, the snapshot fencing invariant (a snapshot at epoch E covers
+exactly the records with epoch < E — never a torn partition batch), and the
+``open_session`` create-vs-resume / single-vs-multi dispatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalEvaluator
+from repro.exceptions import ConfigurationError, DurableStateError
+from repro.serve import (
+    MultiWriterSession,
+    MultiWriterStore,
+    SessionConfig,
+    StreamSession,
+    open_session,
+    partition_for,
+)
+from repro.serve.durable import DurableStore, load_snapshot_file
+from repro.serve.multiwriter import segment_name
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_stream(n_events, n_workers, n_tasks, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (int(w), int(t), int(label))
+        for w, t, label in zip(
+            rng.integers(0, n_workers, size=n_events),
+            rng.integers(0, n_tasks, size=n_events),
+            rng.integers(0, 2, size=n_events),
+        )
+    ]
+
+
+def dict_reference(events, confidence=0.95):
+    """Estimates from a serial dict-backend build over ``events`` in order."""
+    evaluator = IncrementalEvaluator(
+        n_workers=3, n_tasks=1, confidence=confidence, backend="dict"
+    )
+    evaluator.apply_batch(list(events), auto_extend=True)
+    return evaluator.estimate_all()
+
+
+def assert_estimates_equal(actual, expected):
+    assert set(actual) == set(expected)
+    for worker, ref in expected.items():
+        est = actual[worker]
+        assert est.interval.mean == ref.interval.mean
+        assert est.interval.lower == ref.interval.lower
+        assert est.interval.upper == ref.interval.upper
+        assert est.interval.deviation == ref.interval.deviation
+        assert est.weights == ref.weights
+        assert est.status is ref.status
+
+
+async def feed(session, events):
+    async with session:
+        for event in events:
+            await session.submit(*event)
+        await session.flush()
+        return await session.evaluate_all()
+
+
+class TestPartitioner:
+    def test_matches_the_documented_hash_exactly(self):
+        # Golden values: CRC-32 of the 8-byte little-endian signed id,
+        # modulo the partition count.  Any change here silently remaps
+        # every worker and breaks resume of existing segment layouts.
+        assert [partition_for(w, 3) for w in range(12)] == [
+            1, 1, 0, 0, 1, 2, 2, 2, 2, 1, 1, 2,
+        ]
+        assert [partition_for(w, 4) for w in range(12)] == [
+            1, 3, 0, 2, 3, 1, 2, 0, 0, 2, 1, 3,
+        ]
+
+    def test_stable_under_worker_id_growth(self):
+        # The assignment depends only on the id itself, so a mapping
+        # computed over a small id population is unchanged when many new
+        # ids appear later (unlike anything keyed on arrival order).
+        before = {w: partition_for(w, 4) for w in range(50)}
+        for w in range(50, 5000):
+            partition_for(w, 4)
+        after = {w: partition_for(w, 4) for w in range(50)}
+        assert after == before
+
+    def test_single_partition_short_circuits(self):
+        assert all(partition_for(w, 1) == 0 for w in range(0, 1000, 97))
+
+    def test_range_and_rough_balance(self):
+        for n in (2, 3, 4):
+            counts = [0] * n
+            for w in range(1000):
+                p = partition_for(w, n)
+                assert 0 <= p < n
+                counts[p] += 1
+            assert min(counts) > 1000 // (2 * n)
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_invalid_partition_count(self, n):
+        with pytest.raises(ConfigurationError):
+            partition_for(3, n)
+
+
+class TestInMemoryMultiWriter:
+    def test_partitioned_ingest_bit_identical_to_serial_dict_build(self):
+        events = make_stream(500, 11, 40, seed=101)
+
+        session = open_session(SessionConfig(writers=3, max_batch=9))
+        assert isinstance(session, MultiWriterSession)
+        estimates = run(feed(session, events))
+        assert_estimates_equal(estimates, dict_reference(events))
+        assert session.applied_events == len(events)
+        assert session.pending_events == 0
+
+    def test_per_worker_revisions_apply_in_submission_order(self):
+        # Same-cell revisions share a worker, hence a partition, hence a
+        # queue — their order survives any cross-partition interleaving.
+        async def scenario():
+            async with open_session(writers=4, max_batch=3) as session:
+                for _ in range(10):
+                    await session.submit(5, 0, 1)
+                    await session.submit(7, 0, 0)
+                    await session.submit(5, 0, 0)
+                    await session.submit(9, 1, 1)
+                    await session.submit(5, 0, 1)  # final revision must win
+                await session.flush()
+                return session.evaluator.matrix.copy()
+
+        matrix = run(scenario())
+        assert matrix.response(5, 0) == 1
+        assert matrix.response(7, 0) == 0
+
+    def test_batch_records_are_partition_tagged_and_per_partition_contiguous(self):
+        events = make_stream(200, 9, 25, seed=55)
+
+        session = open_session(SessionConfig(writers=3, max_batch=7))
+        run(feed(session, events))
+        by_partition: dict[int, list] = {}
+        for record in session.applied_batches:
+            by_partition.setdefault(record.partition, []).append(record)
+        assert set(by_partition) <= set(range(3))
+        for records in by_partition.values():
+            assert records[0].first_seq == 1
+            for before, after in zip(records, records[1:]):
+                assert after.first_seq == before.last_seq + 1
+
+    def test_submit_requires_running_session(self):
+        async def scenario():
+            session = open_session(writers=2)
+            with pytest.raises(ConfigurationError, match="not running"):
+                await session.submit(0, 0, 1)
+
+        run(scenario())
+
+
+class TestDurableMultiWriter:
+    def test_clean_close_resume_is_bit_identical_with_zero_tail_replay(
+        self, tmp_path
+    ):
+        events = make_stream(300, 10, 30, seed=7)
+        config = SessionConfig(
+            writers=3, durable=tmp_path, snapshot_every=4, fsync=False,
+            max_batch=8,
+        )
+        first = run(feed(open_session(config), events))
+
+        resumed = open_session(config)
+        assert isinstance(resumed, MultiWriterSession)
+        assert resumed.applied_events == len(events)
+        # The final snapshot covers every record: nothing was merge-replayed
+        # beyond it and no segment had crash residue to discard.
+        assert resumed.durable.discarded_tail_records == 0
+
+        async def read_only():
+            async with resumed:
+                return await resumed.evaluate_all()
+
+        assert_estimates_equal(run(read_only()), first)
+        assert_estimates_equal(first, dict_reference(events))
+
+    def test_resume_under_grown_writer_count_stays_bit_identical(self, tmp_path):
+        head, tail = make_stream(240, 12, 35, seed=13), make_stream(
+            160, 12, 35, seed=14
+        )
+        run(
+            feed(
+                open_session(
+                    SessionConfig(
+                        writers=2, durable=tmp_path, fsync=False, max_batch=6
+                    )
+                ),
+                head,
+            )
+        )
+        # Old segments keep their sequence continuity; the new count only
+        # governs where new events land — and a new segment file appears.
+        resumed = open_session(
+            SessionConfig(writers=3, durable=tmp_path, fsync=False, max_batch=6)
+        )
+        assert resumed.writers == 3
+        estimates = run(feed(resumed, tail))
+        assert_estimates_equal(estimates, dict_reference(head + tail))
+        assert (tmp_path / segment_name(2)).exists()
+
+    def test_multiwriter_state_resumes_even_when_config_says_one_writer(
+        self, tmp_path
+    ):
+        events = make_stream(120, 8, 20, seed=21)
+        run(
+            feed(
+                open_session(
+                    SessionConfig(writers=3, durable=tmp_path, fsync=False)
+                ),
+                events,
+            )
+        )
+        resumed = open_session(SessionConfig(writers=1, durable=tmp_path))
+        assert isinstance(resumed, MultiWriterSession)
+        assert resumed.applied_events == len(events)
+
+    def test_single_writer_layout_refuses_multiwriter_resume(self, tmp_path):
+        events = make_stream(60, 6, 15, seed=33)
+        run(
+            feed(
+                open_session(SessionConfig(durable=tmp_path, fsync=False)),
+                events,
+            )
+        )
+        assert DurableStore.has_state(tmp_path)
+        with pytest.raises(DurableStateError, match="single-writer"):
+            open_session(SessionConfig(writers=3, durable=tmp_path))
+
+    def test_fresh_store_refuses_directory_with_existing_state(self, tmp_path):
+        run(
+            feed(
+                open_session(
+                    SessionConfig(writers=2, durable=tmp_path, fsync=False)
+                ),
+                make_stream(40, 5, 10, seed=3),
+            )
+        )
+        store = MultiWriterStore(tmp_path, writers=2)
+        with pytest.raises(DurableStateError, match="open_session"):
+            store.open(resume=False)
+
+    def test_store_constructor_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            MultiWriterStore(tmp_path, writers=0)
+        with pytest.raises(ConfigurationError):
+            MultiWriterStore(tmp_path, writers=2, snapshot_every=0)
+        with pytest.raises(ConfigurationError):
+            MultiWriterStore(tmp_path, writers=2, keep_snapshots=0)
+
+    def test_segment_paths_ignore_non_partition_files(self, tmp_path):
+        (tmp_path).mkdir(exist_ok=True)
+        (tmp_path / "wal-0.ndjson").write_text("")
+        (tmp_path / "wal-17.ndjson").write_text("")
+        (tmp_path / "wal-x.ndjson").write_text("")
+        (tmp_path / "wal.ndjson").write_text("")
+        assert set(MultiWriterStore.segment_paths(tmp_path)) == {0, 17}
+
+    def test_epochs_are_monotonic_within_each_segment(self, tmp_path):
+        events = make_stream(180, 10, 25, seed=44)
+        run(
+            feed(
+                open_session(
+                    SessionConfig(
+                        writers=3,
+                        durable=tmp_path,
+                        snapshot_every=2,
+                        fsync=False,
+                        max_batch=5,
+                    )
+                ),
+                events,
+            )
+        )
+        saw_positive = False
+        for partition in MultiWriterStore.segment_paths(tmp_path):
+            store = DurableStore(tmp_path, wal_name=segment_name(partition))
+            records = store.read_batches_with_epoch()
+            epochs = [epoch for epoch, _, _, _ in records]
+            assert epochs == sorted(epochs)
+            saw_positive = saw_positive or any(e > 0 for e in epochs)
+            firsts = [first for _, first, _, _ in records]
+            assert firsts[0] == 1
+            lasts = [last for _, _, last, _ in records]
+            assert all(f == l + 1 for f, l in zip(firsts[1:], lasts))
+        # With snapshot_every=2 over many batches the fence fired at least
+        # once, so some records must carry a bumped epoch.
+        assert saw_positive
+
+
+class TestSnapshotFencing:
+    def _run_session(self, tmp_path, events):
+        run(
+            feed(
+                open_session(
+                    SessionConfig(
+                        writers=3,
+                        durable=tmp_path,
+                        snapshot_every=2,
+                        fsync=False,
+                        max_batch=7,
+                    )
+                ),
+                events,
+            )
+        )
+
+    def test_snapshot_covers_exactly_the_records_below_its_epoch(self, tmp_path):
+        """The fencing invariant, checked against the raw segment bytes.
+
+        For every surviving snapshot at epoch E with per-partition applied
+        sequences S[p]: each segment record with epoch < E must be fully
+        covered (``last <= S[p]``) and each record with epoch >= E must be
+        fully uncovered (``first > S[p]``) — a snapshot never splits a
+        partition's batch.
+        """
+        events = make_stream(150, 12, 30, seed=91)
+        self._run_session(tmp_path, events)
+        snapshots = sorted(tmp_path.glob("snapshot-*.snap"))
+        assert snapshots, "the cadence never produced a snapshot"
+        segment_records = {
+            partition: DurableStore(
+                tmp_path, wal_name=segment_name(partition)
+            ).read_batches_with_epoch()
+            for partition in MultiWriterStore.segment_paths(tmp_path)
+        }
+        for path in snapshots:
+            meta, _ = load_snapshot_file(path)
+            fences = meta["multiwriter"]
+            fence_epoch = fences["epoch"]
+            applied = {int(p): seq for p, seq in fences["partitions"].items()}
+            for partition, records in segment_records.items():
+                covered = applied.get(partition, 0)
+                for epoch, first, last, _ in records:
+                    if epoch < fence_epoch:
+                        assert last <= covered
+                    else:
+                        assert first > covered
+
+    def test_snapshot_state_equals_a_serial_build_over_covered_records(
+        self, tmp_path
+    ):
+        """Each snapshot's evaluator state is reproducible from its fences:
+        merging every segment's covered records by (epoch, seq, partition)
+        and applying them to a fresh dict evaluator yields bit-identical
+        estimates — the snapshot observed whole batches only."""
+        events = make_stream(150, 12, 30, seed=92)
+        self._run_session(tmp_path, events)
+        segment_records = {
+            partition: DurableStore(
+                tmp_path, wal_name=segment_name(partition)
+            ).read_batches_with_epoch()
+            for partition in MultiWriterStore.segment_paths(tmp_path)
+        }
+        checked = 0
+        for path in sorted(tmp_path.glob("snapshot-*.snap")):
+            meta, arrays = load_snapshot_file(path)
+            applied = {
+                int(p): seq
+                for p, seq in meta["multiwriter"]["partitions"].items()
+            }
+            merged = sorted(
+                (
+                    (epoch, first, partition, events_)
+                    for partition, records in segment_records.items()
+                    for epoch, first, last, events_ in records
+                    if last <= applied.get(partition, 0)
+                ),
+            )
+            rebuilt = IncrementalEvaluator(
+                n_workers=3, n_tasks=1, confidence=0.95, backend="dict"
+            )
+            for _, _, _, events_ in merged:
+                rebuilt.apply_batch(events_, auto_extend=True)
+            restored = IncrementalEvaluator.from_state(
+                meta, arrays, backend="dict"
+            )
+            assert_estimates_equal(
+                restored.estimate_all(), rebuilt.estimate_all()
+            )
+            checked += 1
+        assert checked > 0
+
+
+class TestOpenSessionDispatch:
+    def test_in_memory_single_writer_builds_a_stream_session(self):
+        session = open_session()
+        assert isinstance(session, StreamSession)
+        assert session.config.writers == 1
+
+    def test_in_memory_multi_writer_builds_a_multiwriter_session(self):
+        session = open_session(writers=3)
+        assert isinstance(session, MultiWriterSession)
+        assert session.writers == 3
+
+    def test_field_overrides_rebuild_the_config(self):
+        session = open_session(SessionConfig(writers=2), max_batch=5)
+        assert session.config.max_batch == 5
+        assert session.config.writers == 2
+
+    def test_rejects_a_non_config_positional(self):
+        with pytest.raises(ConfigurationError, match="SessionConfig"):
+            open_session({"writers": 2})
+
+    def test_single_writer_durable_round_trip_through_the_front_door(
+        self, tmp_path
+    ):
+        events = make_stream(90, 7, 18, seed=71)
+        config = SessionConfig(durable=tmp_path, fsync=False, max_batch=6)
+        first = run(feed(open_session(config), events))
+        resumed = open_session(config)
+        assert isinstance(resumed, StreamSession)
+        assert resumed.applied_events == len(events)
+
+        async def read_only():
+            async with resumed:
+                return await resumed.evaluate_all()
+
+        assert_estimates_equal(run(read_only()), first)

@@ -175,28 +175,20 @@ class TestShardExecutor:
         assert second == serial
 
 
-class TestShardedCompatShim:
-    def test_historical_entry_point_delegates_to_the_process_tier(self):
-        # repro.core.sharded survives as a deprecated shim; importing it and
-        # calling the old entry point must warn, while the old call shape
-        # keeps returning serial-identical results through the new layer.
+class TestShardedModuleRemoved:
+    def test_import_fails_with_a_pointer_to_parallel(self):
+        # repro.core.sharded finished its deprecation cycle: importing it
+        # must fail loudly with migration guidance, and a failed module
+        # execution must not stick around in sys.modules — a second import
+        # attempt raises the same error rather than yielding a broken
+        # half-module.
         import importlib
+        import sys
 
-        with pytest.warns(DeprecationWarning, match="repro.core.parallel"):
-            import repro.core.sharded as sharded_module
-
-            sharded_module = importlib.reload(sharded_module)
-
-        assert sharded_module.SharedMatrixView is SharedMatrixView
-        matrix = build_matrix()
-        serial = MWorkerEstimator(confidence=0.9, backend="dense").evaluate_all(
-            matrix
-        )
-        estimator = MWorkerEstimator(confidence=0.9, backend="dense", shards=2)
-        stats = compute_agreement_statistics(matrix, backend="dense")
-        with pytest.warns(DeprecationWarning, match="repro.core.parallel"):
-            sharded = sharded_module.evaluate_all_sharded(estimator, matrix, stats)
-        assert sharded == serial
+        for _ in range(2):
+            with pytest.raises(ImportError, match="repro.core.parallel"):
+                importlib.import_module("repro.core.sharded")
+            assert "repro.core.sharded" not in sys.modules
 
 
 class TestExportCleanup:

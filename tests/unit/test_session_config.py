@@ -1,0 +1,196 @@
+"""Unit tests for :class:`repro.serve.SessionConfig` and the legacy shims.
+
+The API-consolidation contract: every streaming knob lives on one frozen,
+validated dataclass whose field names round-trip the legacy keyword
+arguments exactly; the old construction paths (``StreamSession(**kwargs)``,
+``StreamSession.resume``, ``StreamSession.open_durable``) survive as thin
+shims that emit a :class:`DeprecationWarning`; and the CLI flags map 1:1
+onto a config through the single ``config_from_args`` helper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+
+import pytest
+
+from repro.cli import build_parser, config_from_args
+from repro.exceptions import ConfigurationError
+from repro.serve import SessionConfig, StreamSession, open_session
+from repro.serve.config import AUTO_WRITERS_CAP, DEFAULT_CONFIDENCE
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"confidence": 0.0},
+            {"confidence": 1.0},
+            {"confidence": -0.5},
+            {"backend": "bogus"},
+            {"shards": 0},
+            {"shards": "bogus"},
+            {"writers": 0},
+            {"writers": -2},
+            {"writers": True},
+            {"writers": 2.5},
+            {"writers": "many"},
+            {"maxsize": 0},
+            {"max_batch": 0},
+            {"snapshot_every": 0, "durable": "somewhere"},
+            # snapshot cadence without persistence is a configuration hole,
+            # not a silent no-op
+            {"snapshot_every": 4},
+        ],
+    )
+    def test_invalid_fields_raise_configuration_error(self, fields):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(**fields)
+
+    def test_config_is_frozen(self):
+        config = SessionConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.max_batch = 7
+
+    def test_replace_revalidates(self):
+        config = SessionConfig(max_batch=8)
+        assert config.replace(max_batch=9).max_batch == 9
+        with pytest.raises(ConfigurationError):
+            config.replace(max_batch=0)
+
+    def test_resolved_defaults(self):
+        config = SessionConfig()
+        assert config.resolved_confidence == DEFAULT_CONFIDENCE
+        assert config.resolved_backend == "auto"
+        assert config.resolved_optimize_weights is True
+        assert config.resolved_writers() == 1
+
+    def test_resolved_writers_auto_is_cpu_bound_and_capped(self):
+        resolved = SessionConfig(writers="auto").resolved_writers()
+        assert resolved == max(1, min(AUTO_WRITERS_CAP, os.cpu_count() or 1))
+
+    def test_round_trips_every_legacy_kwarg(self, tmp_path):
+        legacy = {
+            "maxsize": 9,
+            "max_batch": 3,
+            "auto_extend": False,
+            "confidence": 0.8,
+            "backend": "dense",
+            "shards": "thread:2",
+            "durable": tmp_path,
+            "snapshot_every": 2,
+            "fsync": False,
+        }
+        config = SessionConfig(**legacy)
+        for name, value in legacy.items():
+            assert getattr(config, name) == value
+
+
+class TestLegacyShims:
+    def test_constructor_kwargs_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning, match="open_session"):
+            session = StreamSession(max_batch=4, confidence=0.8)
+        assert session.config.max_batch == 4
+        assert session.config.confidence == 0.8
+
+    def test_config_construction_does_not_warn(self, recwarn):
+        session = StreamSession(config=SessionConfig(max_batch=4))
+        assert session.config.max_batch == 4
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_config_and_legacy_kwargs_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            StreamSession(config=SessionConfig(), max_batch=4)
+
+    def test_unknown_kwargs_raise_type_error(self):
+        with pytest.raises(TypeError, match="batchsize"):
+            StreamSession(batchsize=4)
+
+    def test_stream_session_refuses_multiwriter_configs(self):
+        with pytest.raises(ConfigurationError, match="open_session"):
+            StreamSession(config=SessionConfig(writers=3))
+
+    def _populate(self, directory):
+        async def scenario():
+            async with open_session(
+                SessionConfig(durable=directory, fsync=False)
+            ) as session:
+                for worker in range(6):
+                    await session.submit(worker, worker % 3, 1)
+                await session.flush()
+
+        run(scenario())
+
+    def test_resume_shim_warns_and_resumes(self, tmp_path):
+        self._populate(tmp_path)
+        with pytest.warns(DeprecationWarning, match="resume"):
+            session = StreamSession.resume(tmp_path, fsync=False)
+        assert session.applied_events == 6
+
+    def test_open_durable_shim_warns_for_fresh_and_existing_state(
+        self, tmp_path
+    ):
+        with pytest.warns(DeprecationWarning, match="open_durable"):
+            fresh = StreamSession.open_durable(tmp_path / "fresh", fsync=False)
+        assert fresh.applied_events == 0
+        self._populate(tmp_path / "old")
+        with pytest.warns(DeprecationWarning, match="open_durable"):
+            resumed = StreamSession.open_durable(tmp_path / "old", fsync=False)
+        assert resumed.applied_events == 6
+
+
+class TestConfigFromArgs:
+    def test_ingest_flags_map_one_to_one(self):
+        args = build_parser().parse_args(
+            [
+                "ingest",
+                "events.ndjson",
+                "--confidence", "0.9",
+                "--backend", "dense",
+                "--batch-size", "7",
+                "--queue-size", "33",
+                "--shards", "thread:2",
+                "--writers", "3",
+                "--durable", "state-dir",
+                "--snapshot-every", "4",
+            ]
+        )
+        config = config_from_args(args)
+        assert config == SessionConfig(
+            confidence=0.9,
+            backend="dense",
+            max_batch=7,
+            maxsize=33,
+            shards="thread:2",
+            writers=3,
+            durable="state-dir",
+            snapshot_every=4,
+        )
+
+    def test_writers_auto_passes_through(self):
+        args = build_parser().parse_args(
+            ["ingest", "events.ndjson", "--writers", "auto"]
+        )
+        assert config_from_args(args).writers == "auto"
+
+    def test_serve_shares_the_same_translation(self):
+        args = build_parser().parse_args(["serve", "--writers", "2"])
+        config = config_from_args(args)
+        assert config.writers == 2
+        assert config.durable is None
+
+    @pytest.mark.parametrize("value", ["0", "-1", "lots"])
+    def test_invalid_writers_rejected_at_parse_time(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["ingest", "events.ndjson", "--writers", value]
+            )
+        assert "--writers" in capsys.readouterr().err
